@@ -1,0 +1,186 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! Not used by the paper's core algorithm, but a standard record-linkage
+//! comparator (Winkler's work at the U.S. Census Bureau is cited in §5); we
+//! provide it so ablation experiments can swap the similarity function under
+//! the same adaptive controller.
+
+use serde::{Deserialize, Serialize};
+
+use crate::similarity::StringSimilarity;
+
+/// The Jaro similarity of two strings, in `[0, 1]`.
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+
+    // Matching window: characters match if equal and within this distance.
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+
+    if matches == 0 {
+        return 0.0;
+    }
+
+    // Count transpositions among matched characters.
+    let mut transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &matched) in a_matched.iter().enumerate() {
+        if matched {
+            while !b_matched[j] {
+                j += 1;
+            }
+            if a[i] != b[j] {
+                transpositions += 1;
+            }
+            j += 1;
+        }
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = matches as f64;
+
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// The Jaro–Winkler similarity with the given prefix scaling factor
+/// (conventionally 0.1, capped at 0.25) and a maximum rewarded prefix of 4.
+pub fn jaro_winkler_similarity(a: &str, b: &str, prefix_scale: f64) -> f64 {
+    let jaro = jaro_similarity(a, b);
+    let scale = prefix_scale.clamp(0.0, 0.25);
+    let prefix_len = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    jaro + prefix_len as f64 * scale * (1.0 - jaro)
+}
+
+/// [`StringSimilarity`] wrapper around [`jaro_winkler_similarity`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JaroWinkler {
+    /// Prefix scaling factor (0.1 by convention, clamped to `[0, 0.25]`).
+    pub prefix_scale: f64,
+}
+
+impl Default for JaroWinkler {
+    fn default() -> Self {
+        Self { prefix_scale: 0.1 }
+    }
+}
+
+impl StringSimilarity for JaroWinkler {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro_winkler_similarity(a, b, self.prefix_scale)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaro-winkler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic textbook examples.
+        assert!(close(jaro_similarity("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro_similarity("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro_similarity("JELLYFISH", "SMELLYFISH"), 0.896));
+    }
+
+    #[test]
+    fn jaro_degenerate_cases() {
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("a", ""), 0.0);
+        assert_eq!(jaro_similarity("", "a"), 0.0);
+        assert_eq!(jaro_similarity("abc", "abc"), 1.0);
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn winkler_boosts_common_prefix() {
+        let plain = jaro_similarity("MARTHA", "MARHTA");
+        let winkler = jaro_winkler_similarity("MARTHA", "MARHTA", 0.1);
+        assert!(winkler > plain);
+        assert!(close(winkler, 0.961));
+        // No common prefix: no boost.
+        assert_eq!(
+            jaro_winkler_similarity("ABC", "XBC", 0.1),
+            jaro_similarity("ABC", "XBC")
+        );
+    }
+
+    #[test]
+    fn winkler_scale_is_clamped() {
+        let hi = jaro_winkler_similarity("MARTHA", "MARHTA", 5.0);
+        let capped = jaro_winkler_similarity("MARTHA", "MARHTA", 0.25);
+        assert_eq!(hi, capped);
+        assert!(hi <= 1.0);
+    }
+
+    #[test]
+    fn trait_impl_reports_name_and_uses_scale() {
+        let jw = JaroWinkler::default();
+        assert_eq!(jw.name(), "jaro-winkler");
+        assert!(jw.similarity("SANTA CRISTINA", "SANTA CRISTINx") > 0.9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn jaro_is_symmetric_and_bounded(a in "[A-Z]{0,10}", b in "[A-Z]{0,10}") {
+            let ab = jaro_similarity(&a, &b);
+            let ba = jaro_similarity(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&ab));
+        }
+
+        #[test]
+        fn winkler_never_below_jaro(a in "[A-Z]{0,10}", b in "[A-Z]{0,10}") {
+            let j = jaro_similarity(&a, &b);
+            let w = jaro_winkler_similarity(&a, &b, 0.1);
+            prop_assert!(w + 1e-12 >= j);
+            prop_assert!(w <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn identical_strings_have_similarity_one(a in "[A-Z]{1,10}") {
+            prop_assert_eq!(jaro_similarity(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler_similarity(&a, &a, 0.1), 1.0);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Join-key normalisation.
+//!
+//! Record-linkage toolkits conventionally canonicalise strings before
+//! comparing them (paper §5 mentions the data-preparation utilities of
+//! Potter's Wheel, Ajax, Tailor, …).  The paper's own evaluation works on
+//! already-uppercased location strings such as
+//! `TAA BZ SANTA CRISTINA VALGARDENA`; this module provides the small
+//! canonicalisation pipeline the data generator and the similarity functions
+//! agree on so that the *only* differences the join sees are genuine
+//! variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Options controlling [`normalize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NormalizeConfig {
+    /// Convert the string to uppercase.
+    pub uppercase: bool,
+    /// Collapse consecutive whitespace into a single ASCII space and trim.
+    pub collapse_whitespace: bool,
+    /// Drop characters that are neither alphanumeric nor whitespace
+    /// (punctuation, quotes, …).
+    pub strip_punctuation: bool,
+}
+
+impl Default for NormalizeConfig {
+    fn default() -> Self {
+        Self {
+            uppercase: true,
+            collapse_whitespace: true,
+            strip_punctuation: false,
+        }
+    }
+}
+
+impl NormalizeConfig {
+    /// The identity configuration: [`normalize`] returns its input unchanged
+    /// (modulo allocation).
+    pub fn none() -> Self {
+        Self {
+            uppercase: false,
+            collapse_whitespace: false,
+            strip_punctuation: false,
+        }
+    }
+
+    /// Aggressive configuration: uppercase, collapse whitespace and strip
+    /// punctuation.
+    pub fn aggressive() -> Self {
+        Self {
+            uppercase: true,
+            collapse_whitespace: true,
+            strip_punctuation: true,
+        }
+    }
+}
+
+/// Canonicalise `input` according to `config`.
+pub fn normalize(input: &str, config: &NormalizeConfig) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut pending_space = false;
+    let mut seen_non_space = false;
+
+    for ch in input.chars() {
+        let ch = if config.strip_punctuation && !ch.is_alphanumeric() && !ch.is_whitespace() {
+            continue;
+        } else {
+            ch
+        };
+
+        if config.collapse_whitespace && ch.is_whitespace() {
+            if seen_non_space {
+                pending_space = true;
+            }
+            continue;
+        }
+
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+
+        if config.uppercase {
+            for up in ch.to_uppercase() {
+                out.push(up);
+            }
+        } else {
+            out.push(ch);
+        }
+        seen_non_space = true;
+    }
+
+    if !config.collapse_whitespace {
+        // Whitespace was passed through above only when not collapsing; the
+        // loop above skipped it, so rebuild faithfully in that mode.
+        if !config.uppercase && !config.strip_punctuation {
+            return input.to_string();
+        }
+        let mut verbatim = String::with_capacity(input.len());
+        for ch in input.chars() {
+            if config.strip_punctuation && !ch.is_alphanumeric() && !ch.is_whitespace() {
+                continue;
+            }
+            if config.uppercase {
+                for up in ch.to_uppercase() {
+                    verbatim.push(up);
+                }
+            } else {
+                verbatim.push(ch);
+            }
+        }
+        return verbatim;
+    }
+
+    out
+}
+
+/// Canonicalise with the default configuration.
+pub fn normalize_default(input: &str) -> String {
+    normalize(input, &NormalizeConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uppercases_and_collapses() {
+        let cfg = NormalizeConfig::default();
+        assert_eq!(normalize("  taa  bz   ortisei ", &cfg), "TAA BZ ORTISEI");
+        assert_eq!(normalize("Roma", &cfg), "ROMA");
+        assert_eq!(normalize("", &cfg), "");
+        assert_eq!(normalize("   ", &cfg), "");
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let cfg = NormalizeConfig::none();
+        assert_eq!(normalize("  Santa  Cristina ", &cfg), "  Santa  Cristina ");
+        assert_eq!(normalize("a,b", &cfg), "a,b");
+    }
+
+    #[test]
+    fn aggressive_strips_punctuation() {
+        let cfg = NormalizeConfig::aggressive();
+        assert_eq!(normalize("Sant'Angelo, (PZ)", &cfg), "SANTANGELO PZ");
+        assert_eq!(normalize("L'Aquila", &cfg), "LAQUILA");
+    }
+
+    #[test]
+    fn uppercase_without_collapse_keeps_inner_whitespace() {
+        let cfg = NormalizeConfig {
+            uppercase: true,
+            collapse_whitespace: false,
+            strip_punctuation: false,
+        };
+        assert_eq!(normalize("a  b", &cfg), "A  B");
+    }
+
+    #[test]
+    fn strip_without_collapse_keeps_whitespace_drops_punct() {
+        let cfg = NormalizeConfig {
+            uppercase: false,
+            collapse_whitespace: false,
+            strip_punctuation: true,
+        };
+        assert_eq!(normalize("a, b!", &cfg), "a b");
+    }
+
+    #[test]
+    fn collapse_only_preserves_case() {
+        let cfg = NormalizeConfig {
+            uppercase: false,
+            collapse_whitespace: true,
+            strip_punctuation: false,
+        };
+        assert_eq!(normalize(" a  B ", &cfg), "a B");
+    }
+
+    #[test]
+    fn unicode_uppercasing_expands() {
+        let cfg = NormalizeConfig::default();
+        // ß uppercases to SS (two characters).
+        assert_eq!(normalize("straße", &cfg), "STRASSE");
+        assert_eq!(normalize("forlì", &cfg), "FORLÌ");
+    }
+
+    #[test]
+    fn normalize_default_helper_matches_default_config() {
+        assert_eq!(
+            normalize_default("  torino  "),
+            normalize("  torino  ", &NormalizeConfig::default())
+        );
+    }
+
+    #[test]
+    fn idempotence_on_default_config() {
+        let cfg = NormalizeConfig::default();
+        let once = normalize("  Val  di   Fassa ", &cfg);
+        let twice = normalize(&once, &cfg);
+        assert_eq!(once, twice);
+    }
+}

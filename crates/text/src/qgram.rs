@@ -1,0 +1,502 @@
+//! Q-gram extraction.
+//!
+//! The paper (§2.2) defines `q(s)` as "the set of all substrings obtained by
+//! sliding a window of width q (typically, q = 3) over s" and its cost model
+//! (Table 1) assumes a string whose join attribute has `|jA|` characters
+//! yields `|jA| + q − 1` q-grams.  That count corresponds to the classic
+//! padded-q-gram convention (Gravano et al.): the string is logically
+//! extended with `q − 1` copies of a begin marker and `q − 1` copies of an
+//! end marker, giving `|s| + q − 1` windows, of which duplicates are removed
+//! when the *set* is taken.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::normalize::{normalize, NormalizeConfig};
+
+/// A single q-gram.
+///
+/// Grams are interned behind an `Arc<str>` because the inverted q-gram index
+/// of the approximate join stores every gram of every scanned tuple; sharing
+/// the payload keeps the memory cost at the `n · (|jA| + q − 1) · p` pointers
+/// the paper's §2.3 space analysis assumes, rather than duplicating string
+/// data per posting.
+pub type Gram = Arc<str>;
+
+/// Configuration for q-gram extraction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QGramConfig {
+    /// Window width. The paper uses `q = 3`.
+    pub q: usize,
+    /// Whether to pad with `q − 1` begin/end markers. Padding is what makes
+    /// the gram count equal `|s| + q − 1` and gives prefix/suffix characters
+    /// the same weight as interior ones.
+    pub pad: bool,
+    /// Character used for the begin marker (must not occur in input).
+    pub pad_begin: char,
+    /// Character used for the end marker (must not occur in input).
+    pub pad_end: char,
+    /// Normalisation applied to the string before tokenisation.
+    pub normalize: NormalizeConfig,
+}
+
+impl Default for QGramConfig {
+    fn default() -> Self {
+        Self {
+            q: 3,
+            pad: true,
+            pad_begin: '\u{2310}', // '⌐', outside the generator's alphabet
+            pad_end: '\u{00B6}',   // '¶'
+            normalize: NormalizeConfig::default(),
+        }
+    }
+}
+
+impl QGramConfig {
+    /// Configuration with a custom window width and default padding.
+    pub fn with_q(q: usize) -> Self {
+        Self {
+            q,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration without padding (gram count `max(|s| − q + 1, 0/1)`).
+    pub fn unpadded(q: usize) -> Self {
+        Self {
+            q,
+            pad: false,
+            ..Self::default()
+        }
+    }
+
+    /// Number of (non-deduplicated) windows this configuration produces for a
+    /// string of `len` characters — the `|jA| + q − 1` of the paper when
+    /// padding is on.
+    pub fn expected_window_count(&self, len: usize) -> usize {
+        if self.q == 0 {
+            return 0;
+        }
+        if self.pad {
+            if len == 0 {
+                0
+            } else {
+                len + self.q - 1
+            }
+        } else if len >= self.q {
+            len - self.q + 1
+        } else if len == 0 {
+            0
+        } else {
+            1 // the whole (short) string is taken as a single gram
+        }
+    }
+}
+
+/// The deduplicated set of q-grams of one string.
+///
+/// Grams are kept sorted so that set operations (intersection/union sizes,
+/// hence Jaccard/Dice/overlap) are linear merges, and so that two sets built
+/// from equal strings compare equal structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct QGramSet {
+    grams: Vec<Gram>,
+    /// Number of windows before deduplication (used by the cost model).
+    window_count: usize,
+}
+
+impl QGramSet {
+    /// Extract the q-gram set of `input` under `config`.
+    pub fn extract(input: &str, config: &QGramConfig) -> Self {
+        if config.q == 0 {
+            return Self::default();
+        }
+        let normalized = normalize(input, &config.normalize);
+        if normalized.is_empty() {
+            return Self::default();
+        }
+
+        let mut chars: Vec<char> = Vec::with_capacity(normalized.len() + 2 * (config.q - 1));
+        if config.pad {
+            chars.extend(std::iter::repeat(config.pad_begin).take(config.q - 1));
+        }
+        chars.extend(normalized.chars());
+        if config.pad {
+            chars.extend(std::iter::repeat(config.pad_end).take(config.q - 1));
+        }
+
+        let mut set: BTreeSet<Gram> = BTreeSet::new();
+        let mut window_count = 0usize;
+        if chars.len() < config.q {
+            // Unpadded short string: take the whole string as one gram.
+            let gram: String = chars.iter().collect();
+            set.insert(Arc::from(gram.as_str()));
+            window_count = 1;
+        } else {
+            let mut buf = String::with_capacity(config.q * 4);
+            for window in chars.windows(config.q) {
+                buf.clear();
+                buf.extend(window.iter());
+                set.insert(Arc::from(buf.as_str()));
+                window_count += 1;
+            }
+        }
+
+        Self {
+            grams: set.into_iter().collect(),
+            window_count,
+        }
+    }
+
+    /// Extract with the default configuration (`q = 3`, padded).
+    pub fn extract_default(input: &str) -> Self {
+        Self::extract(input, &QGramConfig::default())
+    }
+
+    /// Number of **distinct** grams.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+
+    /// Number of sliding windows before deduplication (`|s| + q − 1` with
+    /// padding).  This is the quantity the paper's cost model uses.
+    pub fn window_count(&self) -> usize {
+        self.window_count
+    }
+
+    /// The grams, sorted ascending.
+    pub fn grams(&self) -> &[Gram] {
+        &self.grams
+    }
+
+    /// Whether `gram` is a member.
+    pub fn contains(&self, gram: &str) -> bool {
+        self.grams.binary_search_by(|g| g.as_ref().cmp(gram)).is_ok()
+    }
+
+    /// Iterator over the grams.
+    pub fn iter(&self) -> impl Iterator<Item = &Gram> {
+        self.grams.iter()
+    }
+
+    /// `|self ∩ other|` by sorted merge.
+    pub fn intersection_size(&self, other: &QGramSet) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < self.grams.len() && j < other.grams.len() {
+            match self.grams[i].cmp(&other.grams[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// `|self ∪ other|`.
+    pub fn union_size(&self, other: &QGramSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// The Jaccard coefficient `|A ∩ B| / |A ∪ B|` (the paper's `sim`).
+    ///
+    /// Two empty sets have similarity 1 (identical); an empty set against a
+    /// non-empty set has similarity 0.
+    pub fn jaccard(&self, other: &QGramSet) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 1.0;
+        }
+        let inter = self.intersection_size(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// The Jaccard similarity implied by an externally counted intersection
+    /// size — the formula the approximate join uses once its per-candidate
+    /// counters are known: `c / (|A| + |B| − c)`.
+    pub fn jaccard_from_overlap(len_a: usize, len_b: usize, overlap: usize) -> f64 {
+        if len_a == 0 && len_b == 0 {
+            return 1.0;
+        }
+        let overlap = overlap.min(len_a).min(len_b);
+        let union = len_a + len_b - overlap;
+        if union == 0 {
+            1.0
+        } else {
+            overlap as f64 / union as f64
+        }
+    }
+
+    /// Minimum number of common grams two sets must share for their Jaccard
+    /// similarity to possibly reach `threshold`, given that this set has
+    /// `self.len()` grams: `⌈θ · |A|⌉`.
+    ///
+    /// This is the bound the approximate join uses to drive the
+    /// reverse-frequency prefix optimisation (§2.2, point 4 and following
+    /// paragraph): if `J(A, B) ≥ θ` then `|A ∩ B| ≥ θ·|A ∪ B| ≥ θ·|A|`.
+    pub fn min_overlap_for(&self, threshold: f64) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let t = threshold.clamp(0.0, 1.0);
+        ((t * self.len() as f64).ceil() as usize).max(1)
+    }
+}
+
+impl fmt::Display for QGramSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.grams.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{g:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unpadded_ascii(q: usize) -> QGramConfig {
+        QGramConfig {
+            normalize: NormalizeConfig::none(),
+            ..QGramConfig::unpadded(q)
+        }
+    }
+
+    fn padded_ascii(q: usize) -> QGramConfig {
+        QGramConfig {
+            normalize: NormalizeConfig::none(),
+            pad_begin: '#',
+            pad_end: '$',
+            ..QGramConfig::with_q(q)
+        }
+    }
+
+    #[test]
+    fn unpadded_trigram_extraction() {
+        let set = QGramSet::extract("abcde", &unpadded_ascii(3));
+        let grams: Vec<&str> = set.iter().map(|g| g.as_ref()).collect();
+        assert_eq!(grams, vec!["abc", "bcd", "cde"]);
+        assert_eq!(set.window_count(), 3);
+    }
+
+    #[test]
+    fn padded_trigram_extraction_counts_paper_formula() {
+        let set = QGramSet::extract("abcde", &padded_ascii(3));
+        // |s| + q - 1 = 5 + 2 = 7 windows.
+        assert_eq!(set.window_count(), 7);
+        assert!(set.contains("##a"));
+        assert!(set.contains("#ab"));
+        assert!(set.contains("de$"));
+        assert!(set.contains("e$$"));
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn expected_window_count_matches_extraction() {
+        for len in 0usize..20 {
+            let s: String = std::iter::repeat('x')
+                .take(len)
+                .enumerate()
+                .map(|(i, _)| char::from(b'a' + (i % 26) as u8))
+                .collect();
+            for q in 1usize..5 {
+                let padded = QGramConfig {
+                    normalize: NormalizeConfig::none(),
+                    pad_begin: '#',
+                    pad_end: '$',
+                    ..QGramConfig::with_q(q)
+                };
+                let set = QGramSet::extract(&s, &padded);
+                assert_eq!(
+                    set.window_count(),
+                    padded.expected_window_count(s.chars().count()),
+                    "padded len={len} q={q}"
+                );
+                let unpadded = unpadded_ascii(q);
+                let set = QGramSet::extract(&s, &unpadded);
+                assert_eq!(
+                    set.window_count(),
+                    unpadded.expected_window_count(s.chars().count()),
+                    "unpadded len={len} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_windows_are_deduplicated_in_set() {
+        let set = QGramSet::extract("aaaa", &unpadded_ascii(2));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.window_count(), 3);
+        assert!(set.contains("aa"));
+    }
+
+    #[test]
+    fn empty_and_zero_q_inputs() {
+        assert!(QGramSet::extract("", &QGramConfig::default()).is_empty());
+        assert!(QGramSet::extract("abc", &QGramConfig::with_q(0)).is_empty());
+        let short = QGramSet::extract("ab", &unpadded_ascii(5));
+        assert_eq!(short.len(), 1);
+        assert!(short.contains("ab"));
+    }
+
+    #[test]
+    fn normalization_is_applied_before_tokenising() {
+        let set_a = QGramSet::extract("Santa  Cristina", &QGramConfig::default());
+        let set_b = QGramSet::extract("SANTA CRISTINA", &QGramConfig::default());
+        assert_eq!(set_a, set_b);
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        let cfg = unpadded_ascii(3);
+        let a = QGramSet::extract("abcdef", &cfg);
+        let b = QGramSet::extract("abcdef", &cfg);
+        let c = QGramSet::extract("uvwxyz", &cfg);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert_eq!(a.jaccard(&c), 0.0);
+        assert_eq!(a.intersection_size(&c), 0);
+        assert_eq!(a.union_size(&b), a.len());
+    }
+
+    #[test]
+    fn jaccard_of_single_edit_is_high_for_long_strings() {
+        let cfg = QGramConfig::default();
+        let a = QGramSet::extract("TAA BZ SANTA CRISTINA VALGARDENA", &cfg);
+        let b = QGramSet::extract("TAA BZ SANTA CRISTINx VALGARDENA", &cfg);
+        let sim = a.jaccard(&b);
+        assert!(sim > 0.8, "one-character variant should stay similar: {sim}");
+        assert!(sim < 1.0);
+    }
+
+    #[test]
+    fn jaccard_empty_set_conventions() {
+        let cfg = QGramConfig::default();
+        let empty = QGramSet::extract("", &cfg);
+        let non_empty = QGramSet::extract("abc", &cfg);
+        assert_eq!(empty.jaccard(&empty), 1.0);
+        assert_eq!(empty.jaccard(&non_empty), 0.0);
+        assert_eq!(non_empty.jaccard(&empty), 0.0);
+    }
+
+    #[test]
+    fn jaccard_from_overlap_matches_direct_computation() {
+        let cfg = QGramConfig::default();
+        let a = QGramSet::extract("GENOVA NERVI", &cfg);
+        let b = QGramSet::extract("GENOVA QUARTO", &cfg);
+        let overlap = a.intersection_size(&b);
+        let direct = a.jaccard(&b);
+        let derived = QGramSet::jaccard_from_overlap(a.len(), b.len(), overlap);
+        assert!((direct - derived).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_from_overlap_clamps_inconsistent_overlap() {
+        // Overlap larger than either set size cannot produce sim > 1.
+        assert_eq!(QGramSet::jaccard_from_overlap(3, 3, 10), 1.0);
+        assert_eq!(QGramSet::jaccard_from_overlap(0, 0, 0), 1.0);
+        assert_eq!(QGramSet::jaccard_from_overlap(5, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn min_overlap_bound_is_sound() {
+        let cfg = QGramConfig::default();
+        let a = QGramSet::extract("SANTA CRISTINA", &cfg);
+        let b = QGramSet::extract("SANTA CRISTINx", &cfg);
+        let theta = 0.85;
+        if a.jaccard(&b) >= theta {
+            assert!(a.intersection_size(&b) >= a.min_overlap_for(theta));
+        }
+        assert_eq!(QGramSet::default().min_overlap_for(0.9), 0);
+        assert!(a.min_overlap_for(0.0) >= 1);
+        assert!(a.min_overlap_for(1.0) <= a.len());
+    }
+
+    #[test]
+    fn display_lists_grams() {
+        let set = QGramSet::extract("ab", &unpadded_ascii(2));
+        assert_eq!(set.to_string(), "{\"ab\"}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_key() -> impl Strategy<Value = String> {
+        // Uppercase words similar to the generator's alphabet.
+        proptest::collection::vec("[A-Z]{1,8}", 1..5).prop_map(|words| words.join(" "))
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_is_symmetric(a in arb_key(), b in arb_key()) {
+            let cfg = QGramConfig::default();
+            let sa = QGramSet::extract(&a, &cfg);
+            let sb = QGramSet::extract(&b, &cfg);
+            prop_assert!((sa.jaccard(&sb) - sb.jaccard(&sa)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn jaccard_is_bounded_and_reflexive(a in arb_key(), b in arb_key()) {
+            let cfg = QGramConfig::default();
+            let sa = QGramSet::extract(&a, &cfg);
+            let sb = QGramSet::extract(&b, &cfg);
+            let sim = sa.jaccard(&sb);
+            prop_assert!((0.0..=1.0).contains(&sim));
+            prop_assert_eq!(sa.jaccard(&sa), 1.0);
+        }
+
+        #[test]
+        fn intersection_never_exceeds_either_set(a in arb_key(), b in arb_key()) {
+            let cfg = QGramConfig::default();
+            let sa = QGramSet::extract(&a, &cfg);
+            let sb = QGramSet::extract(&b, &cfg);
+            let inter = sa.intersection_size(&sb);
+            prop_assert!(inter <= sa.len());
+            prop_assert!(inter <= sb.len());
+            prop_assert_eq!(sa.union_size(&sb), sa.len() + sb.len() - inter);
+        }
+
+        #[test]
+        fn padded_window_count_follows_paper_formula(a in arb_key()) {
+            let cfg = QGramConfig::default();
+            let set = QGramSet::extract(&a, &cfg);
+            let normalized = crate::normalize::normalize(&a, &cfg.normalize);
+            let chars = normalized.chars().count();
+            if chars > 0 {
+                prop_assert_eq!(set.window_count(), chars + cfg.q - 1);
+            }
+        }
+
+        #[test]
+        fn distinct_grams_bounded_by_windows(a in arb_key(), q in 1usize..5) {
+            let cfg = QGramConfig::with_q(q);
+            let set = QGramSet::extract(&a, &cfg);
+            prop_assert!(set.len() <= set.window_count());
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The [`StringSimilarity`] trait and its q-gram based implementations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::qgram::{QGramConfig, QGramSet};
+
+/// A symmetric string similarity in `[0, 1]`.
+///
+/// The adaptive join is parameterised by a similarity function plus a match
+/// threshold `θ_sim`; the paper uses the q-gram Jaccard coefficient
+/// ([`QGramJaccard`]) with `θ_sim = 0.85`, the others support ablations.
+pub trait StringSimilarity {
+    /// The similarity of `a` and `b`, in `[0, 1]`, 1 meaning identical.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+
+    /// A short, stable name for reports and configuration.
+    fn name(&self) -> &'static str;
+
+    /// Whether the pair passes the given threshold.
+    fn matches(&self, a: &str, b: &str, threshold: f64) -> bool {
+        self.similarity(a, b) >= threshold
+    }
+}
+
+/// Object-safe, shareable handle to a similarity function.
+pub type SimilarityFn = Arc<dyn StringSimilarity + Send + Sync>;
+
+impl fmt::Debug for dyn StringSimilarity + Send + Sync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StringSimilarity({})", self.name())
+    }
+}
+
+/// How the multiset/set coefficient combines intersection and sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum SetCoefficient {
+    Jaccard,
+    Dice,
+    Cosine,
+    Overlap,
+}
+
+impl SetCoefficient {
+    fn combine(self, inter: usize, len_a: usize, len_b: usize) -> f64 {
+        if len_a == 0 && len_b == 0 {
+            return 1.0;
+        }
+        if len_a == 0 || len_b == 0 {
+            return 0.0;
+        }
+        let inter = inter as f64;
+        let (a, b) = (len_a as f64, len_b as f64);
+        match self {
+            SetCoefficient::Jaccard => inter / (a + b - inter),
+            SetCoefficient::Dice => 2.0 * inter / (a + b),
+            SetCoefficient::Cosine => inter / (a * b).sqrt(),
+            SetCoefficient::Overlap => inter / a.min(b),
+        }
+    }
+}
+
+macro_rules! qgram_similarity {
+    ($(#[$doc:meta])* $name:ident, $coef:expr, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+        pub struct $name {
+            /// Q-gram extraction configuration.
+            pub config: QGramConfig,
+        }
+
+        impl $name {
+            /// Build with an explicit q-gram configuration.
+            pub fn new(config: QGramConfig) -> Self {
+                Self { config }
+            }
+
+            /// Build with window width `q` and default padding/normalisation.
+            pub fn with_q(q: usize) -> Self {
+                Self { config: QGramConfig::with_q(q) }
+            }
+
+            /// Similarity of two pre-extracted q-gram sets.
+            pub fn of_sets(&self, a: &QGramSet, b: &QGramSet) -> f64 {
+                $coef.combine(a.intersection_size(b), a.len(), b.len())
+            }
+        }
+
+        impl StringSimilarity for $name {
+            fn similarity(&self, a: &str, b: &str) -> f64 {
+                let sa = QGramSet::extract(a, &self.config);
+                let sb = QGramSet::extract(b, &self.config);
+                self.of_sets(&sa, &sb)
+            }
+
+            fn name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+qgram_similarity!(
+    /// The paper's similarity: Jaccard coefficient over q-gram sets,
+    /// `|q(s1) ∩ q(s2)| / |q(s1) ∪ q(s2)|`.
+    QGramJaccard,
+    SetCoefficient::Jaccard,
+    "qgram-jaccard"
+);
+
+qgram_similarity!(
+    /// Dice coefficient over q-gram sets, `2·|A ∩ B| / (|A| + |B|)`.
+    QGramDice,
+    SetCoefficient::Dice,
+    "qgram-dice"
+);
+
+qgram_similarity!(
+    /// Cosine coefficient over q-gram sets, `|A ∩ B| / √(|A|·|B|)`.
+    QGramCosine,
+    SetCoefficient::Cosine,
+    "qgram-cosine"
+);
+
+qgram_similarity!(
+    /// Overlap coefficient over q-gram sets, `|A ∩ B| / min(|A|, |B|)`.
+    QGramOverlap,
+    SetCoefficient::Overlap,
+    "qgram-overlap"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VARIANT_A: &str = "TAA BZ SANTA CRISTINA VALGARDENA";
+    const VARIANT_B: &str = "TAA BZ SANTA CRISTINx VALGARDENA";
+
+    #[test]
+    fn jaccard_matches_set_computation() {
+        let sim = QGramJaccard::default();
+        let sa = QGramSet::extract(VARIANT_A, &sim.config);
+        let sb = QGramSet::extract(VARIANT_B, &sim.config);
+        assert!((sim.similarity(VARIANT_A, VARIANT_B) - sa.jaccard(&sb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_edit_variant_passes_calibrated_threshold() {
+        // The paper calibrates θ_sim so that edit-distance-1 variants of
+        // location strings are matched while unrelated locations are not
+        // (§4.2).  With padded 3-gram Jaccard a one-character substitution in
+        // a ~30-character key scores ≈ 0.84, so the calibrated threshold in
+        // this code base is 0.80 (see DESIGN.md §6).
+        let sim = QGramJaccard::default();
+        let s = sim.similarity(VARIANT_A, VARIANT_B);
+        assert!(s > 0.80 && s < 1.0, "variant similarity {s}");
+        assert!(sim.matches(VARIANT_A, VARIANT_B, 0.80));
+        // But an unrelated location must not match.
+        assert!(!sim.matches(VARIANT_A, "LIG GE GENOVA NERVI", 0.80));
+    }
+
+    #[test]
+    fn coefficient_ordering_on_same_pair() {
+        // For any pair: overlap ≥ dice ≥ jaccard and cosine ≥ jaccard.
+        let pairs = [
+            (VARIANT_A, VARIANT_B),
+            ("GENOVA", "GENOVA NERVI"),
+            ("ROMA", "MILANO"),
+        ];
+        for (a, b) in pairs {
+            let j = QGramJaccard::default().similarity(a, b);
+            let d = QGramDice::default().similarity(a, b);
+            let c = QGramCosine::default().similarity(a, b);
+            let o = QGramOverlap::default().similarity(a, b);
+            assert!(o + 1e-12 >= d, "overlap {o} < dice {d} for {a}/{b}");
+            assert!(d + 1e-12 >= j, "dice {d} < jaccard {j} for {a}/{b}");
+            assert!(c + 1e-12 >= j, "cosine {c} < jaccard {j} for {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn identical_strings_score_one_for_all_coefficients() {
+        for s in ["", "ROMA", "PIE TO TORINO"] {
+            assert_eq!(QGramJaccard::default().similarity(s, s), 1.0);
+            assert_eq!(QGramDice::default().similarity(s, s), 1.0);
+            assert_eq!(QGramCosine::default().similarity(s, s), 1.0);
+            assert_eq!(QGramOverlap::default().similarity(s, s), 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_vs_nonempty_scores_zero() {
+        assert_eq!(QGramJaccard::default().similarity("", "ROMA"), 0.0);
+        assert_eq!(QGramDice::default().similarity("ROMA", ""), 0.0);
+        assert_eq!(QGramOverlap::default().similarity("", "X"), 0.0);
+        assert_eq!(QGramCosine::default().similarity("X", ""), 0.0);
+    }
+
+    #[test]
+    fn with_q_builder_sets_window() {
+        let sim = QGramJaccard::with_q(2);
+        assert_eq!(sim.config.q, 2);
+        let sim = QGramDice::with_q(4);
+        assert_eq!(sim.config.q, 4);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(QGramJaccard::default().name(), "qgram-jaccard");
+        assert_eq!(QGramDice::default().name(), "qgram-dice");
+        assert_eq!(QGramCosine::default().name(), "qgram-cosine");
+        assert_eq!(QGramOverlap::default().name(), "qgram-overlap");
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let sims: Vec<SimilarityFn> = vec![
+            Arc::new(QGramJaccard::default()),
+            Arc::new(QGramDice::default()),
+            Arc::new(crate::edit::NormalizedLevenshtein),
+            Arc::new(crate::jaro::JaroWinkler::default()),
+        ];
+        for sim in &sims {
+            let s = sim.similarity("GENOVA", "GENOVA");
+            assert_eq!(s, 1.0, "{} should be reflexive", sim.name());
+        }
+        let dbg = format!("{:?}", sims[0]);
+        assert!(dbg.contains("qgram-jaccard"));
+    }
+
+    #[test]
+    fn normalisation_makes_case_insensitive_by_default() {
+        let sim = QGramJaccard::default();
+        assert_eq!(sim.similarity("Santa Cristina", "SANTA CRISTINA"), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_key() -> impl Strategy<Value = String> {
+        proptest::collection::vec("[A-Z]{1,6}", 1..4).prop_map(|w| w.join(" "))
+    }
+
+    proptest! {
+        #[test]
+        fn all_coefficients_symmetric_and_bounded(a in arb_key(), b in arb_key()) {
+            let sims: Vec<SimilarityFn> = vec![
+                Arc::new(QGramJaccard::default()),
+                Arc::new(QGramDice::default()),
+                Arc::new(QGramCosine::default()),
+                Arc::new(QGramOverlap::default()),
+            ];
+            for sim in sims {
+                let ab = sim.similarity(&a, &b);
+                let ba = sim.similarity(&b, &a);
+                prop_assert!((ab - ba).abs() < 1e-12, "{} not symmetric", sim.name());
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "{} out of range", sim.name());
+            }
+        }
+
+        #[test]
+        fn matches_is_monotone_in_threshold(a in arb_key(), b in arb_key()) {
+            let sim = QGramJaccard::default();
+            let s = sim.similarity(&a, &b);
+            prop_assert_eq!(sim.matches(&a, &b, 0.0), s >= 0.0);
+            if sim.matches(&a, &b, 0.9) {
+                prop_assert!(sim.matches(&a, &b, 0.5));
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias for results produced by linkage components.
+pub type Result<T> = std::result::Result<T, LinkageError>;
+
+/// Errors produced anywhere in the linkage pipeline.
+///
+/// The variants are deliberately coarse: each one captures the *phase* in
+/// which the problem occurred plus a human-readable message, which is enough
+/// for the experiment harness and the examples to report failures usefully
+/// without dragging a heavyweight error-handling dependency into every crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkageError {
+    /// A schema was malformed or a field lookup failed.
+    Schema(String),
+    /// A record did not conform to the schema it was paired with.
+    Record(String),
+    /// A value had the wrong type for the requested operation.
+    Type {
+        /// What the caller expected (e.g. `"string"`).
+        expected: &'static str,
+        /// What was actually found (e.g. `"integer"`).
+        found: &'static str,
+    },
+    /// An operator was driven through an illegal iterator transition
+    /// (e.g. `next()` before `open()`).
+    OperatorState(String),
+    /// The adaptive controller was asked to perform an illegal transition
+    /// (e.g. switching outside a quiescent state).
+    Adaptivity(String),
+    /// Configuration was internally inconsistent (e.g. a negative threshold).
+    Config(String),
+    /// Data generation failed (e.g. an empty reference table).
+    DataGen(String),
+    /// An experiment could not be executed or reported.
+    Experiment(String),
+    /// An I/O error, flattened to a string so the error stays `Clone + Eq`.
+    Io(String),
+}
+
+impl LinkageError {
+    /// Build a [`LinkageError::Schema`] from anything displayable.
+    pub fn schema(msg: impl fmt::Display) -> Self {
+        Self::Schema(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::Record`] from anything displayable.
+    pub fn record(msg: impl fmt::Display) -> Self {
+        Self::Record(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::OperatorState`] from anything displayable.
+    pub fn operator_state(msg: impl fmt::Display) -> Self {
+        Self::OperatorState(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::Adaptivity`] from anything displayable.
+    pub fn adaptivity(msg: impl fmt::Display) -> Self {
+        Self::Adaptivity(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::Config`] from anything displayable.
+    pub fn config(msg: impl fmt::Display) -> Self {
+        Self::Config(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::DataGen`] from anything displayable.
+    pub fn datagen(msg: impl fmt::Display) -> Self {
+        Self::DataGen(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::Experiment`] from anything displayable.
+    pub fn experiment(msg: impl fmt::Display) -> Self {
+        Self::Experiment(msg.to_string())
+    }
+}
+
+impl fmt::Display for LinkageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Schema(m) => write!(f, "schema error: {m}"),
+            Self::Record(m) => write!(f, "record error: {m}"),
+            Self::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            Self::OperatorState(m) => write!(f, "operator state error: {m}"),
+            Self::Adaptivity(m) => write!(f, "adaptivity error: {m}"),
+            Self::Config(m) => write!(f, "configuration error: {m}"),
+            Self::DataGen(m) => write!(f, "data generation error: {m}"),
+            Self::Experiment(m) => write!(f, "experiment error: {m}"),
+            Self::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkageError {}
+
+impl From<std::io::Error> for LinkageError {
+    fn from(value: std::io::Error) -> Self {
+        Self::Io(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_message() {
+        let err = LinkageError::schema("missing field `location`");
+        assert_eq!(err.to_string(), "schema error: missing field `location`");
+
+        let err = LinkageError::Type {
+            expected: "string",
+            found: "integer",
+        };
+        assert_eq!(err.to_string(), "type error: expected string, found integer");
+    }
+
+    #[test]
+    fn constructors_map_to_expected_variants() {
+        assert!(matches!(LinkageError::record("x"), LinkageError::Record(_)));
+        assert!(matches!(
+            LinkageError::operator_state("x"),
+            LinkageError::OperatorState(_)
+        ));
+        assert!(matches!(
+            LinkageError::adaptivity("x"),
+            LinkageError::Adaptivity(_)
+        ));
+        assert!(matches!(LinkageError::config("x"), LinkageError::Config(_)));
+        assert!(matches!(LinkageError::datagen("x"), LinkageError::DataGen(_)));
+        assert!(matches!(
+            LinkageError::experiment("x"),
+            LinkageError::Experiment(_)
+        ));
+    }
+
+    #[test]
+    fn io_errors_are_flattened() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: LinkageError = io.into();
+        assert!(matches!(err, LinkageError::Io(_)));
+        assert!(err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LinkageError::schema("a"), LinkageError::schema("a"));
+        assert_ne!(LinkageError::schema("a"), LinkageError::schema("b"));
+        assert_ne!(LinkageError::schema("a"), LinkageError::record("a"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Join results: match pairs and match sets.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Record, RecordId};
+
+/// How a pair of records was matched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// The join attribute values were identical (exact join).
+    Exact,
+    /// The join attribute values were similar above the configured threshold
+    /// (approximate join); carries the similarity score in `[0, 1]`.
+    Approximate {
+        /// Similarity of the two join attribute values.
+        similarity: f64,
+    },
+}
+
+impl MatchKind {
+    /// Whether this is an exact match.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, MatchKind::Exact)
+    }
+
+    /// Whether this is an approximate match.
+    pub fn is_approximate(&self) -> bool {
+        matches!(self, MatchKind::Approximate { .. })
+    }
+
+    /// The similarity score: 1.0 for exact matches.
+    pub fn similarity(&self) -> f64 {
+        match self {
+            MatchKind::Exact => 1.0,
+            MatchKind::Approximate { similarity } => *similarity,
+        }
+    }
+}
+
+impl fmt::Display for MatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchKind::Exact => write!(f, "exact"),
+            MatchKind::Approximate { similarity } => write!(f, "approx({similarity:.3})"),
+        }
+    }
+}
+
+/// One joined pair: a left record, a right record, and how they matched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchPair {
+    /// The record from the left input.
+    pub left: Record,
+    /// The record from the right input.
+    pub right: Record,
+    /// How the pair was matched.
+    pub kind: MatchKind,
+}
+
+impl MatchPair {
+    /// Build an exact match pair.
+    pub fn exact(left: Record, right: Record) -> Self {
+        Self {
+            left,
+            right,
+            kind: MatchKind::Exact,
+        }
+    }
+
+    /// Build an approximate match pair with the given similarity.
+    pub fn approximate(left: Record, right: Record, similarity: f64) -> Self {
+        Self {
+            left,
+            right,
+            kind: MatchKind::Approximate { similarity },
+        }
+    }
+
+    /// The `(left id, right id)` key identifying this pair.
+    pub fn id_pair(&self) -> (RecordId, RecordId) {
+        (self.left.id, self.right.id)
+    }
+}
+
+impl fmt::Display for MatchPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⋈ {} [{}]", self.left.id, self.right.id, self.kind)
+    }
+}
+
+/// A deduplicating accumulator of match pairs.
+///
+/// The adaptive join can, after an operator switch, legitimately rediscover a
+/// pair it has already emitted (e.g. the exact operator found `(l, r)` and a
+/// later approximate probe of a variant finds it again).  `MatchSet`
+/// deduplicates on `(left id, right id)` so result-size accounting — the
+/// monitor's `O_t` — never double counts.
+#[derive(Debug, Default, Clone)]
+pub struct MatchSet {
+    pairs: Vec<MatchPair>,
+    seen: HashSet<(RecordId, RecordId)>,
+    exact_count: usize,
+    approximate_count: usize,
+}
+
+impl MatchSet {
+    /// Create an empty match set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a pair; returns `true` if it was new.
+    ///
+    /// The *first* discovery of a pair determines its recorded [`MatchKind`].
+    pub fn insert(&mut self, pair: MatchPair) -> bool {
+        if self.seen.insert(pair.id_pair()) {
+            match pair.kind {
+                MatchKind::Exact => self.exact_count += 1,
+                MatchKind::Approximate { .. } => self.approximate_count += 1,
+            }
+            self.pairs.push(pair);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the pair `(left, right)` has already been recorded.
+    pub fn contains(&self, left: RecordId, right: RecordId) -> bool {
+        self.seen.contains(&(left, right))
+    }
+
+    /// Total number of distinct pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of pairs first discovered by an exact match.
+    pub fn exact_count(&self) -> usize {
+        self.exact_count
+    }
+
+    /// Number of pairs first discovered by an approximate match.
+    pub fn approximate_count(&self) -> usize {
+        self.approximate_count
+    }
+
+    /// The recorded pairs, in discovery order.
+    pub fn pairs(&self) -> &[MatchPair] {
+        &self.pairs
+    }
+
+    /// Consume the set, returning the pairs in discovery order.
+    pub fn into_pairs(self) -> Vec<MatchPair> {
+        self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn rec(id: u64, key: &str) -> Record {
+        Record::new(id, vec![Value::string(key)])
+    }
+
+    #[test]
+    fn match_kind_accessors() {
+        assert!(MatchKind::Exact.is_exact());
+        assert!(!MatchKind::Exact.is_approximate());
+        assert_eq!(MatchKind::Exact.similarity(), 1.0);
+        let approx = MatchKind::Approximate { similarity: 0.9 };
+        assert!(approx.is_approximate());
+        assert_eq!(approx.similarity(), 0.9);
+        assert_eq!(approx.to_string(), "approx(0.900)");
+        assert_eq!(MatchKind::Exact.to_string(), "exact");
+    }
+
+    #[test]
+    fn pair_constructors_and_display() {
+        let p = MatchPair::exact(rec(1, "a"), rec(2, "a"));
+        assert_eq!(p.id_pair(), (RecordId(1), RecordId(2)));
+        assert!(p.kind.is_exact());
+        let q = MatchPair::approximate(rec(1, "a"), rec(2, "ab"), 0.5);
+        assert!(q.kind.is_approximate());
+        assert!(q.to_string().contains("#1"));
+        assert!(q.to_string().contains("approx"));
+    }
+
+    #[test]
+    fn match_set_deduplicates_on_id_pair() {
+        let mut set = MatchSet::new();
+        assert!(set.insert(MatchPair::exact(rec(1, "a"), rec(2, "a"))));
+        assert!(!set.insert(MatchPair::approximate(rec(1, "a"), rec(2, "a"), 0.8)));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.exact_count(), 1);
+        assert_eq!(set.approximate_count(), 0);
+        assert!(set.contains(RecordId(1), RecordId(2)));
+        assert!(!set.contains(RecordId(2), RecordId(1)));
+    }
+
+    #[test]
+    fn match_set_counts_by_kind_of_first_discovery() {
+        let mut set = MatchSet::new();
+        set.insert(MatchPair::approximate(rec(1, "a"), rec(2, "ab"), 0.9));
+        set.insert(MatchPair::exact(rec(3, "c"), rec(4, "c")));
+        set.insert(MatchPair::exact(rec(3, "c"), rec(5, "c")));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.exact_count(), 2);
+        assert_eq!(set.approximate_count(), 1);
+    }
+
+    #[test]
+    fn match_set_preserves_discovery_order() {
+        let mut set = MatchSet::new();
+        set.insert(MatchPair::exact(rec(1, "a"), rec(10, "a")));
+        set.insert(MatchPair::exact(rec(2, "b"), rec(20, "b")));
+        let ids: Vec<_> = set.pairs().iter().map(MatchPair::id_pair).collect();
+        assert_eq!(ids, vec![(RecordId(1), RecordId(10)), (RecordId(2), RecordId(20))]);
+        let into = set.into_pairs();
+        assert_eq!(into.len(), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = MatchSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.exact_count(), 0);
+        assert_eq!(set.approximate_count(), 0);
+    }
+
+    #[test]
+    fn asymmetric_pairs_are_distinct() {
+        // (1, 2) and (2, 1) are different pairs: ids live in different inputs.
+        let mut set = MatchSet::new();
+        assert!(set.insert(MatchPair::exact(rec(1, "a"), rec(2, "a"))));
+        assert!(set.insert(MatchPair::exact(rec(2, "a"), rec(1, "a"))));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Records (tuples) and record identities.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::side::Side;
+use crate::value::Value;
+
+/// A stable identifier for a record.
+///
+/// Identifiers are assigned by the data source (generator, CSV loader, …) and
+/// are unique **within one input side**; the pair `(Side, RecordId)` is
+/// globally unique during a join.  The adaptive join uses record ids to track
+/// the *matched-exactly* flag of paper §3.3 and to avoid emitting duplicate
+/// match pairs after an operator switch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RecordId(pub u64);
+
+impl RecordId {
+    /// The numeric value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for RecordId {
+    fn from(value: u64) -> Self {
+        RecordId(value)
+    }
+}
+
+/// A single tuple.
+///
+/// The record owns its values (strings are shared via [`Value::Str`]'s `Arc`)
+/// and is cheap to clone.  It intentionally does *not* hold a reference to
+/// its [`Schema`]: operators validate records against the stream schema once
+/// at ingestion and thereafter index fields positionally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Source-assigned identifier.
+    pub id: RecordId,
+    /// Field values, positionally aligned with the source schema.
+    pub values: Arc<[Value]>,
+}
+
+impl Record {
+    /// Build a record from an id and values.
+    pub fn new(id: impl Into<RecordId>, values: Vec<Value>) -> Self {
+        Self {
+            id: id.into(),
+            values: values.into(),
+        }
+    }
+
+    /// Build and validate a record against `schema` in one go.
+    pub fn validated(
+        id: impl Into<RecordId>,
+        values: Vec<Value>,
+        schema: &Schema,
+    ) -> Result<Self> {
+        schema.validate(&values)?;
+        Ok(Self::new(id, values))
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at position `index`, or `Value::Null` when out of bounds.
+    ///
+    /// Out-of-bounds access returns NULL (rather than panicking) because the
+    /// join operators combine records from two schemas and padding with NULL
+    /// is the conventional relational behaviour.
+    pub fn value(&self, index: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.values.get(index).unwrap_or(&NULL)
+    }
+
+    /// The join key at column `key_index`, viewed as a string.
+    pub fn key_str(&self, key_index: usize) -> Result<&str> {
+        self.value(key_index).as_str()
+    }
+
+    /// A copy of this record with `value` replacing position `index`.
+    ///
+    /// Used by the variant injector in the data generator.
+    #[must_use]
+    pub fn with_value(&self, index: usize, value: Value) -> Record {
+        let mut values: Vec<Value> = self.values.to_vec();
+        if index < values.len() {
+            values[index] = value;
+        }
+        Record {
+            id: self.id,
+            values: values.into(),
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.id)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A record tagged with the input side it was scanned from.
+///
+/// This is the unit that flows through the symmetric join: the interleaved
+/// scan announces which input produced the tuple so the join knows which hash
+/// table to insert into and which to probe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SidedRecord {
+    /// Which input the record came from.
+    pub side: Side,
+    /// The record itself.
+    pub record: Record,
+}
+
+impl SidedRecord {
+    /// Build a sided record.
+    pub fn new(side: Side, record: Record) -> Self {
+        Self { side, record }
+    }
+
+    /// Globally unique key for this record during a join.
+    pub fn global_id(&self) -> (Side, RecordId) {
+        (self.side, self.record.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(vec![Field::integer("id"), Field::string("location")])
+    }
+
+    #[test]
+    fn record_ids_display_and_convert() {
+        let id: RecordId = 42u64.into();
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(id.to_string(), "#42");
+    }
+
+    #[test]
+    fn validated_rejects_bad_records() {
+        let schema = schema();
+        let ok = Record::validated(1u64, vec![Value::Int(1), Value::string("ROMA")], &schema);
+        assert!(ok.is_ok());
+        let bad = Record::validated(2u64, vec![Value::string("x"), Value::string("ROMA")], &schema);
+        assert!(bad.is_err());
+        let short = Record::validated(3u64, vec![Value::Int(1)], &schema);
+        assert!(short.is_err());
+    }
+
+    #[test]
+    fn value_access_pads_with_null() {
+        let r = Record::new(1u64, vec![Value::Int(1), Value::string("ROMA")]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.value(1), &Value::string("ROMA"));
+        assert_eq!(r.value(9), &Value::Null);
+        assert_eq!(r.key_str(1).unwrap(), "ROMA");
+        assert!(r.key_str(0).is_err());
+    }
+
+    #[test]
+    fn with_value_replaces_in_copy_only() {
+        let r = Record::new(1u64, vec![Value::Int(1), Value::string("ROMA")]);
+        let v = r.with_value(1, Value::string("ROMx"));
+        assert_eq!(r.key_str(1).unwrap(), "ROMA");
+        assert_eq!(v.key_str(1).unwrap(), "ROMx");
+        assert_eq!(v.id, r.id);
+        // Out-of-bounds replacement is a no-op.
+        let same = r.with_value(7, Value::Int(0));
+        assert_eq!(same, r);
+    }
+
+    #[test]
+    fn records_clone_cheaply_and_compare() {
+        let r = Record::new(5u64, vec![Value::string("A"), Value::string("B")]);
+        let s = r.clone();
+        assert_eq!(r, s);
+        assert!(Arc::ptr_eq(&r.values, &s.values));
+    }
+
+    #[test]
+    fn sided_record_global_id() {
+        let r = Record::new(7u64, vec![Value::string("A")]);
+        let sided = SidedRecord::new(Side::Right, r);
+        assert_eq!(sided.global_id(), (Side::Right, RecordId(7)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = Record::new(3u64, vec![Value::Int(9), Value::string("PIE TO TORINO")]);
+        assert_eq!(r.to_string(), "#3[9, PIE TO TORINO]");
+    }
+}

@@ -1,0 +1,235 @@
+//! In-memory relations (tables).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{LinkageError, Result};
+use crate::record::{Record, RecordId};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An in-memory table: a [`Schema`] plus an ordered collection of records.
+///
+/// Relations are the hand-off format between the data generator and the join
+/// pipeline; the pipeline itself never materialises intermediate relations —
+/// it streams records through [`crate::stream::RecordStream`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+        }
+    }
+
+    /// Create a relation from pre-built records, validating each one.
+    pub fn new(name: impl Into<String>, schema: Schema, records: Vec<Record>) -> Result<Self> {
+        let mut rel = Self::empty(name, schema);
+        for r in records {
+            rel.push_record(r)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The records in insertion order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the relation holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append a validated record.
+    pub fn push_record(&mut self, record: Record) -> Result<()> {
+        self.schema.validate(&record.values)?;
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Append a row of values, assigning the next sequential [`RecordId`].
+    pub fn push_values(&mut self, values: Vec<Value>) -> Result<RecordId> {
+        let id = RecordId(self.records.len() as u64);
+        self.push_record(Record::new(id, values))?;
+        Ok(id)
+    }
+
+    /// Look up a record by id (linear scan; relations are small and this is
+    /// only used in tests and reporting).
+    pub fn record_by_id(&self, id: RecordId) -> Option<&Record> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Index of the named column.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Iterator over the string values of one column.
+    ///
+    /// Errors if the column is not a string column; NULLs are skipped.
+    pub fn column_strings<'a>(&'a self, name: &str) -> Result<Vec<&'a str>> {
+        let idx = self.column_index(name)?;
+        match self.schema.field_at(idx)?.data_type {
+            crate::schema::DataType::String => {}
+            other => {
+                return Err(LinkageError::schema(format!(
+                    "column `{name}` is {other}, expected string"
+                )))
+            }
+        }
+        Ok(self
+            .records
+            .iter()
+            .filter_map(|r| r.value(idx).as_str().ok())
+            .collect())
+    }
+
+    /// A copy of this relation restricted to the first `n` records.
+    #[must_use]
+    pub fn head(&self, n: usize) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            records: self.records.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Consume the relation, returning its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{} [{} rows]",
+            self.name,
+            self.schema,
+            self.records.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::of(vec![Field::integer("id"), Field::string("location")])
+    }
+
+    fn sample() -> Relation {
+        let mut rel = Relation::empty("atlas", schema());
+        rel.push_values(vec![Value::Int(0), Value::string("LAZ RM ROMA")])
+            .unwrap();
+        rel.push_values(vec![Value::Int(1), Value::string("PIE TO TORINO")])
+            .unwrap();
+        rel.push_values(vec![Value::Int(2), Value::string("LIG GE GENOVA")])
+            .unwrap();
+        rel
+    }
+
+    #[test]
+    fn push_values_assigns_sequential_ids() {
+        let rel = sample();
+        assert_eq!(rel.len(), 3);
+        assert!(!rel.is_empty());
+        let ids: Vec<u64> = rel.records().iter().map(|r| r.id.as_u64()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn push_record_validates() {
+        let mut rel = Relation::empty("atlas", schema());
+        let bad = Record::new(0u64, vec![Value::string("x"), Value::string("y")]);
+        assert!(rel.push_record(bad).is_err());
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn new_validates_all_records() {
+        let good = vec![
+            Record::new(0u64, vec![Value::Int(0), Value::string("A")]),
+            Record::new(1u64, vec![Value::Int(1), Value::string("B")]),
+        ];
+        assert!(Relation::new("r", schema(), good).is_ok());
+
+        let bad = vec![Record::new(0u64, vec![Value::Int(0)])];
+        assert!(Relation::new("r", schema(), bad).is_err());
+    }
+
+    #[test]
+    fn record_by_id_finds_records() {
+        let rel = sample();
+        assert_eq!(
+            rel.record_by_id(RecordId(1)).unwrap().key_str(1).unwrap(),
+            "PIE TO TORINO"
+        );
+        assert!(rel.record_by_id(RecordId(99)).is_none());
+    }
+
+    #[test]
+    fn column_strings_returns_string_columns_only() {
+        let rel = sample();
+        let locs = rel.column_strings("location").unwrap();
+        assert_eq!(locs, vec!["LAZ RM ROMA", "PIE TO TORINO", "LIG GE GENOVA"]);
+        assert!(rel.column_strings("id").is_err());
+        assert!(rel.column_strings("nope").is_err());
+    }
+
+    #[test]
+    fn head_truncates_without_mutating() {
+        let rel = sample();
+        let h = rel.head(2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(h.name(), "atlas");
+        let all = rel.head(100);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn display_mentions_name_schema_and_size() {
+        let rel = sample();
+        let s = rel.to_string();
+        assert!(s.contains("atlas"));
+        assert!(s.contains("3 rows"));
+    }
+
+    #[test]
+    fn into_records_preserves_order() {
+        let rel = sample();
+        let records = rel.into_records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].key_str(1).unwrap(), "LIG GE GENOVA");
+    }
+}

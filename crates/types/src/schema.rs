@@ -1,0 +1,300 @@
+//! Relational schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{LinkageError, Result};
+use crate::value::Value;
+
+/// The declared type of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// UTF-8 string.
+    String,
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Boolean,
+}
+
+impl DataType {
+    /// Whether `value` conforms to this type. NULL conforms to every type.
+    pub fn accepts(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::String, Value::Str(_))
+                | (DataType::Integer, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Boolean, Value::Bool(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::String => "string",
+            DataType::Integer => "integer",
+            DataType::Float => "float",
+            DataType::Boolean => "boolean",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A named, typed column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within a [`Schema`].
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Build a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Shorthand for a string field.
+    pub fn string(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::String)
+    }
+
+    /// Shorthand for an integer field.
+    pub fn integer(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Integer)
+    }
+
+    /// Shorthand for a float field.
+    pub fn float(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Float)
+    }
+}
+
+/// An ordered collection of [`Field`]s describing a relation.
+///
+/// Schemas are cheap to clone (`Arc` internally) because every record stream,
+/// operator and relation holds one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Build a schema from fields, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(LinkageError::schema(format!(
+                    "duplicate field name `{}`",
+                    f.name
+                )));
+            }
+        }
+        Ok(Self {
+            fields: fields.into(),
+        })
+    }
+
+    /// Build a schema, panicking on duplicates. Intended for statically known
+    /// schemas in tests and examples.
+    pub fn of(fields: Vec<Field>) -> Self {
+        Self::new(fields).expect("static schema must be valid")
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column called `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| LinkageError::schema(format!("unknown field `{name}`")))
+    }
+
+    /// The field called `name`.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// The field at position `index`.
+    pub fn field_at(&self, index: usize) -> Result<&Field> {
+        self.fields.get(index).ok_or_else(|| {
+            LinkageError::schema(format!(
+                "field index {index} out of bounds for schema of {} fields",
+                self.fields.len()
+            ))
+        })
+    }
+
+    /// Validate that `values` conforms to this schema (arity + types).
+    pub fn validate(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.fields.len() {
+            return Err(LinkageError::record(format!(
+                "arity mismatch: schema has {} fields, record has {} values",
+                self.fields.len(),
+                values.len()
+            )));
+        }
+        for (field, value) in self.fields.iter().zip(values) {
+            if !field.data_type.accepts(value) {
+                return Err(LinkageError::record(format!(
+                    "field `{}` expects {}, found {}",
+                    field.name,
+                    field.data_type,
+                    value.type_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas, prefixing colliding names with `left_`/`right_`.
+    ///
+    /// Used to build the output schema of a join.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields: Vec<Field> = Vec::with_capacity(self.len() + other.len());
+        for f in self.fields() {
+            let name = if other.index_of(&f.name).is_ok() {
+                format!("left_{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        for f in other.fields() {
+            let name = if self.index_of(&f.name).is_ok() {
+                format!("right_{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        Schema {
+            fields: fields.into(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn location_schema() -> Schema {
+        Schema::of(vec![
+            Field::integer("id"),
+            Field::string("location"),
+            Field::float("severity"),
+        ])
+    }
+
+    #[test]
+    fn rejects_duplicate_field_names() {
+        let err = Schema::new(vec![Field::string("a"), Field::integer("a")]).unwrap_err();
+        assert!(err.to_string().contains("duplicate field name"));
+    }
+
+    #[test]
+    fn index_and_field_lookup() {
+        let schema = location_schema();
+        assert_eq!(schema.len(), 3);
+        assert!(!schema.is_empty());
+        assert_eq!(schema.index_of("location").unwrap(), 1);
+        assert_eq!(schema.field("severity").unwrap().data_type, DataType::Float);
+        assert!(schema.index_of("missing").is_err());
+        assert!(schema.field_at(5).is_err());
+        assert_eq!(schema.field_at(0).unwrap().name, "id");
+    }
+
+    #[test]
+    fn validate_checks_arity_and_types() {
+        let schema = location_schema();
+        schema
+            .validate(&[Value::Int(1), Value::string("ROMA"), Value::Float(0.3)])
+            .unwrap();
+        // NULL is accepted anywhere.
+        schema
+            .validate(&[Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        // Integers widen to float columns.
+        schema
+            .validate(&[Value::Int(1), Value::string("ROMA"), Value::Int(2)])
+            .unwrap();
+        assert!(schema.validate(&[Value::Int(1), Value::string("ROMA")]).is_err());
+        assert!(schema
+            .validate(&[Value::string("x"), Value::string("ROMA"), Value::Float(0.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn join_schema_renames_collisions() {
+        let left = Schema::of(vec![Field::integer("id"), Field::string("location")]);
+        let right = Schema::of(vec![Field::integer("id"), Field::string("name")]);
+        let joined = left.join(&right);
+        let names: Vec<&str> = joined.fields().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["left_id", "location", "right_id", "name"]);
+    }
+
+    #[test]
+    fn join_schema_without_collisions_keeps_names() {
+        let left = Schema::of(vec![Field::string("a")]);
+        let right = Schema::of(vec![Field::string("b")]);
+        let joined = left.join(&right);
+        let names: Vec<&str> = joined.fields().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn data_type_accepts() {
+        assert!(DataType::String.accepts(&Value::string("x")));
+        assert!(!DataType::String.accepts(&Value::Int(1)));
+        assert!(DataType::Float.accepts(&Value::Int(1)));
+        assert!(DataType::Integer.accepts(&Value::Null));
+        assert!(DataType::Boolean.accepts(&Value::Bool(true)));
+        assert!(!DataType::Boolean.accepts(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let schema = Schema::of(vec![Field::integer("id"), Field::string("loc")]);
+        assert_eq!(schema.to_string(), "(id: integer, loc: string)");
+        assert_eq!(DataType::Float.to_string(), "float");
+    }
+}

@@ -1,0 +1,180 @@
+//! Which input of a symmetric binary operator a tuple came from.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// The two inputs of a symmetric join.
+///
+/// The paper names them "left" and "right"; in the parent–child scenario the
+/// parent (reference) table is conventionally the **left** input and the
+/// child (fact) table the **right** input, but nothing in the operators
+/// depends on that convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Side {
+    /// The left input.
+    Left,
+    /// The right input.
+    Right,
+}
+
+impl Side {
+    /// Both sides, in `[Left, Right]` order.
+    pub const BOTH: [Side; 2] = [Side::Left, Side::Right];
+
+    /// The other side.
+    #[must_use]
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// Dense index (Left = 0, Right = 1), for use with [`PerSide`].
+    pub fn index(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "left"),
+            Side::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// A pair of values indexed by [`Side`].
+///
+/// Symmetric operators keep almost all of their state twice — one hash table
+/// per input, one sliding window per input, one perturbation history per
+/// input.  `PerSide` makes that duplication explicit and impossible to get
+/// out of sync.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerSide<T> {
+    /// Value associated with the left input.
+    pub left: T,
+    /// Value associated with the right input.
+    pub right: T,
+}
+
+impl<T> PerSide<T> {
+    /// Build from explicit left/right values.
+    pub fn new(left: T, right: T) -> Self {
+        Self { left, right }
+    }
+
+    /// Build both sides from a constructor function.
+    pub fn from_fn(mut f: impl FnMut(Side) -> T) -> Self {
+        Self {
+            left: f(Side::Left),
+            right: f(Side::Right),
+        }
+    }
+
+    /// Immutable access by side.
+    pub fn get(&self, side: Side) -> &T {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// Mutable access by side.
+    pub fn get_mut(&mut self, side: Side) -> &mut T {
+        match side {
+            Side::Left => &mut self.left,
+            Side::Right => &mut self.right,
+        }
+    }
+
+    /// Apply a function to both sides, producing a new `PerSide`.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> PerSide<U> {
+        PerSide {
+            left: f(&self.left),
+            right: f(&self.right),
+        }
+    }
+
+    /// Iterate `(side, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Side, &T)> {
+        [(Side::Left, &self.left), (Side::Right, &self.right)].into_iter()
+    }
+}
+
+impl<T> Index<Side> for PerSide<T> {
+    type Output = T;
+    fn index(&self, side: Side) -> &T {
+        self.get(side)
+    }
+}
+
+impl<T> IndexMut<Side> for PerSide<T> {
+    fn index_mut(&mut self, side: Side) -> &mut T {
+        self.get_mut(side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_an_involution() {
+        for side in Side::BOTH {
+            assert_eq!(side.opposite().opposite(), side);
+            assert_ne!(side.opposite(), side);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        assert_eq!(Side::Left.index(), 0);
+        assert_eq!(Side::Right.index(), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Side::Left.to_string(), "left");
+        assert_eq!(Side::Right.to_string(), "right");
+    }
+
+    #[test]
+    fn per_side_access_and_mutation() {
+        let mut counts = PerSide::new(0u32, 10u32);
+        counts[Side::Left] += 5;
+        *counts.get_mut(Side::Right) += 1;
+        assert_eq!(counts[Side::Left], 5);
+        assert_eq!(counts[Side::Right], 11);
+        assert_eq!(*counts.get(Side::Left), 5);
+    }
+
+    #[test]
+    fn per_side_from_fn_and_map() {
+        let sizes = PerSide::from_fn(|s| if s == Side::Left { 100 } else { 200 });
+        assert_eq!(sizes.left, 100);
+        assert_eq!(sizes.right, 200);
+        let doubled = sizes.map(|v| v * 2);
+        assert_eq!(doubled, PerSide::new(200, 400));
+    }
+
+    #[test]
+    fn per_side_iter_order() {
+        let p = PerSide::new('a', 'b');
+        let collected: Vec<_> = p.iter().collect();
+        assert_eq!(collected, vec![(Side::Left, &'a'), (Side::Right, &'b')]);
+    }
+
+    #[test]
+    fn per_side_default() {
+        let d: PerSide<u64> = PerSide::default();
+        assert_eq!(d.left, 0);
+        assert_eq!(d.right, 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Pull-based record streams.
+//!
+//! The operators in this workspace are *pipelined*: they consume tuples one
+//! at a time from their inputs and can emit results before either input is
+//! exhausted (paper §2.1).  [`RecordStream`] is the minimal pull interface
+//! those operators require; it deliberately mirrors an iterator rather than
+//! the full `OPEN/NEXT/CLOSE` protocol, which lives in
+//! `linkage-operators::iterator` where operator state matters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Record, SidedRecord};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::side::Side;
+
+/// A pull-based source of records with a known schema.
+pub trait RecordStream {
+    /// The schema every produced record conforms to.
+    fn schema(&self) -> &Schema;
+
+    /// Produce the next record, or `None` when exhausted.
+    fn next_record(&mut self) -> Option<Record>;
+
+    /// A hint of how many records remain, if known.
+    ///
+    /// The adaptive monitor uses the *declared* expected size of the inputs
+    /// (paper §3.2), not this hint, so returning `None` is always safe.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Reset the stream to its beginning, if the source supports it.
+    ///
+    /// Returns `false` when the source cannot be replayed (e.g. a network
+    /// stream).  In-memory sources return `true`.
+    fn rewind(&mut self) -> bool {
+        false
+    }
+}
+
+/// A batch of records handed around by the experiment harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordBatch {
+    /// Schema of every record in the batch.
+    pub schema: Schema,
+    /// The records.
+    pub records: Vec<Record>,
+}
+
+impl RecordBatch {
+    /// Build a batch from a relation.
+    pub fn from_relation(relation: &Relation) -> Self {
+        Self {
+            schema: relation.schema().clone(),
+            records: relation.records().to_vec(),
+        }
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// An in-memory [`RecordStream`] over a vector of records.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    schema: Schema,
+    records: Vec<Record>,
+    cursor: usize,
+}
+
+impl VecStream {
+    /// Build a stream over explicit records.
+    pub fn new(schema: Schema, records: Vec<Record>) -> Self {
+        Self {
+            schema,
+            records,
+            cursor: 0,
+        }
+    }
+
+    /// Build a stream over a relation's records.
+    pub fn from_relation(relation: &Relation) -> Self {
+        Self::new(relation.schema().clone(), relation.records().to_vec())
+    }
+
+    /// How many records have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+
+    /// Total number of records in the underlying vector.
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+}
+
+impl RecordStream for VecStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_record(&mut self) -> Option<Record> {
+        let rec = self.records.get(self.cursor).cloned();
+        if rec.is_some() {
+            self.cursor += 1;
+        }
+        rec
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.records.len() - self.cursor)
+    }
+
+    fn rewind(&mut self) -> bool {
+        self.cursor = 0;
+        true
+    }
+}
+
+/// The policy used to interleave the two inputs of a symmetric join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum InterleavePolicy {
+    /// Strict alternation left, right, left, right, … (the paper's
+    /// "scanning each of the tables in turn, one tuple at a time").
+    #[default]
+    Alternate,
+    /// Drain the left input completely, then the right.
+    LeftFirst,
+    /// Drain the right input completely, then the left.
+    RightFirst,
+    /// `k` tuples from the left, then `k` from the right, repeatedly.
+    Blocks(usize),
+}
+
+/// Interleaves two [`RecordStream`]s into a single stream of [`SidedRecord`]s.
+///
+/// When one input is exhausted the other continues to be drained, so the join
+/// always sees every tuple exactly once regardless of relative input sizes.
+pub struct InterleavedStream<L, R> {
+    left: L,
+    right: R,
+    policy: InterleavePolicy,
+    /// Which side to try next under the alternating policies.
+    next_side: Side,
+    /// Tuples emitted from the current block (for `Blocks`).
+    block_progress: usize,
+    emitted: usize,
+}
+
+impl<L: RecordStream, R: RecordStream> InterleavedStream<L, R> {
+    /// Build an interleaved stream with the given policy.
+    pub fn new(left: L, right: R, policy: InterleavePolicy) -> Self {
+        let next_side = match policy {
+            InterleavePolicy::RightFirst => Side::Right,
+            _ => Side::Left,
+        };
+        Self {
+            left,
+            right,
+            policy,
+            next_side,
+            block_progress: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Strictly alternating interleave (the default used by the paper).
+    pub fn alternating(left: L, right: R) -> Self {
+        Self::new(left, right, InterleavePolicy::Alternate)
+    }
+
+    /// Number of sided records emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    fn pull(&mut self, side: Side) -> Option<Record> {
+        match side {
+            Side::Left => self.left.next_record(),
+            Side::Right => self.right.next_record(),
+        }
+    }
+
+    /// Produce the next sided record according to the interleave policy.
+    pub fn next_sided(&mut self) -> Option<SidedRecord> {
+        let first_choice = match self.policy {
+            InterleavePolicy::Alternate => self.next_side,
+            InterleavePolicy::LeftFirst => Side::Left,
+            InterleavePolicy::RightFirst => Side::Right,
+            InterleavePolicy::Blocks(_) => self.next_side,
+        };
+
+        let result = match self.pull(first_choice) {
+            Some(record) => Some(SidedRecord::new(first_choice, record)),
+            None => self
+                .pull(first_choice.opposite())
+                .map(|record| SidedRecord::new(first_choice.opposite(), record)),
+        };
+
+        if let Some(sided) = &result {
+            self.emitted += 1;
+            match self.policy {
+                InterleavePolicy::Alternate => {
+                    self.next_side = sided.side.opposite();
+                }
+                InterleavePolicy::Blocks(k) => {
+                    let k = k.max(1);
+                    if sided.side == self.next_side {
+                        self.block_progress += 1;
+                        if self.block_progress >= k {
+                            self.block_progress = 0;
+                            self.next_side = self.next_side.opposite();
+                        }
+                    } else {
+                        // The preferred side is exhausted: stay on the other.
+                        self.next_side = sided.side;
+                        self.block_progress = 0;
+                    }
+                }
+                InterleavePolicy::LeftFirst | InterleavePolicy::RightFirst => {}
+            }
+        }
+        result
+    }
+
+    /// Schemas of the two inputs.
+    pub fn schemas(&self) -> (&Schema, &Schema) {
+        (self.left.schema(), self.right.schema())
+    }
+
+    /// Collect the entire stream into a vector (testing convenience).
+    pub fn collect_all(mut self) -> Vec<SidedRecord> {
+        let mut out = Vec::new();
+        while let Some(s) = self.next_sided() {
+            out.push(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::of(vec![Field::string("k")])
+    }
+
+    fn stream_of(keys: &[&str]) -> VecStream {
+        let records = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Record::new(i as u64, vec![Value::string(*k)]))
+            .collect();
+        VecStream::new(schema(), records)
+    }
+
+    fn sides(out: &[SidedRecord]) -> Vec<Side> {
+        out.iter().map(|s| s.side).collect()
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order_and_rewinds() {
+        let mut s = stream_of(&["a", "b", "c"]);
+        assert_eq!(s.size_hint(), Some(3));
+        assert_eq!(s.next_record().unwrap().key_str(0).unwrap(), "a");
+        assert_eq!(s.consumed(), 1);
+        assert_eq!(s.size_hint(), Some(2));
+        assert!(s.rewind());
+        assert_eq!(s.consumed(), 0);
+        assert_eq!(s.next_record().unwrap().key_str(0).unwrap(), "a");
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn vec_stream_exhausts() {
+        let mut s = stream_of(&["a"]);
+        assert!(s.next_record().is_some());
+        assert!(s.next_record().is_none());
+        assert!(s.next_record().is_none());
+        assert_eq!(s.size_hint(), Some(0));
+    }
+
+    #[test]
+    fn alternating_interleave_strictly_alternates() {
+        let inter = InterleavedStream::alternating(stream_of(&["l1", "l2"]), stream_of(&["r1", "r2"]));
+        let out = inter.collect_all();
+        assert_eq!(
+            sides(&out),
+            vec![Side::Left, Side::Right, Side::Left, Side::Right]
+        );
+        assert_eq!(out[1].record.key_str(0).unwrap(), "r1");
+    }
+
+    #[test]
+    fn alternating_interleave_drains_longer_side() {
+        let inter =
+            InterleavedStream::alternating(stream_of(&["l1"]), stream_of(&["r1", "r2", "r3"]));
+        let out = inter.collect_all();
+        assert_eq!(out.len(), 4);
+        assert_eq!(
+            sides(&out),
+            vec![Side::Left, Side::Right, Side::Right, Side::Right]
+        );
+    }
+
+    #[test]
+    fn left_first_policy_drains_left_then_right() {
+        let inter = InterleavedStream::new(
+            stream_of(&["l1", "l2"]),
+            stream_of(&["r1"]),
+            InterleavePolicy::LeftFirst,
+        );
+        let out = inter.collect_all();
+        assert_eq!(sides(&out), vec![Side::Left, Side::Left, Side::Right]);
+    }
+
+    #[test]
+    fn right_first_policy_drains_right_then_left() {
+        let inter = InterleavedStream::new(
+            stream_of(&["l1"]),
+            stream_of(&["r1", "r2"]),
+            InterleavePolicy::RightFirst,
+        );
+        let out = inter.collect_all();
+        assert_eq!(sides(&out), vec![Side::Right, Side::Right, Side::Left]);
+    }
+
+    #[test]
+    fn block_policy_emits_blocks() {
+        let inter = InterleavedStream::new(
+            stream_of(&["l1", "l2", "l3", "l4"]),
+            stream_of(&["r1", "r2", "r3", "r4"]),
+            InterleavePolicy::Blocks(2),
+        );
+        let out = inter.collect_all();
+        assert_eq!(
+            sides(&out),
+            vec![
+                Side::Left,
+                Side::Left,
+                Side::Right,
+                Side::Right,
+                Side::Left,
+                Side::Left,
+                Side::Right,
+                Side::Right
+            ]
+        );
+    }
+
+    #[test]
+    fn block_policy_handles_exhausted_preferred_side() {
+        let inter = InterleavedStream::new(
+            stream_of(&["l1"]),
+            stream_of(&["r1", "r2", "r3"]),
+            InterleavePolicy::Blocks(2),
+        );
+        let out = inter.collect_all();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].side, Side::Left);
+        assert!(out[1..].iter().all(|s| s.side == Side::Right));
+    }
+
+    #[test]
+    fn emitted_counts_records() {
+        let mut inter =
+            InterleavedStream::alternating(stream_of(&["l1"]), stream_of(&["r1"]));
+        assert_eq!(inter.emitted(), 0);
+        inter.next_sided();
+        inter.next_sided();
+        assert_eq!(inter.emitted(), 2);
+        assert!(inter.next_sided().is_none());
+        assert_eq!(inter.emitted(), 2);
+    }
+
+    #[test]
+    fn record_batch_from_relation() {
+        let mut rel = Relation::empty("r", schema());
+        rel.push_values(vec![Value::string("a")]).unwrap();
+        let batch = RecordBatch::from_relation(&rel);
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.schema, *rel.schema());
+    }
+}
