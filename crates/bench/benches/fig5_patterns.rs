@@ -1,1 +1,31 @@
-fn main() {}
+//! Fig. 5 timing analogue: adaptive-join runtime as the dirty region
+//! moves through the stream (earlier dirt → earlier switch → more time in
+//! the costlier approximate kernel).
+
+use linkage_bench::{bench, black_box};
+use linkage_core::{AdaptiveJoin, ControllerConfig};
+use linkage_datagen::{generate, DatagenConfig};
+use linkage_operators::{InterleavedScan, Operator, SwitchJoin, SwitchJoinConfig};
+use linkage_types::{PerSide, VecStream};
+
+fn main() {
+    for clean_prefix in [0.25, 0.5, 0.75] {
+        let mut cfg = DatagenConfig::mid_stream_dirty(400, 42);
+        cfg.clean_prefix = clean_prefix;
+        let data = generate(&cfg).expect("datagen failed");
+        bench(
+            &format!("adaptive-join/full run clean_prefix={clean_prefix}"),
+            5,
+            || {
+                let scan = InterleavedScan::alternating(
+                    VecStream::from_relation(&data.parents),
+                    VecStream::from_relation(&data.children),
+                );
+                let join = SwitchJoin::new(scan, SwitchJoinConfig::new(PerSide::new(1, 1)));
+                let mut adaptive =
+                    AdaptiveJoin::new(join, ControllerConfig::new(data.parents.len() as u64));
+                black_box(adaptive.run_to_end().unwrap().len());
+            },
+        );
+    }
+}

@@ -1,1 +1,32 @@
-fn main() {}
+//! Fig. 6 timing analogue: the runtime cost of adaptivity — exact-only vs
+//! adaptive on the same mid-stream-dirt workload.
+
+use linkage_bench::{bench, black_box, workload};
+use linkage_core::{AdaptiveJoin, ControllerConfig};
+use linkage_operators::{
+    InterleavedScan, Operator, SwitchJoin, SwitchJoinConfig, SymmetricHashJoin,
+};
+use linkage_types::{PerSide, VecStream};
+
+fn main() {
+    let data = workload(400);
+    let keys = PerSide::new(1, 1);
+    let scan = || {
+        InterleavedScan::alternating(
+            VecStream::from_relation(&data.parents),
+            VecStream::from_relation(&data.children),
+        )
+    };
+
+    bench("exact-only/full run (baseline)", 10, || {
+        let mut join = SymmetricHashJoin::new(scan(), keys);
+        black_box(join.run_to_end().unwrap().len());
+    });
+
+    bench("adaptive/full run (switches mid-stream)", 5, || {
+        let join = SwitchJoin::new(scan(), SwitchJoinConfig::new(keys));
+        let mut adaptive =
+            AdaptiveJoin::new(join, ControllerConfig::new(data.parents.len() as u64));
+        black_box(adaptive.run_to_end().unwrap().len());
+    });
+}

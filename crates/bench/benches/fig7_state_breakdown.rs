@@ -1,1 +1,38 @@
-fn main() {}
+//! Fig. 7 analogue: cost of carrying state — building the exact hash
+//! tables vs the inverted q-gram indexes for the same tuples.
+
+use std::collections::VecDeque;
+
+use linkage_bench::{bench, black_box, workload};
+use linkage_operators::{ExactJoinCore, SshJoinCore};
+use linkage_text::{NormalizeConfig, QGramConfig};
+use linkage_types::{PerSide, Side, SidedRecord};
+
+fn main() {
+    let data = workload(400);
+    let keys = PerSide::new(1, 1);
+    let tuples: Vec<SidedRecord> = data
+        .parents
+        .records()
+        .iter()
+        .map(|r| SidedRecord::new(Side::Left, r.clone()))
+        .collect();
+
+    bench("state/build exact hash table (400 tuples)", 20, || {
+        let mut core = ExactJoinCore::new(keys, NormalizeConfig::default());
+        let mut out = VecDeque::new();
+        for t in &tuples {
+            core.process(t.clone(), &mut out).unwrap();
+        }
+        black_box(core.stored().left);
+    });
+
+    bench("state/build inverted q-gram index (400 tuples)", 10, || {
+        let mut core = SshJoinCore::new(keys, QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        for t in &tuples {
+            core.process(t.clone(), &mut out).unwrap();
+        }
+        black_box(core.indexes()[Side::Left].posting_entries());
+    });
+}

@@ -1,1 +1,43 @@
-fn main() {}
+//! Fig. 8 analogue: the cost of the switch itself — state migration plus
+//! recovery probing — as resident state grows.
+
+use std::collections::VecDeque;
+
+use linkage_bench::{bench, black_box, workload};
+use linkage_operators::{ExactJoinCore, SshJoinCore};
+use linkage_text::{NormalizeConfig, QGramConfig};
+use linkage_types::{PerSide, Side, SidedRecord};
+
+fn main() {
+    for parents in [100usize, 200, 400] {
+        let data = workload(parents);
+        let keys = PerSide::new(1, 1);
+        // Fill an exact core with the full input.
+        let mut exact = ExactJoinCore::new(keys, NormalizeConfig::default());
+        let mut out = VecDeque::new();
+        for (side, relation) in [(Side::Left, &data.parents), (Side::Right, &data.children)] {
+            for r in relation.records() {
+                exact
+                    .process(SidedRecord::new(side, r.clone()), &mut out)
+                    .unwrap();
+            }
+        }
+        out.clear();
+
+        bench(
+            &format!("handover/migrate+recover ({} resident tuples)", 2 * parents),
+            5,
+            || {
+                let mut sink = VecDeque::new();
+                let (core, recovered) = SshJoinCore::from_exact(
+                    keys,
+                    QGramConfig::default(),
+                    0.8,
+                    exact.tables().clone(),
+                    &mut sink,
+                );
+                black_box((core.stored().left, recovered));
+            },
+        );
+    }
+}

@@ -1,1 +1,71 @@
-fn main() {}
+//! Per-operator micro-benchmarks: the probe+insert kernels and the full
+//! operator stacks over the shared workload.
+
+use std::collections::VecDeque;
+
+use linkage_bench::{bench, black_box, workload};
+use linkage_operators::{
+    ExactJoinCore, InterleavedScan, Operator, SshJoinCore, SwitchJoin, SwitchJoinConfig,
+    SymmetricHashJoin,
+};
+use linkage_text::{NormalizeConfig, QGramConfig};
+use linkage_types::{PerSide, Side, SidedRecord, VecStream};
+
+fn main() {
+    let data = workload(500);
+    let keys = PerSide::new(1, 1);
+    let tuples: Vec<SidedRecord> = data
+        .parents
+        .records()
+        .iter()
+        .map(|r| SidedRecord::new(Side::Left, r.clone()))
+        .chain(
+            data.children
+                .records()
+                .iter()
+                .map(|r| SidedRecord::new(Side::Right, r.clone())),
+        )
+        .collect();
+
+    bench("exact-core/probe+insert (1k tuples)", 20, || {
+        let mut core = ExactJoinCore::new(keys, NormalizeConfig::default());
+        let mut out = VecDeque::new();
+        for t in &tuples {
+            core.process(t.clone(), &mut out).unwrap();
+        }
+        black_box(out.len());
+    });
+
+    bench("ssh-core/probe+insert (1k tuples)", 5, || {
+        let mut core = SshJoinCore::new(keys, QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        for t in &tuples {
+            core.process(t.clone(), &mut out).unwrap();
+        }
+        black_box(out.len());
+    });
+
+    bench("symmetric-hash-join/full run", 10, || {
+        let scan = InterleavedScan::alternating(
+            VecStream::from_relation(&data.parents),
+            VecStream::from_relation(&data.children),
+        );
+        let mut join = SymmetricHashJoin::new(scan, keys);
+        black_box(join.run_to_end().unwrap().len());
+    });
+
+    bench("switch-join/full run with mid-stream switch", 5, || {
+        let scan = InterleavedScan::alternating(
+            VecStream::from_relation(&data.parents),
+            VecStream::from_relation(&data.children),
+        );
+        let mut join = SwitchJoin::new(scan, SwitchJoinConfig::new(keys));
+        join.open().unwrap();
+        for _ in 0..1000 {
+            join.advance().unwrap();
+        }
+        join.switch_to_approximate().unwrap();
+        while join.next().unwrap().is_some() {}
+        join.close().unwrap();
+    });
+}

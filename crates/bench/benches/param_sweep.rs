@@ -1,1 +1,22 @@
-fn main() {}
+//! Timing sweep over the similarity threshold: lower thresholds admit more
+//! candidates per probe and cost more per tuple.
+
+use linkage_bench::{bench, black_box, workload};
+use linkage_operators::{InterleavedScan, Operator, SshJoin};
+use linkage_text::QGramConfig;
+use linkage_types::{PerSide, VecStream};
+
+fn main() {
+    let data = workload(400);
+    let keys = PerSide::new(1, 1);
+    for theta in [0.9, 0.8, 0.7, 0.6] {
+        bench(&format!("ssh-join/full run θ_sim={theta}"), 5, || {
+            let scan = InterleavedScan::alternating(
+                VecStream::from_relation(&data.parents),
+                VecStream::from_relation(&data.children),
+            );
+            let mut join = SshJoin::new(scan, keys, QGramConfig::default(), theta);
+            black_box(join.run_to_end().unwrap().len());
+        });
+    }
+}

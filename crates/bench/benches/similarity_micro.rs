@@ -1,1 +1,35 @@
-fn main() {}
+//! Similarity-function micro-benchmarks over representative location keys.
+
+use linkage_bench::{bench, black_box};
+use linkage_text::{
+    jaro_winkler_similarity, levenshtein_distance, QGramConfig, QGramJaccard, QGramSet,
+    StringSimilarity,
+};
+
+const A: &str = "TAA BZ SANTA CRISTINA VALGARDENA";
+const B: &str = "TAA BZ SANTA CRISTINx VALGARDENA";
+
+fn main() {
+    let config = QGramConfig::default();
+    bench("qgram/extract (32 chars)", 10_000, || {
+        black_box(QGramSet::extract(black_box(A), &config).len());
+    });
+
+    let (sa, sb) = (QGramSet::extract(A, &config), QGramSet::extract(B, &config));
+    bench("qgram/jaccard of pre-extracted sets", 100_000, || {
+        black_box(sa.jaccard(black_box(&sb)));
+    });
+
+    let jaccard = QGramJaccard::default();
+    bench("qgram-jaccard/similarity end-to-end", 10_000, || {
+        black_box(jaccard.similarity(black_box(A), black_box(B)));
+    });
+
+    bench("levenshtein/distance", 10_000, || {
+        black_box(levenshtein_distance(black_box(A), black_box(B)));
+    });
+
+    bench("jaro-winkler/similarity", 10_000, || {
+        black_box(jaro_winkler_similarity(black_box(A), black_box(B), 0.1));
+    });
+}

@@ -1,1 +1,59 @@
-fn main() {}
+//! Table 1 analogue: the primitive operation costs of the two kernels.
+
+use std::sync::Arc;
+
+use linkage_bench::{bench, black_box, workload};
+use linkage_operators::KeyTable;
+use linkage_text::{QGramConfig, QGramSet};
+
+fn main() {
+    let data = workload(500);
+    let keys: Vec<&str> = data
+        .parents
+        .column_strings("location")
+        .expect("string column");
+    let config = QGramConfig::default();
+
+    bench("tokenise one key (|jA|+q-1 grams)", 10_000, || {
+        black_box(QGramSet::extract(black_box(keys[0]), &config).len());
+    });
+
+    let mut table = KeyTable::new();
+    for (i, key) in keys.iter().enumerate() {
+        table.insert(data.parents.records()[i].clone(), Arc::from(*key));
+    }
+    bench("hash-table probe (hit)", 100_000, || {
+        black_box(table.positions_of(black_box(keys[7])).len());
+    });
+    bench("hash-table probe (miss)", 100_000, || {
+        black_box(
+            table
+                .positions_of(black_box("LOC NO SUCH KEY ANYWHERE"))
+                .len(),
+        );
+    });
+
+    bench("hash-table insert", 10_000, || {
+        let mut t = KeyTable::new();
+        for (i, key) in keys.iter().take(16).enumerate() {
+            t.insert(data.parents.records()[i].clone(), Arc::from(*key));
+        }
+        black_box(t.len());
+    });
+
+    // The inverted-index probe is exercised through the SshJoinCore in
+    // `operators_micro`; here we only measure the pure set arithmetic.
+    let sets: Vec<QGramSet> = keys
+        .iter()
+        .take(64)
+        .map(|k| QGramSet::extract(k, &config))
+        .collect();
+    bench("jaccard over 64 candidate sets", 10_000, || {
+        let probe = &sets[0];
+        let mut best = 0.0f64;
+        for s in &sets {
+            best = best.max(probe.jaccard(s));
+        }
+        black_box(best);
+    });
+}

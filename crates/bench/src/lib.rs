@@ -1,1 +1,66 @@
-//! placeholder
+//! # linkage-bench
+//!
+//! Micro-benchmark support for the linkage workspace.
+//!
+//! The workspace builds offline, so there is no external bench framework;
+//! instead every file under `benches/` is a plain `fn main()` harness
+//! (`harness = false`) built from the helpers here:
+//!
+//! * [`bench`] — warm up, run a closure `iters` times, report ns/iter;
+//! * [`black_box`] — re-export of [`std::hint::black_box`] to keep the
+//!   optimiser from deleting measured work;
+//! * [`workload`] — the standard parent/child dataset the operator
+//!   benchmarks share.
+//!
+//! Run with `cargo bench`.  The benches are excluded from `cargo test`
+//! (`test = false`) so the tier-1 suite stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+
+use std::time::Instant;
+
+use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+
+/// Run `f` `iters` times (after `iters / 10 + 1` warm-up runs) and print
+/// one aligned report line.  Returns the measured ns/iter.
+pub fn bench(name: &str, iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..(iters / 10 + 1) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {nanos:>14.0} ns/iter   ({iters} iters)");
+    nanos
+}
+
+/// The shared benchmark workload: a mid-stream-dirt dataset of the given
+/// parent count, deterministic across runs.
+pub fn workload(parents: usize) -> GeneratedData {
+    generate(&DatagenConfig::mid_stream_dirty(parents, 42)).expect("benchmark datagen failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_timing() {
+        let mut acc = 0u64;
+        let ns = bench("noop-loop", 10, || {
+            acc = black_box(acc.wrapping_add(1));
+        });
+        assert!(ns >= 0.0);
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(workload(20).children, workload(20).children);
+    }
+}

@@ -1,0 +1,272 @@
+//! The adaptive join: monitor → assessor → actuator wired around a
+//! [`SwitchJoin`].
+//!
+//! [`AdaptiveJoin`] is itself a pipelined [`Operator`]: callers pull match
+//! pairs from it exactly as from any other join.  Internally, after every
+//! consumed input tuple the control loop runs:
+//!
+//! 1. **Monitor** — package the operator counters into a `(trials, p,
+//!    observed)` triple when an assessment is due (paper §3.2);
+//! 2. **Assessor** — apply the binomial outlier test with hysteresis;
+//! 3. **Actuator** — on a trigger, invoke
+//!    [`SwitchJoin::switch_to_approximate`], performing the §3.3 state
+//!    handover mid-stream; the recovered matches simply appear in the
+//!    output stream.
+//!
+//! The loop only runs while the join is in its exact phase — after the
+//! switch there is nothing left to decide.
+
+use linkage_operators::{JoinPhase, Operator, OperatorState, PerKind, SwitchJoin};
+use linkage_types::{MatchPair, PerSide, Result, SidedRecord};
+
+use crate::assessor::{Assessor, AssessorConfig};
+use crate::monitor::{Monitor, MonitorConfig};
+
+/// Everything the controller needs to know.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Monitor settings (declared reference size, cadence).
+    pub monitor: MonitorConfig,
+    /// Assessor settings (threshold, hysteresis).
+    pub assessor: AssessorConfig,
+}
+
+impl ControllerConfig {
+    /// Build with the given declared parent-relation size and default
+    /// assessor settings.
+    pub fn new(reference_size: u64) -> Self {
+        Self {
+            monitor: MonitorConfig::new(reference_size),
+            assessor: AssessorConfig::default(),
+        }
+    }
+}
+
+/// A record of the switch decision, for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchEvent {
+    /// Total input tuples consumed when the switch happened.
+    pub after_tuples: u64,
+    /// The σ value that completed the alarm streak.
+    pub sigma: f64,
+    /// Matches recovered from resident state during the handover.
+    pub recovered: u64,
+}
+
+/// Summary of an adaptive join run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveReport {
+    /// Phase the join ended in.
+    pub phase: JoinPhase,
+    /// Input tuples consumed per side.
+    pub consumed: PerSide<u64>,
+    /// Distinct pairs emitted, by kind.
+    pub emitted: PerKind,
+    /// The switch, if it happened.
+    pub switch: Option<SwitchEvent>,
+}
+
+/// The self-tuning join operator.
+pub struct AdaptiveJoin<I> {
+    inner: SwitchJoin<I>,
+    monitor: Monitor,
+    assessor: Assessor,
+    switch: Option<SwitchEvent>,
+}
+
+impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
+    /// Wrap a [`SwitchJoin`] with a controller.
+    pub fn new(inner: SwitchJoin<I>, config: ControllerConfig) -> Self {
+        Self {
+            inner,
+            monitor: Monitor::new(config.monitor),
+            assessor: Assessor::new(config.assessor),
+            switch: None,
+        }
+    }
+
+    /// The wrapped operator's current phase.
+    pub fn phase(&self) -> JoinPhase {
+        self.inner.phase()
+    }
+
+    /// The switch decision, if one was made.
+    pub fn switch_event(&self) -> Option<SwitchEvent> {
+        self.switch
+    }
+
+    /// Summarise the run so far.
+    pub fn report(&self) -> AdaptiveReport {
+        AdaptiveReport {
+            phase: self.inner.phase(),
+            consumed: self.inner.consumed(),
+            emitted: self.inner.emitted(),
+            switch: self.switch,
+        }
+    }
+
+    /// Run the control loop after one consumed tuple.
+    fn control_step(&mut self) -> Result<()> {
+        if self.inner.phase() != JoinPhase::Exact {
+            return Ok(());
+        }
+        let consumed = self.inner.consumed();
+        if !self.monitor.due(consumed.right) {
+            return Ok(());
+        }
+        let observation = self.monitor.observe(consumed, self.inner.emitted().total());
+        let assessment = self.assessor.assess(&observation);
+        if let crate::assessor::Assessment::Trigger { sigma } = assessment {
+            let recovered = self.inner.switch_to_approximate()?;
+            self.switch = Some(SwitchEvent {
+                after_tuples: self.inner.total_consumed(),
+                sigma,
+                recovered,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<I: Operator<Item = SidedRecord>> Operator for AdaptiveJoin<I> {
+    type Item = MatchPair;
+
+    fn name(&self) -> &'static str {
+        "adaptive-join"
+    }
+
+    fn state(&self) -> OperatorState {
+        self.inner.state()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.inner.open()
+    }
+
+    fn next(&mut self) -> Result<Option<MatchPair>> {
+        // Enforce the protocol here too: `pop` bypasses the inner
+        // operator's own state check, and buffered pairs must not leak
+        // out of a closed operator.
+        self.inner.state().check_next(self.name())?;
+        loop {
+            if let Some(pair) = self.inner.pop() {
+                return Ok(Some(pair));
+            }
+            if !self.inner.advance()? {
+                return Ok(None);
+            }
+            self.control_step()?;
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkage_operators::{InterleavedScan, SwitchJoinConfig};
+    use linkage_types::{Field, Record, Schema, Value, VecStream};
+
+    use linkage_datagen::SplitMix64;
+
+    /// Parent keys: distinct 31-character pseudo-random location strings
+    /// (hash-derived words so unrelated keys share essentially no q-grams).
+    /// The controlled substitution-only dirt below is why this test builds
+    /// its own index-paired dataset instead of using `linkage_datagen`'s
+    /// random-parent generator.
+    fn parent_key(i: usize) -> String {
+        let i = i as u64;
+        format!(
+            "LOC {} {}",
+            SplitMix64::word_of(i * 2 + 1, 12),
+            SplitMix64::word_of(i * 2 + 2, 14)
+        )
+    }
+
+    fn relation_stream(keys: Vec<String>) -> VecStream {
+        let records = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Record::new(i as u64, vec![Value::string(k)]))
+            .collect();
+        VecStream::new(Schema::of(vec![Field::string("k")]), records)
+    }
+
+    /// A parent/child pair where children past `dirty_from` have one key
+    /// character replaced, so the exact join stops finding matches there.
+    fn dataset(n: usize, dirty_from: usize) -> (VecStream, VecStream) {
+        let parents: Vec<String> = (0..n).map(parent_key).collect();
+        let children: Vec<String> = (0..n)
+            .map(|i| {
+                let mut key = parent_key(i);
+                if i >= dirty_from {
+                    // One substituted character inside the first word: the
+                    // pair stays well above θ_sim = 0.8 but exact equality
+                    // is destroyed.
+                    key.replace_range(8..9, "0");
+                }
+                key
+            })
+            .collect();
+        (relation_stream(parents), relation_stream(children))
+    }
+
+    fn adaptive(
+        n: usize,
+        dirty_from: usize,
+    ) -> AdaptiveJoin<InterleavedScan<VecStream, VecStream>> {
+        let (parents, children) = dataset(n, dirty_from);
+        let scan = InterleavedScan::alternating(parents, children);
+        let join = SwitchJoin::new(scan, SwitchJoinConfig::new(PerSide::new(0, 0)));
+        AdaptiveJoin::new(join, ControllerConfig::new(n as u64))
+    }
+
+    #[test]
+    fn clean_data_never_switches() {
+        let mut join = adaptive(200, 200);
+        let pairs = join.run_to_end().unwrap();
+        assert_eq!(pairs.len(), 200);
+        assert_eq!(join.phase(), JoinPhase::Exact);
+        assert!(join.switch_event().is_none());
+    }
+
+    #[test]
+    fn dirty_tail_triggers_a_switch_and_recovers_matches() {
+        let mut join = adaptive(300, 150);
+        let pairs = join.run_to_end().unwrap();
+
+        let event = join.switch_event().expect("the controller must switch");
+        assert!(event.after_tuples > 300, "switch happens after dirt starts");
+        assert!(event.sigma <= 0.01);
+
+        // Every parent-child pair is found: clean ones exactly, dirty ones
+        // approximately (recovered or post-switch).
+        assert_eq!(pairs.len(), 300);
+        let report = join.report();
+        assert_eq!(report.emitted.total(), 300);
+        assert!(
+            report.emitted.approximate >= 100,
+            "dirty pairs matched approximately"
+        );
+
+        // No duplicates in the combined stream.
+        let mut seen = std::collections::HashSet::new();
+        for p in &pairs {
+            assert!(seen.insert(p.id_pair()), "duplicate {:?}", p.id_pair());
+        }
+    }
+
+    #[test]
+    fn report_reflects_progress() {
+        let mut join = adaptive(64, 64);
+        join.open().unwrap();
+        let _ = join.next().unwrap();
+        let report = join.report();
+        assert!(report.consumed.left + report.consumed.right >= 2);
+        assert_eq!(report.phase, JoinPhase::Exact);
+        assert!(report.switch.is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! The assessor: deciding whether an observation signals dirty data.
+//!
+//! Wraps [`linkage_stats::BinomialOutlierDetector`] (the paper's
+//! `σ(n) ≤ θ_out` predicate, §3.2) with two practical guards:
+//!
+//! * a **minimum trial count**, so the test is not run on a handful of
+//!   tuples where the binomial tail is meaninglessly wide;
+//! * a **consecutive-alarm requirement** (hysteresis), so one unlucky
+//!   window does not trigger an irreversible operator switch.
+
+use linkage_stats::BinomialOutlierDetector;
+
+use crate::monitor::Observation;
+
+/// Assessor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssessorConfig {
+    /// Significance threshold `θ_out` of the outlier test.
+    pub theta_out: f64,
+    /// Observations with fewer trials than this are ignored.
+    pub min_trials: u64,
+    /// Number of consecutive outlier verdicts required to trigger.
+    pub consecutive_alarms: u32,
+}
+
+impl Default for AssessorConfig {
+    fn default() -> Self {
+        Self {
+            theta_out: 0.01,
+            min_trials: 16,
+            consecutive_alarms: 2,
+        }
+    }
+}
+
+/// Outcome of assessing one observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Assessment {
+    /// Too few trials to say anything.
+    Insufficient,
+    /// Compatible with the clean-data model; any alarm streak is reset.
+    Nominal {
+        /// The computed tail probability.
+        sigma: f64,
+    },
+    /// An outlier, but the required streak is not yet complete.
+    Alarm {
+        /// The computed tail probability.
+        sigma: f64,
+        /// Current consecutive-alarm count.
+        streak: u32,
+    },
+    /// The streak is complete: the actuator should switch operators now.
+    Trigger {
+        /// The computed tail probability at the triggering observation.
+        sigma: f64,
+    },
+}
+
+impl Assessment {
+    /// Whether this assessment completes the alarm streak.
+    pub fn is_trigger(&self) -> bool {
+        matches!(self, Assessment::Trigger { .. })
+    }
+}
+
+/// The assessor itself.
+#[derive(Debug, Clone, Copy)]
+pub struct Assessor {
+    config: AssessorConfig,
+    detector: BinomialOutlierDetector,
+    streak: u32,
+}
+
+impl Assessor {
+    /// Build from a configuration.
+    pub fn new(config: AssessorConfig) -> Self {
+        Self {
+            config,
+            detector: BinomialOutlierDetector::new(config.theta_out),
+            streak: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AssessorConfig {
+        &self.config
+    }
+
+    /// Current consecutive-alarm streak.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Assess one observation, updating the alarm streak.
+    pub fn assess(&mut self, obs: &Observation) -> Assessment {
+        if obs.trials < self.config.min_trials {
+            return Assessment::Insufficient;
+        }
+        let verdict = self.detector.assess(obs.trials, obs.p, obs.observed);
+        if verdict.is_outlier() {
+            self.streak += 1;
+            if self.streak >= self.config.consecutive_alarms {
+                Assessment::Trigger {
+                    sigma: verdict.sigma(),
+                }
+            } else {
+                Assessment::Alarm {
+                    sigma: verdict.sigma(),
+                    streak: self.streak,
+                }
+            }
+        } else {
+            self.streak = 0;
+            Assessment::Nominal {
+                sigma: verdict.sigma(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(trials: u64, p: f64, observed: u64) -> Observation {
+        Observation {
+            trials,
+            p,
+            observed,
+        }
+    }
+
+    #[test]
+    fn insufficient_below_min_trials() {
+        let mut a = Assessor::new(AssessorConfig::default());
+        assert_eq!(a.assess(&obs(5, 0.5, 0)), Assessment::Insufficient);
+        assert_eq!(a.streak(), 0);
+    }
+
+    #[test]
+    fn nominal_observation_resets_streak() {
+        let mut a = Assessor::new(AssessorConfig {
+            consecutive_alarms: 3,
+            ..AssessorConfig::default()
+        });
+        assert!(matches!(
+            a.assess(&obs(100, 0.5, 20)),
+            Assessment::Alarm { streak: 1, .. }
+        ));
+        assert!(matches!(
+            a.assess(&obs(100, 0.5, 50)),
+            Assessment::Nominal { .. }
+        ));
+        assert_eq!(a.streak(), 0);
+        assert!(matches!(
+            a.assess(&obs(100, 0.5, 20)),
+            Assessment::Alarm { streak: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn trigger_after_consecutive_alarms() {
+        let mut a = Assessor::new(AssessorConfig {
+            consecutive_alarms: 2,
+            ..AssessorConfig::default()
+        });
+        let first = a.assess(&obs(100, 0.5, 20));
+        assert!(matches!(first, Assessment::Alarm { streak: 1, .. }));
+        let second = a.assess(&obs(120, 0.5, 25));
+        assert!(second.is_trigger());
+    }
+
+    #[test]
+    fn single_alarm_config_triggers_immediately() {
+        let mut a = Assessor::new(AssessorConfig {
+            consecutive_alarms: 1,
+            ..AssessorConfig::default()
+        });
+        assert!(a.assess(&obs(100, 0.5, 10)).is_trigger());
+    }
+
+    #[test]
+    fn sigma_is_reported() {
+        let mut a = Assessor::new(AssessorConfig {
+            consecutive_alarms: 1,
+            ..AssessorConfig::default()
+        });
+        match a.assess(&obs(100, 0.5, 10)) {
+            Assessment::Trigger { sigma } => assert!(sigma < 1e-9),
+            other => panic!("expected trigger, got {other:?}"),
+        }
+    }
+}

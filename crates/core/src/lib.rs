@@ -1,1 +1,32 @@
-//! placeholder
+//! # linkage-core
+//!
+//! The adaptivity layer of the record-linkage pipeline: the
+//! monitor → assessor → actuator control loop of paper §3.2 wired around
+//! the switchable join operator of `linkage-operators`.
+//!
+//! * [`Monitor`] watches the running join and, on a fixed cadence,
+//!   packages its counters into a statistical [`Observation`] — result
+//!   size is modelled as `O ~ bin(trials, p)` under the clean-data
+//!   foreign-key scenario;
+//! * [`Assessor`] applies `linkage_stats`' binomial outlier test
+//!   (`σ ≤ θ_out`) with minimum-evidence and consecutive-alarm guards;
+//! * the actuator inside [`AdaptiveJoin`] reacts to a trigger by invoking
+//!   the exact → approximate state handover
+//!   ([`linkage_operators::SwitchJoin::switch_to_approximate`], §3.3)
+//!   mid-stream, after which recovered and newly found approximate
+//!   matches flow out of the same operator.
+//!
+//! [`AdaptiveJoin`] is itself a pipelined operator, so the whole adaptive
+//! pipeline composes like any other query plan.  See
+//! `examples/quickstart.rs` for an end-to-end run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod assessor;
+pub mod monitor;
+
+pub use adaptive::{AdaptiveJoin, AdaptiveReport, ControllerConfig, SwitchEvent};
+pub use assessor::{Assessment, Assessor, AssessorConfig};
+pub use monitor::{Monitor, MonitorConfig, Observation};

@@ -1,0 +1,168 @@
+//! The monitor: turning join progress into a statistical observation.
+//!
+//! The paper's scenario (§3.2) is a parent–child (foreign-key) linkage: in
+//! clean data every child tuple matches exactly one parent.  While the
+//! interleaved scan runs, a child tuple consumed at a point where a
+//! fraction `p` of the parent table has been scanned finds its parent with
+//! probability `p`, so the result size after consuming `c` child tuples is
+//! modelled as `O ~ bin(c, p)` with `p = parents_seen / |parents|`.
+//!
+//! The monitor packages the operator's counters into that
+//! `(trials, p, observed)` triple; the assessor applies the outlier test.
+
+use linkage_types::PerSide;
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Declared size of the parent (left/reference) relation — the paper's
+    /// `|R|`, known from catalog statistics rather than the stream itself.
+    pub reference_size: u64,
+    /// Assess once every this many consumed child tuples.
+    pub check_every: u64,
+}
+
+impl MonitorConfig {
+    /// Build with the given declared parent size and a check cadence of one
+    /// assessment per 16 child tuples.
+    pub fn new(reference_size: u64) -> Self {
+        assert!(
+            reference_size > 0,
+            "declared reference size must be positive"
+        );
+        Self {
+            reference_size,
+            check_every: 16,
+        }
+    }
+
+    /// Override the check cadence.
+    #[must_use]
+    pub fn with_check_every(mut self, check_every: u64) -> Self {
+        assert!(check_every > 0, "check cadence must be positive");
+        self.check_every = check_every;
+        self
+    }
+}
+
+/// One statistical observation of join progress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Number of Bernoulli trials: child tuples consumed.
+    pub trials: u64,
+    /// Per-trial success probability under the clean-data model.
+    pub p: f64,
+    /// Observed number of successes: distinct match pairs emitted.
+    pub observed: u64,
+}
+
+/// The monitor itself.
+///
+/// The model: the join is *symmetric*, so the pair `(parent, child)` is
+/// discovered as soon as **both** tuples have arrived.  With `c` children
+/// consumed and a fraction `l/N` of the parent table scanned, each
+/// consumed child's parent has been seen with probability `l/N`
+/// independently (children reference parents uniformly), giving
+/// `O ~ bin(c, l/N)` on clean data — the paper's `bin(n, p(n))`.
+///
+/// One checkpoint fires per distinct child count: the control loop runs
+/// after every consumed tuple (including parent tuples, which leave the
+/// child count unchanged), and re-assessing the same observation would
+/// let a single unlucky dip defeat the assessor's consecutive-alarm
+/// hysteresis.
+#[derive(Debug, Clone, Copy)]
+pub struct Monitor {
+    config: MonitorConfig,
+    assessments: u64,
+    last_checked: u64,
+}
+
+impl Monitor {
+    /// Build from a configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        Self {
+            config,
+            assessments: 0,
+            last_checked: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Whether an assessment is due after having consumed `consumed_right`
+    /// child tuples.  Each checkpoint fires at most once.
+    pub fn due(&self, consumed_right: u64) -> bool {
+        consumed_right > 0
+            && consumed_right.is_multiple_of(self.config.check_every)
+            && consumed_right != self.last_checked
+    }
+
+    /// Package the operator counters into an observation and consume the
+    /// checkpoint.
+    pub fn observe(&mut self, consumed: PerSide<u64>, matches: u64) -> Observation {
+        self.assessments += 1;
+        self.last_checked = consumed.right;
+        let p = (consumed.left as f64 / self.config.reference_size as f64).clamp(0.0, 1.0);
+        Observation {
+            trials: consumed.right,
+            p,
+            observed: matches,
+        }
+    }
+
+    /// How many observations have been taken.
+    pub fn assessments(&self) -> u64 {
+        self.assessments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_follows_cadence() {
+        let m = Monitor::new(MonitorConfig::new(100).with_check_every(8));
+        assert!(!m.due(0));
+        assert!(!m.due(7));
+        assert!(m.due(8));
+        assert!(!m.due(9));
+        assert!(m.due(16));
+    }
+
+    #[test]
+    fn observation_uses_declared_reference_size() {
+        let mut m = Monitor::new(MonitorConfig::new(200));
+        let obs = m.observe(PerSide::new(50, 40), 35);
+        assert_eq!(obs.trials, 40);
+        assert!((obs.p - 0.25).abs() < 1e-12);
+        assert_eq!(obs.observed, 35);
+        assert_eq!(m.assessments(), 1);
+    }
+
+    #[test]
+    fn each_checkpoint_fires_at_most_once() {
+        let mut m = Monitor::new(MonitorConfig::new(100).with_check_every(8));
+        assert!(m.due(8));
+        m.observe(PerSide::new(9, 8), 1);
+        // A parent tuple arrives: child count unchanged — no re-assessment.
+        assert!(!m.due(8));
+        assert!(m.due(16));
+    }
+
+    #[test]
+    fn probability_is_clamped_when_scan_exceeds_declaration() {
+        let mut m = Monitor::new(MonitorConfig::new(10));
+        let obs = m.observe(PerSide::new(25, 5), 5);
+        assert_eq!(obs.p, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference size")]
+    fn zero_reference_size_rejected() {
+        MonitorConfig::new(0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The parent/child dataset generator.
+
+use linkage_types::{Field, RecordId, Relation, Result, Schema, Value};
+
+use crate::rng::SplitMix64;
+
+/// How a dirty key was perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Edit {
+    Substitute,
+    Delete,
+    Insert,
+    Transpose,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatagenConfig {
+    /// Number of parent (reference) records.
+    pub parents: usize,
+    /// Child records per parent on average (children pick parents uniformly
+    /// at random, matching the monitor's binomial model).
+    pub children_per_parent: usize,
+    /// Fraction of the *dirty region* children whose keys are perturbed.
+    pub dirty_fraction: f64,
+    /// Fraction of the child stream (from the start) guaranteed clean; the
+    /// dirty region is everything after it.  `0.5` reproduces the paper's
+    /// "source turns dirty mid-stream" scenario.
+    pub clean_prefix: f64,
+    /// Number of character edits applied to each dirty key.
+    pub edits: usize,
+    /// Seed making the dataset reproducible.
+    pub seed: u64,
+}
+
+impl Default for DatagenConfig {
+    fn default() -> Self {
+        Self {
+            parents: 500,
+            children_per_parent: 1,
+            dirty_fraction: 1.0,
+            clean_prefix: 0.5,
+            edits: 1,
+            seed: 42,
+        }
+    }
+}
+
+impl DatagenConfig {
+    /// A small clean dataset (no dirty keys at all).
+    pub fn clean(parents: usize, seed: u64) -> Self {
+        Self {
+            parents,
+            clean_prefix: 1.0,
+            dirty_fraction: 0.0,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's mid-stream-dirt scenario: clean first half, all keys
+    /// dirty afterwards.
+    pub fn mid_stream_dirty(parents: usize, seed: u64) -> Self {
+        Self {
+            parents,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of child records this configuration produces.
+    pub fn children(&self) -> usize {
+        self.parents * self.children_per_parent
+    }
+}
+
+/// A generated dataset: two relations plus ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// The parent (left/reference) relation, schema `(id, location)`.
+    pub parents: Relation,
+    /// The child (right/fact) relation, schema `(id, location)`; records
+    /// appear in stream order, dirty keys only after the clean prefix.
+    pub children: Relation,
+    /// Ground truth: `(parent id, child id)` for every child.
+    pub truth: Vec<(RecordId, RecordId)>,
+    /// How many child keys were actually perturbed.
+    pub dirty_children: usize,
+}
+
+impl GeneratedData {
+    /// The column index of the join key in both relations.
+    pub const KEY_COLUMN: usize = 1;
+}
+
+/// Schema shared by both generated relations.
+fn schema() -> Schema {
+    Schema::of(vec![Field::integer("id"), Field::string("location")])
+}
+
+/// A distinct, pseudo-random location key for parent `i`.
+///
+/// Keys are two hash-derived words (31 characters total): unrelated keys
+/// share essentially no q-grams, while a single character edit keeps the
+/// Jaccard similarity of the pair above 0.8 — the separation the
+/// approximate join's default threshold relies on.
+fn parent_key(seed: u64, i: usize) -> String {
+    // `h ^ (2i+1)` and `h ^ (2i+2)` are distinct across all parents and
+    // fields (odd vs even low bits), so no two words share a seed.
+    let h = SplitMix64::new(seed).next_u64();
+    let k = (i as u64) * 2;
+    format!(
+        "LOC {} {}",
+        SplitMix64::word_of(h ^ (k + 1), 12),
+        SplitMix64::word_of(h ^ (k + 2), 14)
+    )
+}
+
+/// Apply one random character edit, never touching the `LOC ` prefix so
+/// the key stays recognisable.
+fn perturb(key: &str, rng: &mut SplitMix64) -> String {
+    let mut chars: Vec<char> = key.chars().collect();
+    let lo = 4; // skip the "LOC " prefix
+    if chars.len() <= lo + 1 {
+        return key.to_string();
+    }
+    let kind = match rng.below(4) {
+        0 => Edit::Substitute,
+        1 => Edit::Delete,
+        2 => Edit::Insert,
+        _ => Edit::Transpose,
+    };
+    let pos = lo + rng.below(chars.len() - lo);
+    match kind {
+        Edit::Substitute => {
+            let old = chars[pos];
+            let mut new = rng.letter();
+            while new == old {
+                new = rng.letter();
+            }
+            chars[pos] = new;
+        }
+        Edit::Delete => {
+            chars.remove(pos);
+        }
+        Edit::Insert => {
+            chars.insert(pos, rng.letter());
+        }
+        Edit::Transpose => {
+            let pos = pos.min(chars.len() - 2).max(lo);
+            if chars[pos] != chars[pos + 1] {
+                chars.swap(pos, pos + 1);
+            } else {
+                // Swapping equal characters would leave the key unchanged
+                // (and wrongly counted as dirty): substitute instead, with
+                // a letter guaranteed to differ.
+                let old = chars[pos];
+                let mut new = rng.letter();
+                while new == old {
+                    new = rng.letter();
+                }
+                chars[pos] = new;
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Generate a parent/child dataset according to `config`.
+pub fn generate(config: &DatagenConfig) -> Result<GeneratedData> {
+    assert!(config.parents > 0, "at least one parent required");
+    assert!(
+        (0.0..=1.0).contains(&config.dirty_fraction),
+        "dirty_fraction must be in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.clean_prefix),
+        "clean_prefix must be in [0, 1]"
+    );
+
+    let mut rng = SplitMix64::new(config.seed);
+
+    let mut parents = Relation::empty("parents", schema());
+    let keys: Vec<String> = (0..config.parents)
+        .map(|i| parent_key(config.seed, i))
+        .collect();
+    for key in &keys {
+        let id = parents.len() as i64;
+        parents.push_values(vec![Value::Int(id), Value::string(key)])?;
+    }
+
+    let total_children = config.children();
+    let dirty_from = (config.clean_prefix * total_children as f64).round() as usize;
+
+    let mut children = Relation::empty("children", schema());
+    let mut truth = Vec::with_capacity(total_children);
+    let mut dirty_children = 0usize;
+    for c in 0..total_children {
+        let parent = rng.below(config.parents);
+        let mut key = keys[parent].clone();
+        if c >= dirty_from && rng.next_f64() < config.dirty_fraction {
+            for _ in 0..config.edits.max(1) {
+                key = perturb(&key, &mut rng);
+            }
+            dirty_children += 1;
+        }
+        let child_id = children.push_values(vec![Value::Int(c as i64), Value::string(&key)])?;
+        truth.push((RecordId(parent as u64), child_id));
+    }
+
+    Ok(GeneratedData {
+        parents,
+        children,
+        truth,
+        dirty_children,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = DatagenConfig::mid_stream_dirty(50, 7);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.parents, b.parents);
+        assert_eq!(a.children, b.children);
+        assert_eq!(a.truth, b.truth);
+        let c = generate(&DatagenConfig::mid_stream_dirty(50, 8)).unwrap();
+        assert_ne!(a.parents, c.parents);
+    }
+
+    #[test]
+    fn parent_keys_are_distinct() {
+        let data = generate(&DatagenConfig::clean(300, 1)).unwrap();
+        let keys = data.parents.column_strings("location").unwrap();
+        let distinct: HashSet<&str> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), keys.len());
+    }
+
+    #[test]
+    fn clean_config_produces_no_dirty_children() {
+        let data = generate(&DatagenConfig::clean(100, 2)).unwrap();
+        assert_eq!(data.dirty_children, 0);
+        let parent_keys: HashSet<&str> = data
+            .parents
+            .column_strings("location")
+            .unwrap()
+            .into_iter()
+            .collect();
+        for key in data.children.column_strings("location").unwrap() {
+            assert!(parent_keys.contains(key));
+        }
+    }
+
+    #[test]
+    fn mid_stream_config_dirties_only_the_tail() {
+        let cfg = DatagenConfig::mid_stream_dirty(200, 3);
+        let data = generate(&cfg).unwrap();
+        assert!(data.dirty_children > 80, "got {}", data.dirty_children);
+        let parent_keys: HashSet<&str> = data
+            .parents
+            .column_strings("location")
+            .unwrap()
+            .into_iter()
+            .collect();
+        let child_keys = data.children.column_strings("location").unwrap();
+        let dirty_from = (cfg.clean_prefix * cfg.children() as f64).round() as usize;
+        for key in &child_keys[..dirty_from] {
+            assert!(parent_keys.contains(key), "clean prefix must stay clean");
+        }
+        let tail_dirty = child_keys[dirty_from..]
+            .iter()
+            .filter(|k| !parent_keys.contains(*k))
+            .count();
+        assert_eq!(tail_dirty, data.dirty_children);
+    }
+
+    #[test]
+    fn truth_covers_every_child_exactly_once() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(80, 4)).unwrap();
+        assert_eq!(data.truth.len(), data.children.len());
+        let child_ids: HashSet<u64> = data.truth.iter().map(|(_, c)| c.as_u64()).collect();
+        assert_eq!(child_ids.len(), data.children.len());
+        for (p, _) in &data.truth {
+            assert!(data.parents.record_by_id(*p).is_some());
+        }
+    }
+
+    #[test]
+    fn multiple_children_per_parent() {
+        let cfg = DatagenConfig {
+            parents: 20,
+            children_per_parent: 3,
+            ..DatagenConfig::clean(20, 5)
+        };
+        let data = generate(&cfg).unwrap();
+        assert_eq!(data.children.len(), 60);
+        assert_eq!(data.truth.len(), 60);
+    }
+
+    #[test]
+    fn perturbation_changes_the_key_but_not_the_prefix() {
+        let mut rng = SplitMix64::new(9);
+        let key = parent_key(1, 0);
+        for _ in 0..50 {
+            let dirty = perturb(&key, &mut rng);
+            assert_ne!(dirty, key);
+            assert!(dirty.starts_with("LOC "));
+        }
+    }
+}

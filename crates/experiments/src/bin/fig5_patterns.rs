@@ -1,1 +1,17 @@
-fn main() {}
+//! Fig. 5 analogue: how the position of the dirty region in the child
+//! stream affects the switch point and the recall of the adaptive join.
+
+use linkage_experiments::{header, run, ExperimentConfig, JoinMode};
+
+fn main() {
+    println!("dirt-position sweep (600 parents, dirty tail after the clean prefix)");
+    println!("{:>13} | {}", "clean prefix", header());
+    for clean_prefix in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        let mut cfg = ExperimentConfig::adaptive(600, 42);
+        cfg.data.clean_prefix = clean_prefix;
+        let adaptive = run(&cfg).expect("experiment failed");
+        let exact = run(&cfg.clone().with_mode(JoinMode::ExactOnly)).expect("experiment failed");
+        println!("{clean_prefix:>13.2} | {}", adaptive.row("adaptive"));
+        println!("{:>13} | {}", "", exact.row("exact-only"));
+    }
+}

@@ -1,1 +1,29 @@
-fn main() {}
+//! Sweep the controller parameters `θ_out` × check cadence and report the
+//! switch point and final recall of the adaptive join.
+
+use linkage_experiments::{run, ExperimentConfig};
+
+fn main() {
+    println!(
+        "{:>8} {:>12} {:>8} {:>7} {:>9}",
+        "θ_out", "check_every", "switch", "recall", "precision"
+    );
+    for theta_out in [0.05, 0.01, 0.001] {
+        for check_every in [8u64, 32, 128] {
+            let mut cfg = ExperimentConfig::adaptive(600, 42);
+            cfg.theta_out = theta_out;
+            cfg.check_every = check_every;
+            let r = run(&cfg).expect("experiment failed");
+            println!(
+                "{:>8} {:>12} {:>8} {:>7.3} {:>9.3}",
+                theta_out,
+                check_every,
+                r.switched_after
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                r.recall,
+                r.precision
+            );
+        }
+    }
+}

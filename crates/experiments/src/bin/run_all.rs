@@ -1,1 +1,21 @@
-fn main() {}
+//! Run the three join modes on the mid-stream-dirt workload and print a
+//! side-by-side comparison (the headline result of the paper).
+
+use linkage_experiments::{header, run, ExperimentConfig, JoinMode};
+
+fn main() {
+    let base = ExperimentConfig::adaptive(1000, 42);
+    println!(
+        "workload: {} parents, mid-stream dirt (clean prefix 50%)",
+        base.data.parents
+    );
+    println!("{}", header());
+    for mode in [
+        JoinMode::ExactOnly,
+        JoinMode::ApproxOnly,
+        JoinMode::Adaptive,
+    ] {
+        let result = run(&base.clone().with_mode(mode)).expect("experiment failed");
+        println!("{}", result.row(mode.label()));
+    }
+}

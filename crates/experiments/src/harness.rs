@@ -1,0 +1,252 @@
+//! The single-run experiment harness.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use linkage_core::{AdaptiveJoin, AssessorConfig, ControllerConfig, MonitorConfig};
+use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+use linkage_operators::{
+    InterleavedScan, Operator, SshJoin, SwitchJoin, SwitchJoinConfig, SymmetricHashJoin,
+};
+use linkage_text::QGramConfig;
+use linkage_types::{MatchPair, PerSide, RecordId, Result, VecStream};
+
+/// Which join to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMode {
+    /// Exact symmetric hash join only (the non-adaptive baseline).
+    ExactOnly,
+    /// Approximate SSH join from the first tuple.
+    ApproxOnly,
+    /// Exact join with the adaptive switch (the paper's system).
+    Adaptive,
+}
+
+impl JoinMode {
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinMode::ExactOnly => "exact-only",
+            JoinMode::ApproxOnly => "approx-only",
+            JoinMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// One experiment: a workload plus a join configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The generated workload.
+    pub data: DatagenConfig,
+    /// Which join to run.
+    pub mode: JoinMode,
+    /// Similarity threshold `θ_sim`.
+    pub theta_sim: f64,
+    /// Outlier threshold `θ_out` (adaptive mode).
+    pub theta_out: f64,
+    /// Monitor cadence in consumed child tuples (adaptive mode).
+    pub check_every: u64,
+    /// Q-gram configuration for the approximate phase.
+    pub qgram: QGramConfig,
+}
+
+impl ExperimentConfig {
+    /// The default adaptive experiment over a mid-stream-dirt workload.
+    pub fn adaptive(parents: usize, seed: u64) -> Self {
+        Self {
+            data: DatagenConfig::mid_stream_dirty(parents, seed),
+            mode: JoinMode::Adaptive,
+            theta_sim: 0.8,
+            theta_out: 0.01,
+            check_every: 16,
+            qgram: QGramConfig::default(),
+        }
+    }
+
+    /// Same workload, different mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: JoinMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// The measured outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Distinct pairs emitted.
+    pub pairs: usize,
+    /// Pairs emitted with identical keys.
+    pub exact_pairs: usize,
+    /// Pairs emitted by similarity.
+    pub approx_pairs: usize,
+    /// Pairs that are correct according to ground truth.
+    pub correct: usize,
+    /// Size of the ground truth.
+    pub true_matches: usize,
+    /// `correct / true_matches`.
+    pub recall: f64,
+    /// `correct / pairs` (1.0 when no pairs were emitted).
+    pub precision: f64,
+    /// Input tuples consumed when the switch fired, if it did.
+    pub switched_after: Option<u64>,
+    /// Matches recovered from resident state during the switch.
+    pub recovered: u64,
+    /// Wall-clock time of the join (excludes data generation).
+    pub elapsed: Duration,
+}
+
+impl ExperimentResult {
+    /// One aligned report row; pair with [`header`].
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<14} {pairs:>7} {exact:>7} {approx:>7} {recall:>7.3} {precision:>9.3} {switch:>8} {ms:>9.1}",
+            pairs = self.pairs,
+            exact = self.exact_pairs,
+            approx = self.approx_pairs,
+            recall = self.recall,
+            precision = self.precision,
+            switch = self
+                .switched_after
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+            ms = self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// The header matching [`ExperimentResult::row`].
+pub fn header() -> String {
+    format!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>9} {:>8} {:>9}",
+        "mode", "pairs", "exact", "approx", "recall", "precision", "switch", "ms"
+    )
+}
+
+fn score(
+    pairs: &[MatchPair],
+    data: &GeneratedData,
+    switched_after: Option<u64>,
+    recovered: u64,
+    elapsed: Duration,
+) -> ExperimentResult {
+    let truth: HashSet<(RecordId, RecordId)> = data.truth.iter().copied().collect();
+    let exact_pairs = pairs.iter().filter(|p| p.kind.is_exact()).count();
+    let correct = pairs
+        .iter()
+        .filter(|p| truth.contains(&p.id_pair()))
+        .count();
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        correct as f64 / truth.len() as f64
+    };
+    let precision = if pairs.is_empty() {
+        1.0
+    } else {
+        correct as f64 / pairs.len() as f64
+    };
+    ExperimentResult {
+        pairs: pairs.len(),
+        exact_pairs,
+        approx_pairs: pairs.len() - exact_pairs,
+        correct,
+        true_matches: truth.len(),
+        recall,
+        precision,
+        switched_after,
+        recovered,
+        elapsed,
+    }
+}
+
+/// Generate the workload and run the configured join over it.
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    let data = generate(&config.data)?;
+    let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
+    let scan = InterleavedScan::alternating(
+        VecStream::from_relation(&data.parents),
+        VecStream::from_relation(&data.children),
+    );
+    let join_cfg = SwitchJoinConfig::new(keys)
+        .with_theta(config.theta_sim)
+        .with_qgram(config.qgram.clone());
+
+    let start = Instant::now();
+    let (pairs, switched_after, recovered) = match config.mode {
+        JoinMode::ExactOnly => {
+            let mut join =
+                SymmetricHashJoin::with_normalization(scan, keys, config.qgram.normalize);
+            (join.run_to_end()?, None, 0)
+        }
+        JoinMode::ApproxOnly => {
+            let mut join = SshJoin::new(scan, keys, config.qgram.clone(), config.theta_sim);
+            (join.run_to_end()?, None, 0)
+        }
+        JoinMode::Adaptive => {
+            let controller = ControllerConfig {
+                monitor: MonitorConfig::new(data.parents.len() as u64)
+                    .with_check_every(config.check_every),
+                assessor: AssessorConfig {
+                    theta_out: config.theta_out,
+                    ..AssessorConfig::default()
+                },
+            };
+            let mut join = AdaptiveJoin::new(SwitchJoin::new(scan, join_cfg), controller);
+            let pairs = join.run_to_end()?;
+            let event = join.switch_event();
+            (
+                pairs,
+                event.map(|e| e.after_tuples),
+                event.map(|e| e.recovered).unwrap_or(0),
+            )
+        }
+    };
+    let elapsed = start.elapsed();
+    Ok(score(&pairs, &data, switched_after, recovered, elapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_beats_exact_only_on_dirty_data() {
+        let base = ExperimentConfig::adaptive(120, 11);
+        let exact = run(&base.clone().with_mode(JoinMode::ExactOnly)).unwrap();
+        let adaptive = run(&base).unwrap();
+        assert!(adaptive.recall > exact.recall);
+        assert!(adaptive.switched_after.is_some());
+        assert_eq!(exact.switched_after, None);
+        assert_eq!(exact.approx_pairs, 0);
+    }
+
+    #[test]
+    fn clean_data_gives_full_recall_to_every_mode() {
+        let mut cfg = ExperimentConfig::adaptive(80, 12);
+        cfg.data = DatagenConfig::clean(80, 12);
+        for mode in [
+            JoinMode::ExactOnly,
+            JoinMode::ApproxOnly,
+            JoinMode::Adaptive,
+        ] {
+            let r = run(&cfg.clone().with_mode(mode)).unwrap();
+            assert!(
+                (r.recall - 1.0).abs() < 1e-12,
+                "{}: recall {}",
+                mode.label(),
+                r.recall
+            );
+            assert!(r.precision >= 0.99, "{}", mode.label());
+        }
+    }
+
+    #[test]
+    fn report_rows_align_with_header() {
+        let r = run(&ExperimentConfig::adaptive(60, 13)).unwrap();
+        let header = header();
+        let row = r.row("adaptive");
+        assert_eq!(header.split_whitespace().count(), 8);
+        assert_eq!(row.split_whitespace().count(), 8);
+    }
+}

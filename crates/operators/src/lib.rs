@@ -1,1 +1,43 @@
-//! placeholder
+//! # linkage-operators
+//!
+//! The pipelined physical operators of the adaptive record-linkage
+//! pipeline (paper §2):
+//!
+//! * [`Operator`] / [`OperatorState`] — the `OPEN`/`NEXT`/`CLOSE` iterator
+//!   protocol every operator follows, with state-machine enforcement and
+//!   bounded batch pulls;
+//! * [`Scan`] and [`InterleavedScan`] — leaf operators turning
+//!   [`linkage_types::RecordStream`]s into validated tuple flows; the
+//!   interleaved variant merges both join inputs into one sided stream
+//!   under an [`linkage_types::InterleavePolicy`];
+//! * [`SymmetricHashJoin`] — the pipelined exact join (§2.1): probe the
+//!   opposite hash table, emit, insert;
+//! * [`SshJoin`] — the approximate similarity join (§2.2): an incremental
+//!   inverted q-gram index per side with Jaccard-threshold matching;
+//! * [`SwitchJoin`] — the adaptive operator (§3.3): starts exact, and on
+//!   demand hands its hash-table state over to the approximate kernel
+//!   mid-stream, recovering missed matches without emitting duplicates
+//!   (per-tuple matched-exactly flags);
+//! * [`oracle`] — quadratic nested-loop reference joins for tests and
+//!   benchmarks.
+//!
+//! The control loop that decides *when* to switch lives in `linkage-core`;
+//! this crate only provides the machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod iterator;
+pub mod oracle;
+pub mod scan;
+pub mod ssh;
+pub mod state;
+pub mod switch;
+
+pub use exact::{ExactJoinCore, SymmetricHashJoin};
+pub use iterator::{Operator, OperatorState};
+pub use scan::{InterleavedScan, Scan};
+pub use ssh::{GramIndex, SshJoin, SshJoinCore, SshStored};
+pub use state::{KeyTable, StoredTuple};
+pub use switch::{JoinPhase, PerKind, SwitchJoin, SwitchJoinConfig};

@@ -1,0 +1,116 @@
+//! Nested-loop reference joins.
+//!
+//! Quadratic, materialised, and obviously correct — the oracles the
+//! integration tests and benchmarks compare the pipelined operators
+//! against.  Not for production use.
+
+use linkage_text::{normalize, NormalizeConfig, StringSimilarity};
+use linkage_types::{MatchPair, PerSide, Relation, Result};
+
+/// Exact nested-loop join: emits one pair per `(l, r)` with equal
+/// normalised keys, in left-major order.
+pub fn nested_loop_exact(
+    left: &Relation,
+    right: &Relation,
+    keys: PerSide<usize>,
+    config: &NormalizeConfig,
+) -> Result<Vec<MatchPair>> {
+    let mut out = Vec::new();
+    for l in left.records() {
+        let lk = normalize(l.key_str(keys.left)?, config);
+        for r in right.records() {
+            let rk = normalize(r.key_str(keys.right)?, config);
+            if lk == rk {
+                out.push(MatchPair::exact(l.clone(), r.clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Similarity nested-loop join: emits one pair per `(l, r)` whose keys
+/// score at or above `theta` under `sim`; pairs with equal normalised keys
+/// are emitted with exact kind, mirroring the SSH join's classification.
+pub fn nested_loop_similarity(
+    left: &Relation,
+    right: &Relation,
+    keys: PerSide<usize>,
+    config: &NormalizeConfig,
+    sim: &dyn StringSimilarity,
+    theta: f64,
+) -> Result<Vec<MatchPair>> {
+    let mut out = Vec::new();
+    for l in left.records() {
+        let lraw = l.key_str(keys.left)?;
+        let lk = normalize(lraw, config);
+        for r in right.records() {
+            let rraw = r.key_str(keys.right)?;
+            let rk = normalize(rraw, config);
+            if lk == rk {
+                out.push(MatchPair::exact(l.clone(), r.clone()));
+            } else {
+                let s = sim.similarity(lraw, rraw);
+                if s >= theta {
+                    out.push(MatchPair::approximate(l.clone(), r.clone(), s));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkage_text::QGramJaccard;
+    use linkage_types::{Field, Schema, Value};
+
+    fn relation(name: &str, keys: &[&str]) -> Relation {
+        let mut rel = Relation::empty(name, Schema::of(vec![Field::string("k")]));
+        for k in keys {
+            rel.push_values(vec![Value::string(*k)]).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn exact_oracle_finds_all_equal_pairs() {
+        let left = relation("l", &["a", "b", "a"]);
+        let right = relation("r", &["a", "c"]);
+        let pairs = nested_loop_exact(
+            &left,
+            &right,
+            PerSide::new(0, 0),
+            &NormalizeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| p.kind.is_exact()));
+    }
+
+    #[test]
+    fn similarity_oracle_classifies_equal_vs_similar() {
+        let left = relation("l", &["LIG GE GENOVA NERVI CAPOLUNGO"]);
+        let right = relation(
+            "r",
+            &[
+                "LIG GE GENOVA NERVI CAPOLUNGO",
+                "LIG GE GENOVA NERVx CAPOLUNGO",
+                "ROMA",
+            ],
+        );
+        let sim = QGramJaccard::default();
+        let pairs = nested_loop_similarity(
+            &left,
+            &right,
+            PerSide::new(0, 0),
+            &NormalizeConfig::default(),
+            &sim,
+            0.8,
+        )
+        .unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].kind.is_exact());
+        assert!(pairs[1].kind.is_approximate());
+    }
+}

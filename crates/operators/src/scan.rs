@@ -1,0 +1,227 @@
+//! Leaf operators: scans over record streams.
+
+use linkage_types::{
+    InterleavePolicy, InterleavedStream, PerSide, Record, RecordStream, Result, Schema, Side,
+    SidedRecord,
+};
+
+use crate::iterator::{Operator, OperatorState};
+
+/// A scan over a single [`RecordStream`], validating every record against
+/// the stream schema at ingestion (operators downstream then index fields
+/// positionally without re-checking).
+pub struct Scan<S> {
+    stream: S,
+    state: OperatorState,
+    consumed: u64,
+}
+
+impl<S: RecordStream> Scan<S> {
+    /// Build a scan over `stream`.
+    pub fn new(stream: S) -> Self {
+        Self {
+            stream,
+            state: OperatorState::default(),
+            consumed: 0,
+        }
+    }
+
+    /// The schema of the scanned records.
+    pub fn schema(&self) -> &Schema {
+        self.stream.schema()
+    }
+
+    /// Number of records produced so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+impl<S: RecordStream> Operator for Scan<S> {
+    type Item = Record;
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn state(&self) -> OperatorState {
+        self.state
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.state.check_open(self.name())?;
+        self.stream.open();
+        self.state = OperatorState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Record>> {
+        self.state.check_next(self.name())?;
+        match self.stream.next_record() {
+            Some(record) => {
+                self.stream.schema().validate(&record.values)?;
+                self.consumed += 1;
+                Ok(Some(record))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.state != OperatorState::Closed {
+            self.stream.close();
+            self.state = OperatorState::Closed;
+        }
+        Ok(())
+    }
+}
+
+/// The symmetric joins' input: two scans merged into one stream of
+/// [`SidedRecord`]s under an [`InterleavePolicy`].
+///
+/// Validation happens here, per side, so the joins can trust field
+/// positions.
+pub struct InterleavedScan<L, R> {
+    inner: InterleavedStream<L, R>,
+    state: OperatorState,
+    consumed: PerSide<u64>,
+}
+
+impl<L: RecordStream, R: RecordStream> InterleavedScan<L, R> {
+    /// Build from two streams and a policy.
+    pub fn new(left: L, right: R, policy: InterleavePolicy) -> Self {
+        Self {
+            inner: InterleavedStream::new(left, right, policy),
+            state: OperatorState::default(),
+            consumed: PerSide::default(),
+        }
+    }
+
+    /// Build with the paper's default strictly alternating policy.
+    pub fn alternating(left: L, right: R) -> Self {
+        Self::new(left, right, InterleavePolicy::Alternate)
+    }
+
+    /// Schemas of the two inputs.
+    pub fn schemas(&self) -> (&Schema, &Schema) {
+        self.inner.schemas()
+    }
+
+    /// Number of records produced so far from each side.
+    pub fn consumed(&self) -> PerSide<u64> {
+        self.consumed
+    }
+}
+
+impl<L: RecordStream, R: RecordStream> Operator for InterleavedScan<L, R> {
+    type Item = SidedRecord;
+
+    fn name(&self) -> &'static str {
+        "interleaved-scan"
+    }
+
+    fn state(&self) -> OperatorState {
+        self.state
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.state.check_open(self.name())?;
+        self.inner.open();
+        self.state = OperatorState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<SidedRecord>> {
+        self.state.check_next(self.name())?;
+        match self.inner.next_sided() {
+            Some(sided) => {
+                let schema = match sided.side {
+                    Side::Left => self.inner.schemas().0,
+                    Side::Right => self.inner.schemas().1,
+                };
+                schema.validate(&sided.record.values)?;
+                self.consumed[sided.side] += 1;
+                Ok(Some(sided))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.state != OperatorState::Closed {
+            self.inner.close();
+            self.state = OperatorState::Closed;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkage_types::{Field, Value, VecStream};
+
+    fn stream_of(keys: &[&str]) -> VecStream {
+        let records = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Record::new(i as u64, vec![Value::string(*k)]))
+            .collect();
+        VecStream::new(Schema::of(vec![Field::string("k")]), records)
+    }
+
+    #[test]
+    fn scan_produces_all_records_and_counts() {
+        let mut scan = Scan::new(stream_of(&["a", "b", "c"]));
+        let out = scan.run_to_end().unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(scan.consumed(), 3);
+        assert_eq!(scan.schema().len(), 1);
+    }
+
+    #[test]
+    fn scan_validates_records_at_ingestion() {
+        // A record with the wrong arity sneaks into the stream.
+        let schema = Schema::of(vec![Field::string("k")]);
+        let records = vec![
+            Record::new(0u64, vec![Value::string("ok")]),
+            Record::new(1u64, vec![Value::string("bad"), Value::Int(1)]),
+        ];
+        let mut scan = Scan::new(VecStream::new(schema, records));
+        scan.open().unwrap();
+        assert!(scan.next().unwrap().is_some());
+        assert!(scan.next().is_err(), "invalid record must be rejected");
+    }
+
+    #[test]
+    fn scan_requires_open() {
+        let mut scan = Scan::new(stream_of(&["a"]));
+        assert!(scan.next().is_err());
+        scan.open().unwrap();
+        assert!(scan.next().unwrap().is_some());
+        scan.close().unwrap();
+        assert!(scan.next().is_err());
+    }
+
+    #[test]
+    fn interleaved_scan_alternates_and_counts_per_side() {
+        let mut scan = InterleavedScan::alternating(stream_of(&["l1", "l2"]), stream_of(&["r1"]));
+        let out = scan.run_to_end().unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].side, Side::Left);
+        assert_eq!(out[1].side, Side::Right);
+        assert_eq!(scan.consumed()[Side::Left], 2);
+        assert_eq!(scan.consumed()[Side::Right], 1);
+    }
+
+    #[test]
+    fn interleaved_scan_batch_pull() {
+        let mut scan =
+            InterleavedScan::alternating(stream_of(&["l1", "l2"]), stream_of(&["r1", "r2"]));
+        scan.open().unwrap();
+        let batch = scan.next_batch(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        let rest = scan.next_batch(10).unwrap();
+        assert_eq!(rest.len(), 1);
+    }
+}

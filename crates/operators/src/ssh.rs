@@ -1,0 +1,495 @@
+//! The approximate similarity join SSHJoin (paper §2.2).
+//!
+//! A symmetric *set* hash join: each side maintains an inverted index from
+//! q-grams to the tuples containing them.  An arriving tuple's key is
+//! tokenised into its q-gram set; probing the opposite index counts, per
+//! candidate, the number of shared grams, from which the Jaccard similarity
+//! is computed in O(1) (`c / (|A| + |B| − c)`).  Candidates that cannot
+//! reach the threshold are pruned early with the `|A ∩ B| ≥ θ·|A|` bound.
+//!
+//! The join kernel lives in [`SshJoinCore`]; [`SshJoinCore::from_exact`]
+//! implements the paper's §3.3 state handover: it rebuilds the inverted
+//! index from the exact join's hash tables and re-probes the accumulated
+//! tuples against each other to *recover* approximate matches the exact
+//! operator missed, using the per-tuple matched-exactly flags to skip pairs
+//! the exact operator already emitted.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use linkage_text::{normalize, QGramConfig, QGramSet};
+use linkage_types::{MatchPair, PerSide, Record, Result, Side, SidedRecord};
+
+use crate::exact::orient;
+use crate::iterator::{Operator, OperatorState};
+use crate::state::KeyTable;
+
+/// One tuple resident in the SSH join, with its pre-extracted q-gram set.
+#[derive(Debug, Clone)]
+pub struct SshStored {
+    /// The tuple itself.
+    pub record: Record,
+    /// The normalised join key.
+    pub key: Arc<str>,
+    /// The q-gram set of the key.
+    pub grams: QGramSet,
+    /// Carried-over matched-exactly flag (see [`crate::state::StoredTuple`]).
+    pub matched_exactly: bool,
+}
+
+/// One side's inverted q-gram index.
+#[derive(Debug, Clone, Default)]
+pub struct GramIndex {
+    tuples: Vec<SshStored>,
+    postings: HashMap<Arc<str>, Vec<usize>>,
+}
+
+impl GramIndex {
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the index holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of distinct grams with at least one posting.
+    pub fn distinct_grams(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total posting-list entries (the paper's §2.3 space metric).
+    pub fn posting_entries(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
+    }
+
+    /// The indexed tuples, in arrival order.
+    pub fn tuples(&self) -> &[SshStored] {
+        &self.tuples
+    }
+
+    fn insert(&mut self, stored: SshStored) -> usize {
+        let idx = self.tuples.len();
+        for gram in stored.grams.iter() {
+            self.postings.entry(Arc::clone(gram)).or_default().push(idx);
+        }
+        self.tuples.push(stored);
+        idx
+    }
+
+    /// Count, per candidate tuple, the grams shared with `probe`; sorted by
+    /// arrival position so downstream output order is deterministic.
+    fn overlap_counts(&self, probe: &QGramSet) -> Vec<(usize, usize)> {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for gram in probe.iter() {
+            if let Some(postings) = self.postings.get(gram.as_ref()) {
+                for &idx in postings {
+                    *counts.entry(idx).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ordered: Vec<(usize, usize)> = counts.into_iter().collect();
+        ordered.sort_unstable_by_key(|&(idx, _)| idx);
+        ordered
+    }
+}
+
+/// The probe-then-insert kernel of the approximate SSH join.
+#[derive(Debug, Clone)]
+pub struct SshJoinCore {
+    keys: PerSide<usize>,
+    config: QGramConfig,
+    theta: f64,
+    sides: PerSide<GramIndex>,
+    emitted_exact: u64,
+    emitted_approx: u64,
+}
+
+impl SshJoinCore {
+    /// Build a core joining on `keys` with similarity threshold `theta`
+    /// over q-gram sets extracted under `config`.
+    pub fn new(keys: PerSide<usize>, config: QGramConfig, theta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&theta),
+            "similarity threshold must be in [0, 1], got {theta}"
+        );
+        Self {
+            keys,
+            config,
+            theta,
+            sides: PerSide::default(),
+            emitted_exact: 0,
+            emitted_approx: 0,
+        }
+    }
+
+    /// The §3.3 state handover: rebuild the inverted index from the exact
+    /// join's tables and recover missed approximate matches among the
+    /// already-seen tuples, pushing them into `out`.
+    ///
+    /// Pairs whose keys are identical are skipped when both tuples carry the
+    /// matched-exactly flag — the exact operator already emitted them, and
+    /// re-emitting would duplicate output.  Returns the core and the number
+    /// of recovered pairs.
+    pub fn from_exact(
+        keys: PerSide<usize>,
+        config: QGramConfig,
+        theta: f64,
+        tables: PerSide<KeyTable>,
+        out: &mut VecDeque<MatchPair>,
+    ) -> (Self, u64) {
+        let mut core = Self::new(keys, config, theta);
+
+        // Migrate: tokenise every resident tuple and rebuild both indexes.
+        // Keys stored by the exact core are already normalised, and
+        // normalisation is idempotent, so extraction sees identical text.
+        for side in Side::BOTH {
+            for stored in tables[side].tuples() {
+                let grams = QGramSet::extract(&stored.key, &core.config);
+                core.sides[side].insert(SshStored {
+                    record: stored.record.clone(),
+                    key: Arc::clone(&stored.key),
+                    grams,
+                    matched_exactly: stored.matched_exactly,
+                });
+            }
+        }
+
+        // Recover: probe each pre-switch left tuple against the right index.
+        // Iterating one side only visits every cross pair exactly once.
+        let mut recovered_exact = 0u64;
+        let mut recovered_approx = 0u64;
+        let (left_index, right_index) = (&core.sides[Side::Left], &core.sides[Side::Right]);
+        for l in left_index.tuples() {
+            let bound = min_overlap(&l.grams, core.theta);
+            for (r_idx, shared) in right_index.overlap_counts(&l.grams) {
+                if shared < bound {
+                    continue;
+                }
+                let r = &right_index.tuples()[r_idx];
+                if l.key == r.key {
+                    if l.matched_exactly && r.matched_exactly {
+                        // The exact operator already emitted this pair (both
+                        // tuples were resident, so whichever arrived later
+                        // probed the other) — the flags record that.
+                        continue;
+                    }
+                    // Tables handed over without exact probing (possible when
+                    // built by hand): recover the equal-key pair too.
+                    out.push_back(MatchPair::exact(l.record.clone(), r.record.clone()));
+                    recovered_exact += 1;
+                    continue;
+                }
+                let sim = QGramSet::jaccard_from_overlap(l.grams.len(), r.grams.len(), shared);
+                if sim >= core.theta {
+                    out.push_back(MatchPair::approximate(
+                        l.record.clone(),
+                        r.record.clone(),
+                        sim,
+                    ));
+                    recovered_approx += 1;
+                }
+            }
+        }
+        core.emitted_exact += recovered_exact;
+        core.emitted_approx += recovered_approx;
+        (core, recovered_exact + recovered_approx)
+    }
+
+    /// Process one arriving tuple: probe the opposite index, emit pairs at
+    /// or above the threshold into `out`, insert into the own index.
+    /// Returns the number of pairs emitted.
+    pub fn process(&mut self, sided: SidedRecord, out: &mut VecDeque<MatchPair>) -> Result<usize> {
+        let raw = sided.record.key_str(self.keys[sided.side])?;
+        let key: Arc<str> = Arc::from(normalize(raw, &self.config.normalize).as_str());
+        let grams = QGramSet::extract(raw, &self.config);
+        let bound = min_overlap(&grams, self.theta);
+
+        let (own, opposite) = self.sides.own_and_opposite_mut(sided.side);
+        let mut emitted = 0usize;
+        let mut matched_exactly = false;
+        let mut exact_partners: Vec<usize> = Vec::new();
+        for (idx, shared) in opposite.overlap_counts(&grams) {
+            if shared < bound {
+                continue;
+            }
+            let partner = &opposite.tuples[idx];
+            let pair = if partner.key == key {
+                matched_exactly = true;
+                exact_partners.push(idx);
+                let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
+                MatchPair::exact(l, r)
+            } else {
+                let sim = QGramSet::jaccard_from_overlap(grams.len(), partner.grams.len(), shared);
+                if sim < self.theta {
+                    continue;
+                }
+                let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
+                MatchPair::approximate(l, r, sim)
+            };
+            if pair.kind.is_exact() {
+                self.emitted_exact += 1;
+            } else {
+                self.emitted_approx += 1;
+            }
+            out.push_back(pair);
+            emitted += 1;
+        }
+        for idx in exact_partners {
+            opposite.tuples[idx].matched_exactly = true;
+        }
+        own.insert(SshStored {
+            record: sided.record,
+            key,
+            grams,
+            matched_exactly,
+        });
+        Ok(emitted)
+    }
+
+    /// The similarity threshold.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Pairs emitted with identical keys.
+    pub fn emitted_exact(&self) -> u64 {
+        self.emitted_exact
+    }
+
+    /// Pairs emitted by similarity only.
+    pub fn emitted_approx(&self) -> u64 {
+        self.emitted_approx
+    }
+
+    /// Number of tuples indexed per side.
+    pub fn stored(&self) -> PerSide<usize> {
+        self.sides.map(GramIndex::len)
+    }
+
+    /// Read access to the per-side indexes (state-size reporting).
+    pub fn indexes(&self) -> &PerSide<GramIndex> {
+        &self.sides
+    }
+}
+
+/// The `|A ∩ B| ≥ θ·|A|` candidate-pruning bound; empty probe sets can
+/// never produce a candidate through the inverted index.
+fn min_overlap(probe: &QGramSet, theta: f64) -> usize {
+    probe.min_overlap_for(theta)
+}
+
+/// The approximate SSH join as a standalone pipelined [`Operator`].
+pub struct SshJoin<I> {
+    input: I,
+    core: SshJoinCore,
+    out: VecDeque<MatchPair>,
+    state: OperatorState,
+    consumed: PerSide<u64>,
+}
+
+impl<I: Operator<Item = SidedRecord>> SshJoin<I> {
+    /// Build over a sided input with the given key columns, q-gram
+    /// configuration and similarity threshold.
+    pub fn new(input: I, keys: PerSide<usize>, config: QGramConfig, theta: f64) -> Self {
+        Self {
+            input,
+            core: SshJoinCore::new(keys, config, theta),
+            out: VecDeque::new(),
+            state: OperatorState::default(),
+            consumed: PerSide::default(),
+        }
+    }
+
+    /// Number of input tuples consumed from each side.
+    pub fn consumed(&self) -> PerSide<u64> {
+        self.consumed
+    }
+
+    /// Pairs emitted, split `(exact-key, similarity-only)`.
+    pub fn emitted(&self) -> (u64, u64) {
+        (self.core.emitted_exact(), self.core.emitted_approx())
+    }
+
+    /// Number of tuples indexed per side.
+    pub fn stored(&self) -> PerSide<usize> {
+        self.core.stored()
+    }
+
+    /// Read access to the per-side inverted indexes (state-size reporting).
+    pub fn indexes(&self) -> &PerSide<GramIndex> {
+        self.core.indexes()
+    }
+}
+
+impl<I: Operator<Item = SidedRecord>> Operator for SshJoin<I> {
+    type Item = MatchPair;
+
+    fn name(&self) -> &'static str {
+        "ssh-join"
+    }
+
+    fn state(&self) -> OperatorState {
+        self.state
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.state.check_open(self.name())?;
+        self.input.open()?;
+        self.state = OperatorState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<MatchPair>> {
+        self.state.check_next(self.name())?;
+        loop {
+            if let Some(pair) = self.out.pop_front() {
+                return Ok(Some(pair));
+            }
+            match self.input.next()? {
+                Some(sided) => {
+                    self.consumed[sided.side] += 1;
+                    self.core.process(sided, &mut self.out)?;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.state != OperatorState::Closed {
+            self.input.close()?;
+            self.state = OperatorState::Closed;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::InterleavedScan;
+    use linkage_types::{Field, Schema, Value, VecStream};
+
+    fn stream_of(keys: &[&str]) -> VecStream {
+        let records = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Record::new(i as u64, vec![Value::string(*k)]))
+            .collect();
+        VecStream::new(Schema::of(vec![Field::string("k")]), records)
+    }
+
+    fn join_all(left: &[&str], right: &[&str], theta: f64) -> Vec<MatchPair> {
+        let scan = InterleavedScan::alternating(stream_of(left), stream_of(right));
+        let mut join = SshJoin::new(scan, PerSide::new(0, 0), QGramConfig::default(), theta);
+        join.run_to_end().unwrap()
+    }
+
+    const LONG_A: &str = "TAA BZ SANTA CRISTINA VALGARDENA";
+    const LONG_A_TYPO: &str = "TAA BZ SANTA CRISTINx VALGARDENA";
+    const UNRELATED: &str = "LIG GE GENOVA NERVI";
+
+    #[test]
+    fn near_duplicates_match_and_unrelated_do_not() {
+        let pairs = join_all(&[LONG_A], &[LONG_A_TYPO, UNRELATED], 0.8);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].id_pair().1.as_u64(), 0);
+        assert!(pairs[0].kind.is_approximate());
+        assert!(pairs[0].kind.similarity() > 0.8 && pairs[0].kind.similarity() < 1.0);
+    }
+
+    #[test]
+    fn identical_keys_emit_exact_kind() {
+        let pairs = join_all(&[LONG_A], &[LONG_A], 0.8);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs[0].kind.is_exact());
+    }
+
+    #[test]
+    fn symmetric_discovery_each_pair_once() {
+        // Both orders of arrival must find the pair, but only once.
+        let pairs = join_all(&[LONG_A, UNRELATED], &[UNRELATED, LONG_A_TYPO], 0.8);
+        let mut seen = std::collections::HashSet::new();
+        for p in &pairs {
+            assert!(seen.insert(p.id_pair()), "duplicate {:?}", p.id_pair());
+        }
+        assert_eq!(pairs.len(), 2, "typo pair and exact unrelated pair");
+    }
+
+    #[test]
+    fn threshold_one_only_accepts_identical_gram_sets() {
+        let pairs = join_all(&[LONG_A, LONG_A_TYPO], &[LONG_A], 1.0);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs[0].kind.is_exact());
+    }
+
+    #[test]
+    fn empty_keys_never_match_through_the_index() {
+        let pairs = join_all(&["", "x"], &["", "x"], 0.5);
+        // Only the "x"/"x" pair: empty keys produce no grams, hence no
+        // candidates in the inverted index.
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].left.key_str(0).unwrap(), "x");
+    }
+
+    #[test]
+    fn index_counters_grow_with_insertions() {
+        let scan = InterleavedScan::alternating(stream_of(&[LONG_A]), stream_of(&[UNRELATED]));
+        let mut join = SshJoin::new(scan, PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        join.run_to_end().unwrap();
+        assert_eq!(join.stored(), PerSide::new(1, 1));
+        let idx = &join.core.indexes()[Side::Left];
+        assert!(idx.distinct_grams() > 10);
+        assert_eq!(idx.posting_entries(), idx.tuples()[0].grams.len());
+        assert_eq!(join.emitted(), (0, 0));
+    }
+
+    #[test]
+    fn handover_recovers_missed_matches_and_skips_exact_duplicates() {
+        use crate::exact::ExactJoinCore;
+        use linkage_text::NormalizeConfig;
+        use linkage_types::SidedRecord;
+
+        // Feed an exact core: one clean pair and one typo pair.
+        let mut exact = ExactJoinCore::new(PerSide::new(0, 0), NormalizeConfig::default());
+        let mut sink = VecDeque::new();
+        let feed = [
+            (Side::Left, 0u64, LONG_A),
+            (Side::Right, 0u64, LONG_A), // exact match -> emitted now
+            (Side::Left, 1u64, "LIG GE GENOVA NERVI CAPOLUNGO"),
+            (Side::Right, 1u64, "LIG GE GENOVA NERVx CAPOLUNGO"), // typo -> missed
+        ];
+        for (side, id, key) in feed {
+            let rec = Record::new(id, vec![Value::string(key)]);
+            exact
+                .process(SidedRecord::new(side, rec), &mut sink)
+                .unwrap();
+        }
+        assert_eq!(sink.len(), 1, "exact phase emits only the clean pair");
+        sink.clear();
+
+        let (core, recovered) = SshJoinCore::from_exact(
+            PerSide::new(0, 0),
+            QGramConfig::default(),
+            0.8,
+            exact.into_tables(),
+            &mut sink,
+        );
+        assert_eq!(recovered, 1, "the typo pair is recovered");
+        assert_eq!(sink.len(), 1);
+        let pair = &sink[0];
+        assert_eq!(pair.left.id.as_u64(), 1);
+        assert_eq!(pair.right.id.as_u64(), 1);
+        assert!(pair.kind.is_approximate());
+        assert_eq!(core.stored(), PerSide::new(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_out_of_range_threshold() {
+        SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 1.5);
+    }
+}

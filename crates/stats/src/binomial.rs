@@ -1,0 +1,296 @@
+//! The binomial distribution `bin(n, p)`.
+//!
+//! The adaptive monitor models the observed join result size after `n` steps
+//! as `O_n ~ bin(n, p(n))` (paper §3.2); the assessor needs its CDF at the
+//! observed count.  Three evaluation strategies are provided and
+//! cross-checked against each other by the tests:
+//!
+//! * [`CdfMethod::DirectSum`] — exact summation of log-space pmf terms,
+//!   `O(k)` per call; the reference implementation;
+//! * [`CdfMethod::IncompleteBeta`] — the identity
+//!   `P(X ≤ k) = I_{1−p}(n − k, k + 1)`, `O(1)` per call and the default for
+//!   large `n`;
+//! * [`CdfMethod::NormalApprox`] — normal approximation with continuity
+//!   correction, for cheap monitoring at very large `n`.
+
+use crate::gamma::{ln_binomial_coefficient, regularized_incomplete_beta};
+
+/// Strategy used to evaluate the binomial CDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CdfMethod {
+    /// Exact log-space summation of pmf terms (reference, `O(k)`).
+    DirectSum,
+    /// Regularised incomplete beta identity (exact up to the beta-function
+    /// evaluation, `O(1)`).
+    #[default]
+    IncompleteBeta,
+    /// Normal approximation with continuity correction (fast, approximate).
+    NormalApprox,
+}
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Build `bin(n, p)`; `p` must lie in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "binomial success probability must be in [0, 1], got {p}"
+        );
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Expected value `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Natural log of the probability mass at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        // Degenerate edges avoid 0·ln 0.
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_binomial_coefficient(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass at `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `P(X ≤ k)` with the default method ([`CdfMethod::IncompleteBeta`]).
+    pub fn cdf(&self, k: u64) -> f64 {
+        self.cdf_with(k, CdfMethod::default())
+    }
+
+    /// `P(X ≤ k)` with an explicit evaluation method.
+    pub fn cdf_with(&self, k: u64, method: CdfMethod) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            // k < n here.
+            return 0.0;
+        }
+        match method {
+            CdfMethod::DirectSum => {
+                let mut acc = 0.0f64;
+                for i in 0..=k {
+                    acc += self.pmf(i);
+                }
+                acc.min(1.0)
+            }
+            CdfMethod::IncompleteBeta => {
+                // P(X ≤ k) = I_{1−p}(n − k, k + 1).
+                regularized_incomplete_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+            }
+            CdfMethod::NormalApprox => {
+                let sd = self.std_dev();
+                if sd == 0.0 {
+                    return if (k as f64) < self.mean() { 0.0 } else { 1.0 };
+                }
+                standard_normal_cdf((k as f64 + 0.5 - self.mean()) / sd)
+            }
+        }
+    }
+
+    /// `P(X ≥ k)` (survival at `k`, inclusive).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            (1.0 - self.cdf(k - 1)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// CDF of the standard normal distribution, via the Abramowitz–Stegun
+/// rational approximation of `erf` (7.1.26, absolute error < 1.5e−7).
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// The error function, Abramowitz–Stegun 7.1.26.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(100, 0.25);
+        assert_eq!(b.n(), 100);
+        assert_eq!(b.p(), 0.25);
+        assert!(close(b.mean(), 25.0, 1e-12));
+        assert!(close(b.variance(), 18.75, 1e-12));
+        assert!(close(b.std_dev(), 18.75f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn pmf_matches_hand_computed_values() {
+        // bin(4, 0.5): pmf = [1, 4, 6, 4, 1] / 16.
+        let b = Binomial::new(4, 0.5);
+        let expected = [1.0, 4.0, 6.0, 4.0, 1.0];
+        for (k, e) in expected.iter().enumerate() {
+            assert!(close(b.pmf(k as u64), e / 16.0, 1e-12), "k={k}");
+        }
+        assert_eq!(b.pmf(5), 0.0);
+        let total: f64 = (0..=4).map(|k| b.pmf(k)).sum();
+        assert!(close(total, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0);
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(1), 0.0);
+        assert_eq!(zero.cdf(0), 1.0);
+        let one = Binomial::new(10, 1.0);
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.pmf(9), 0.0);
+        assert_eq!(one.cdf(9), 0.0);
+        assert_eq!(one.cdf(10), 1.0);
+    }
+
+    #[test]
+    fn cdf_methods_agree_on_small_n() {
+        for n in [1u64, 5, 20, 80] {
+            for p in [0.05, 0.3, 0.5, 0.9] {
+                let b = Binomial::new(n, p);
+                for k in 0..=n {
+                    let direct = b.cdf_with(k, CdfMethod::DirectSum);
+                    let beta = b.cdf_with(k, CdfMethod::IncompleteBeta);
+                    assert!(
+                        close(direct, beta, 1e-10),
+                        "n={n} p={p} k={k}: {direct} vs {beta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normal_approximation_is_close_for_large_n() {
+        let b = Binomial::new(2000, 0.4);
+        for k in [700u64, 780, 800, 820, 900] {
+            let exact = b.cdf_with(k, CdfMethod::IncompleteBeta);
+            let approx = b.cdf_with(k, CdfMethod::NormalApprox);
+            assert!(
+                close(exact, approx, 5e-3),
+                "k={k}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let b = Binomial::new(30, 0.35);
+        assert_eq!(b.sf(0), 1.0);
+        for k in 1..=30 {
+            assert!(close(b.sf(k), 1.0 - b.cdf(k - 1), 1e-12));
+        }
+    }
+
+    #[test]
+    fn standard_normal_cdf_known_values() {
+        assert!(close(standard_normal_cdf(0.0), 0.5, 1e-7));
+        assert!(close(standard_normal_cdf(1.96), 0.975, 1e-3));
+        assert!(close(standard_normal_cdf(-1.96), 0.025, 1e-3));
+        assert!(standard_normal_cdf(-8.0) < 1e-10);
+        assert!(standard_normal_cdf(8.0) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn rejects_bad_probability() {
+        Binomial::new(10, 1.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone_and_bounded(n in 1u64..200, p in 0.0f64..1.0) {
+            let b = Binomial::new(n, p);
+            let mut prev = 0.0;
+            for k in 0..=n {
+                let c = b.cdf(k);
+                prop_assert!((0.0..=1.0).contains(&c), "cdf out of range at k={}", k);
+                prop_assert!(c + 1e-9 >= prev, "cdf decreased at k={}", k);
+                prev = c;
+            }
+            prop_assert!((b.cdf(n) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn direct_sum_and_beta_agree(n in 1u64..120, p in 0.01f64..0.99) {
+            let b = Binomial::new(n, p);
+            let k = n / 2;
+            let direct = b.cdf_with(k, CdfMethod::DirectSum);
+            let beta = b.cdf_with(k, CdfMethod::IncompleteBeta);
+            prop_assert!((direct - beta).abs() < 1e-9, "{} vs {}", direct, beta);
+        }
+
+        #[test]
+        fn pmf_sums_to_one(n in 1u64..150, p in 0.0f64..1.0) {
+            let b = Binomial::new(n, p);
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "total {}", total);
+        }
+    }
+}

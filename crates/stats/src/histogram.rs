@@ -1,0 +1,145 @@
+//! Fixed-bin histograms for experiment reports.
+
+use std::fmt;
+
+/// A histogram over `[lo, hi)` with equally wide bins, plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Build a histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty ({lo}..{hi})");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            // Floating point can land exactly on the upper edge.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The half-open value range `[lo, hi)` of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = self.bin_width();
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((count * 40 / peak) as usize);
+            writeln!(f, "[{lo:>10.3}, {hi:>10.3})  {count:>8}  {bar}")?;
+        }
+        if self.underflow > 0 || self.overflow > 0 {
+            writeln!(
+                f,
+                "underflow: {}  overflow: {}",
+                self.underflow, self.overflow
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.bin_range(1), (2.0, 4.0));
+    }
+
+    #[test]
+    fn out_of_range_goes_to_under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.5);
+        h.record(1.0); // upper bound is exclusive
+        h.record(7.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[0, 0]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn display_renders_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+}

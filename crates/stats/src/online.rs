@@ -1,0 +1,170 @@
+//! Running statistics: Welford moments and exponentially weighted averages.
+//!
+//! Used by the cost-calibration harness to summarise per-operation timings
+//! without storing samples.
+
+/// Incrementally computed count / mean / variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or `None` when no observation was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance, or `None` with fewer than two observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Build with smoothing factor `alpha ∈ (0, 1]`; larger tracks faster.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Incorporate one observation, returning the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current average, or `None` before the first observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_moments_report_none() {
+        let m = OnlineMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.variance(), None);
+        assert_eq!(m.std_dev(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+    }
+
+    #[test]
+    fn moments_match_direct_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = OnlineMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance of that classic dataset is 32/7.
+        assert!((m.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+    }
+
+    #[test]
+    fn single_observation_has_mean_but_no_variance() {
+        let mut m = OnlineMoments::new();
+        m.push(3.5);
+        assert_eq!(m.mean(), Some(3.5));
+        assert_eq!(m.variance(), None);
+    }
+
+    #[test]
+    fn ewma_starts_at_first_observation_and_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.update(0.0), 5.0);
+        for _ in 0..60 {
+            e.update(4.0);
+        }
+        assert!((e.value().unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(e.alpha(), 0.5);
+    }
+
+    #[test]
+    fn ewma_with_alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        assert_eq!(e.update(42.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The binomial outlier predicate `σ` of the assessor (paper §3.2).
+//!
+//! After `n` monitored steps the expected result size is modelled as
+//! `O_n ~ bin(trials, p(n))`.  The assessor computes
+//! `σ(n) = P(O ≤ Ō_n)` — the probability of observing a result at most as
+//! small as the one actually seen — and flags a **completeness problem**
+//! when `σ(n) ≤ θ_out`: the observed result is too small to be explained by
+//! chance under the clean-data model, so join keys are probably dirty.
+
+use crate::binomial::{Binomial, CdfMethod};
+
+/// Outcome of one assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutlierVerdict {
+    /// The observation is compatible with the clean-data model.
+    Nominal {
+        /// The computed tail probability `σ`.
+        sigma: f64,
+    },
+    /// The observation is a low outlier: completeness problem detected.
+    Outlier {
+        /// The computed tail probability `σ`.
+        sigma: f64,
+    },
+}
+
+impl OutlierVerdict {
+    /// The tail probability behind the verdict.
+    pub fn sigma(&self) -> f64 {
+        match self {
+            OutlierVerdict::Nominal { sigma } | OutlierVerdict::Outlier { sigma } => *sigma,
+        }
+    }
+
+    /// Whether a completeness problem was flagged.
+    pub fn is_outlier(&self) -> bool {
+        matches!(self, OutlierVerdict::Outlier { .. })
+    }
+}
+
+/// The `σ(n) ≤ θ_out` predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinomialOutlierDetector {
+    theta_out: f64,
+    method: CdfMethod,
+}
+
+impl BinomialOutlierDetector {
+    /// Build a detector with significance threshold `θ_out` (the paper uses
+    /// values around 0.01–0.05).
+    pub fn new(theta_out: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&theta_out),
+            "θ_out must be in [0, 1), got {theta_out}"
+        );
+        Self {
+            theta_out,
+            method: CdfMethod::default(),
+        }
+    }
+
+    /// Use a specific CDF evaluation method (e.g. the normal approximation
+    /// for very long streams).
+    pub fn with_method(mut self, method: CdfMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The configured threshold.
+    pub fn theta_out(&self) -> f64 {
+        self.theta_out
+    }
+
+    /// `σ = P(O ≤ observed)` under `bin(trials, p)`.
+    ///
+    /// With zero trials there is no evidence either way, so `σ = 1`.
+    pub fn sigma(&self, trials: u64, p: f64, observed: u64) -> f64 {
+        if trials == 0 {
+            return 1.0;
+        }
+        Binomial::new(trials, p).cdf_with(observed.min(trials), self.method)
+    }
+
+    /// Assess one observation.
+    pub fn assess(&self, trials: u64, p: f64, observed: u64) -> OutlierVerdict {
+        let sigma = self.sigma(trials, p, observed);
+        if sigma <= self.theta_out {
+            OutlierVerdict::Outlier { sigma }
+        } else {
+            OutlierVerdict::Nominal { sigma }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_when_observation_matches_expectation() {
+        let det = BinomialOutlierDetector::new(0.01);
+        // 100 trials at p = 0.5, observing 50: dead centre.
+        let v = det.assess(100, 0.5, 50);
+        assert!(!v.is_outlier());
+        assert!(v.sigma() > 0.4, "sigma {}", v.sigma());
+    }
+
+    #[test]
+    fn outlier_when_observation_is_far_too_small() {
+        let det = BinomialOutlierDetector::new(0.01);
+        // Expected 50, observed 20: essentially impossible under the model.
+        let v = det.assess(100, 0.5, 20);
+        assert!(v.is_outlier());
+        assert!(v.sigma() < 1e-6, "sigma {}", v.sigma());
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let loose = BinomialOutlierDetector::new(0.2);
+        let strict = BinomialOutlierDetector::new(0.001);
+        // Observing 42/100 at p = 0.5 is mildly unlikely (σ ≈ 0.067).
+        assert!(loose.assess(100, 0.5, 42).is_outlier());
+        assert!(!strict.assess(100, 0.5, 42).is_outlier());
+    }
+
+    #[test]
+    fn zero_trials_is_always_nominal() {
+        let det = BinomialOutlierDetector::new(0.05);
+        let v = det.assess(0, 0.5, 0);
+        assert!(!v.is_outlier());
+        assert_eq!(v.sigma(), 1.0);
+    }
+
+    #[test]
+    fn observed_above_trials_is_clamped() {
+        let det = BinomialOutlierDetector::new(0.05);
+        let v = det.assess(10, 0.5, 99);
+        assert!(!v.is_outlier());
+        assert_eq!(v.sigma(), 1.0);
+    }
+
+    #[test]
+    fn sigma_is_monotone_in_observed() {
+        let det = BinomialOutlierDetector::new(0.05);
+        let mut prev = 0.0;
+        for o in 0..=60u64 {
+            let s = det.sigma(60, 0.4, o);
+            assert!(s + 1e-12 >= prev, "o={o}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn with_method_switches_evaluation() {
+        let exact = BinomialOutlierDetector::new(0.05);
+        let approx = BinomialOutlierDetector::new(0.05).with_method(CdfMethod::NormalApprox);
+        let (se, sa) = (exact.sigma(2000, 0.3, 560), approx.sigma(2000, 0.3, 560));
+        assert!((se - sa).abs() < 5e-3, "{se} vs {sa}");
+        assert_eq!(exact.theta_out(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "θ_out")]
+    fn rejects_threshold_of_one() {
+        BinomialOutlierDetector::new(1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Fixed-width windows of recent observations.
+//!
+//! The `μ_i` predicates of the assessor look at the *recent* behaviour of
+//! the stream rather than its whole history; these windows provide the
+//! bookkeeping: [`SlidingWindow`] for real-valued observations and
+//! [`CountingWindow`] for boolean ones (e.g. "did this probe find a
+//! match?").
+
+use std::collections::VecDeque;
+
+/// A fixed-width window over `f64` observations.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Build a window holding at most `capacity` observations.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            sum: 0.0,
+        }
+    }
+
+    /// Push an observation, evicting the oldest when full.  Returns the
+    /// evicted observation, if any.
+    pub fn push(&mut self, value: f64) -> Option<f64> {
+        let evicted = if self.buf.len() == self.capacity {
+            let old = self.buf.pop_front();
+            if let Some(o) = old {
+                self.sum -= o;
+            }
+            old
+        } else {
+            None
+        };
+        self.buf.push_back(value);
+        self.sum += value;
+        evicted
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sum of the held observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the held observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.buf.len() as f64)
+        }
+    }
+
+    /// Oldest-to-newest iterator.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Drop all observations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// A fixed-width window over boolean observations, tracking the success
+/// count incrementally.
+#[derive(Debug, Clone)]
+pub struct CountingWindow {
+    capacity: usize,
+    buf: VecDeque<bool>,
+    successes: usize,
+}
+
+impl CountingWindow {
+    /// Build a window holding at most `capacity` observations.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            successes: 0,
+        }
+    }
+
+    /// Push an observation, evicting the oldest when full.
+    pub fn push(&mut self, success: bool) {
+        if self.buf.len() == self.capacity && self.buf.pop_front() == Some(true) {
+            self.successes -= 1;
+        }
+        self.buf.push_back(success);
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of `true` observations in the window.
+    pub fn successes(&self) -> usize {
+        self.successes
+    }
+
+    /// Fraction of `true` observations, or `None` when empty.
+    pub fn success_rate(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.successes as f64 / self.buf.len() as f64)
+        }
+    }
+
+    /// Drop all observations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.successes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_window_evicts_oldest_and_tracks_sum() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(3.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.sum(), 6.0);
+        assert_eq!(w.push(4.0), Some(1.0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.sum(), 9.0);
+        assert_eq!(w.mean(), Some(3.0));
+        let held: Vec<f64> = w.iter().collect();
+        assert_eq!(held, vec![2.0, 3.0, 4.0]);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.sum(), 0.0);
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    fn counting_window_tracks_successes_incrementally() {
+        let mut w = CountingWindow::new(4);
+        assert_eq!(w.success_rate(), None);
+        for s in [true, false, true, true] {
+            w.push(s);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.successes(), 3);
+        assert_eq!(w.success_rate(), Some(0.75));
+        // Evicts the initial `true`.
+        w.push(false);
+        assert_eq!(w.successes(), 2);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.success_rate(), Some(0.5));
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.successes(), 0);
+        assert_eq!(w.capacity(), 4);
+    }
+
+    #[test]
+    fn counting_window_eviction_of_false_keeps_count() {
+        let mut w = CountingWindow::new(2);
+        w.push(false);
+        w.push(true);
+        w.push(true); // evicts false
+        assert_eq!(w.successes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        SlidingWindow::new(0);
+    }
+}

@@ -121,11 +121,11 @@ impl QGramSet {
 
         let mut chars: Vec<char> = Vec::with_capacity(normalized.len() + 2 * (config.q - 1));
         if config.pad {
-            chars.extend(std::iter::repeat(config.pad_begin).take(config.q - 1));
+            chars.extend(std::iter::repeat_n(config.pad_begin, config.q - 1));
         }
         chars.extend(normalized.chars());
         if config.pad {
-            chars.extend(std::iter::repeat(config.pad_end).take(config.q - 1));
+            chars.extend(std::iter::repeat_n(config.pad_end, config.q - 1));
         }
 
         let mut set: BTreeSet<Gram> = BTreeSet::new();
@@ -179,7 +179,9 @@ impl QGramSet {
 
     /// Whether `gram` is a member.
     pub fn contains(&self, gram: &str) -> bool {
-        self.grams.binary_search_by(|g| g.as_ref().cmp(gram)).is_ok()
+        self.grams
+            .binary_search_by(|g| g.as_ref().cmp(gram))
+            .is_ok()
     }
 
     /// Iterator over the grams.
@@ -316,10 +318,8 @@ mod tests {
     #[test]
     fn expected_window_count_matches_extraction() {
         for len in 0usize..20 {
-            let s: String = std::iter::repeat('x')
-                .take(len)
-                .enumerate()
-                .map(|(i, _)| char::from(b'a' + (i % 26) as u8))
+            let s: String = (0..len)
+                .map(|i| char::from(b'a' + (i % 26) as u8))
                 .collect();
             for q in 1usize..5 {
                 let padded = QGramConfig {
@@ -387,7 +387,10 @@ mod tests {
         let a = QGramSet::extract("TAA BZ SANTA CRISTINA VALGARDENA", &cfg);
         let b = QGramSet::extract("TAA BZ SANTA CRISTINx VALGARDENA", &cfg);
         let sim = a.jaccard(&b);
-        assert!(sim > 0.8, "one-character variant should stay similar: {sim}");
+        assert!(
+            sim > 0.8,
+            "one-character variant should stay similar: {sim}"
+        );
         assert!(sim < 1.0);
     }
 

@@ -116,7 +116,10 @@ mod tests {
             expected: "string",
             found: "integer",
         };
-        assert_eq!(err.to_string(), "type error: expected string, found integer");
+        assert_eq!(
+            err.to_string(),
+            "type error: expected string, found integer"
+        );
     }
 
     #[test]
@@ -131,7 +134,10 @@ mod tests {
             LinkageError::Adaptivity(_)
         ));
         assert!(matches!(LinkageError::config("x"), LinkageError::Config(_)));
-        assert!(matches!(LinkageError::datagen("x"), LinkageError::DataGen(_)));
+        assert!(matches!(
+            LinkageError::datagen("x"),
+            LinkageError::DataGen(_)
+        ));
         assert!(matches!(
             LinkageError::experiment("x"),
             LinkageError::Experiment(_)

@@ -225,7 +225,10 @@ mod tests {
         set.insert(MatchPair::exact(rec(1, "a"), rec(10, "a")));
         set.insert(MatchPair::exact(rec(2, "b"), rec(20, "b")));
         let ids: Vec<_> = set.pairs().iter().map(MatchPair::id_pair).collect();
-        assert_eq!(ids, vec![(RecordId(1), RecordId(10)), (RecordId(2), RecordId(20))]);
+        assert_eq!(
+            ids,
+            vec![(RecordId(1), RecordId(10)), (RecordId(2), RecordId(20))]
+        );
         let into = set.into_pairs();
         assert_eq!(into.len(), 2);
     }

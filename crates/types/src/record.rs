@@ -65,11 +65,7 @@ impl Record {
     }
 
     /// Build and validate a record against `schema` in one go.
-    pub fn validated(
-        id: impl Into<RecordId>,
-        values: Vec<Value>,
-        schema: &Schema,
-    ) -> Result<Self> {
+    pub fn validated(id: impl Into<RecordId>, values: Vec<Value>, schema: &Schema) -> Result<Self> {
         schema.validate(&values)?;
         Ok(Self::new(id, values))
     }
@@ -169,7 +165,11 @@ mod tests {
         let schema = schema();
         let ok = Record::validated(1u64, vec![Value::Int(1), Value::string("ROMA")], &schema);
         assert!(ok.is_ok());
-        let bad = Record::validated(2u64, vec![Value::string("x"), Value::string("ROMA")], &schema);
+        let bad = Record::validated(
+            2u64,
+            vec![Value::string("x"), Value::string("ROMA")],
+            &schema,
+        );
         assert!(bad.is_err());
         let short = Record::validated(3u64, vec![Value::Int(1)], &schema);
         assert!(short.is_err());

@@ -257,7 +257,9 @@ mod tests {
         schema
             .validate(&[Value::Int(1), Value::string("ROMA"), Value::Int(2)])
             .unwrap();
-        assert!(schema.validate(&[Value::Int(1), Value::string("ROMA")]).is_err());
+        assert!(schema
+            .validate(&[Value::Int(1), Value::string("ROMA")])
+            .is_err());
         assert!(schema
             .validate(&[Value::string("x"), Value::string("ROMA"), Value::Float(0.0)])
             .is_err());

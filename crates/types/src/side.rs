@@ -106,6 +106,17 @@ impl<T> PerSide<T> {
     pub fn iter(&self) -> impl Iterator<Item = (Side, &T)> {
         [(Side::Left, &self.left), (Side::Right, &self.right)].into_iter()
     }
+
+    /// Mutable access to both sides at once, `(own, opposite)` relative to
+    /// `side`.  Symmetric joins probe one table while inserting into the
+    /// other; this is the borrow-splitting hook that makes that possible
+    /// without interior mutability.
+    pub fn own_and_opposite_mut(&mut self, side: Side) -> (&mut T, &mut T) {
+        match side {
+            Side::Left => (&mut self.left, &mut self.right),
+            Side::Right => (&mut self.right, &mut self.left),
+        }
+    }
 }
 
 impl<T> Index<Side> for PerSide<T> {
@@ -169,6 +180,16 @@ mod tests {
         let p = PerSide::new('a', 'b');
         let collected: Vec<_> = p.iter().collect();
         assert_eq!(collected, vec![(Side::Left, &'a'), (Side::Right, &'b')]);
+    }
+
+    #[test]
+    fn own_and_opposite_mut_splits_borrows() {
+        let mut p = PerSide::new(vec![1], vec![2]);
+        let (own, opp) = p.own_and_opposite_mut(Side::Right);
+        own.push(3);
+        opp.push(4);
+        assert_eq!(p.left, vec![1, 4]);
+        assert_eq!(p.right, vec![2, 3]);
     }
 
     #[test]

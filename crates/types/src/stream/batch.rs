@@ -1,0 +1,67 @@
+//! Batches of records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::Record;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// A batch of records handed around by the experiment harness and returned
+/// by [`super::RecordStream::next_batch`]-style bulk pulls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordBatch {
+    /// Schema of every record in the batch.
+    pub schema: Schema,
+    /// The records.
+    pub records: Vec<Record>,
+}
+
+impl RecordBatch {
+    /// Build a batch from a schema and records.
+    pub fn new(schema: Schema, records: Vec<Record>) -> Self {
+        Self { schema, records }
+    }
+
+    /// Build a batch from a relation.
+    pub fn from_relation(relation: &Relation) -> Self {
+        Self {
+            schema: relation.schema().clone(),
+            records: relation.records().to_vec(),
+        }
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::Value;
+
+    #[test]
+    fn record_batch_from_relation() {
+        let mut rel = Relation::empty("r", Schema::of(vec![Field::string("k")]));
+        rel.push_values(vec![Value::string("a")]).unwrap();
+        let batch = RecordBatch::from_relation(&rel);
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.schema, *rel.schema());
+    }
+
+    #[test]
+    fn record_batch_new_wraps_parts() {
+        let schema = Schema::of(vec![Field::string("k")]);
+        let batch = RecordBatch::new(schema.clone(), vec![]);
+        assert!(batch.is_empty());
+        assert_eq!(batch.schema, schema);
+    }
+}

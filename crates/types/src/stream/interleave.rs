@@ -1,129 +1,12 @@
-//! Pull-based record streams.
-//!
-//! The operators in this workspace are *pipelined*: they consume tuples one
-//! at a time from their inputs and can emit results before either input is
-//! exhausted (paper §2.1).  [`RecordStream`] is the minimal pull interface
-//! those operators require; it deliberately mirrors an iterator rather than
-//! the full `OPEN/NEXT/CLOSE` protocol, which lives in
-//! `linkage-operators::iterator` where operator state matters.
+//! Interleaving the two inputs of a symmetric join.
 
 use serde::{Deserialize, Serialize};
 
 use crate::record::{Record, SidedRecord};
-use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::side::Side;
 
-/// A pull-based source of records with a known schema.
-pub trait RecordStream {
-    /// The schema every produced record conforms to.
-    fn schema(&self) -> &Schema;
-
-    /// Produce the next record, or `None` when exhausted.
-    fn next_record(&mut self) -> Option<Record>;
-
-    /// A hint of how many records remain, if known.
-    ///
-    /// The adaptive monitor uses the *declared* expected size of the inputs
-    /// (paper §3.2), not this hint, so returning `None` is always safe.
-    fn size_hint(&self) -> Option<usize> {
-        None
-    }
-
-    /// Reset the stream to its beginning, if the source supports it.
-    ///
-    /// Returns `false` when the source cannot be replayed (e.g. a network
-    /// stream).  In-memory sources return `true`.
-    fn rewind(&mut self) -> bool {
-        false
-    }
-}
-
-/// A batch of records handed around by the experiment harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RecordBatch {
-    /// Schema of every record in the batch.
-    pub schema: Schema,
-    /// The records.
-    pub records: Vec<Record>,
-}
-
-impl RecordBatch {
-    /// Build a batch from a relation.
-    pub fn from_relation(relation: &Relation) -> Self {
-        Self {
-            schema: relation.schema().clone(),
-            records: relation.records().to_vec(),
-        }
-    }
-
-    /// Number of records in the batch.
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// Whether the batch is empty.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-}
-
-/// An in-memory [`RecordStream`] over a vector of records.
-#[derive(Debug, Clone)]
-pub struct VecStream {
-    schema: Schema,
-    records: Vec<Record>,
-    cursor: usize,
-}
-
-impl VecStream {
-    /// Build a stream over explicit records.
-    pub fn new(schema: Schema, records: Vec<Record>) -> Self {
-        Self {
-            schema,
-            records,
-            cursor: 0,
-        }
-    }
-
-    /// Build a stream over a relation's records.
-    pub fn from_relation(relation: &Relation) -> Self {
-        Self::new(relation.schema().clone(), relation.records().to_vec())
-    }
-
-    /// How many records have been consumed so far.
-    pub fn consumed(&self) -> usize {
-        self.cursor
-    }
-
-    /// Total number of records in the underlying vector.
-    pub fn total(&self) -> usize {
-        self.records.len()
-    }
-}
-
-impl RecordStream for VecStream {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next_record(&mut self) -> Option<Record> {
-        let rec = self.records.get(self.cursor).cloned();
-        if rec.is_some() {
-            self.cursor += 1;
-        }
-        rec
-    }
-
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.records.len() - self.cursor)
-    }
-
-    fn rewind(&mut self) -> bool {
-        self.cursor = 0;
-        true
-    }
-}
+use super::RecordStream;
 
 /// The policy used to interleave the two inputs of a symmetric join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -182,6 +65,18 @@ impl<L: RecordStream, R: RecordStream> InterleavedStream<L, R> {
         self.emitted
     }
 
+    /// Open both underlying streams.
+    pub fn open(&mut self) {
+        self.left.open();
+        self.right.open();
+    }
+
+    /// Close both underlying streams; subsequent pulls return `None`.
+    pub fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+    }
+
     fn pull(&mut self, side: Side) -> Option<Record> {
         match side {
             Side::Left => self.left.next_record(),
@@ -231,6 +126,18 @@ impl<L: RecordStream, R: RecordStream> InterleavedStream<L, R> {
         result
     }
 
+    /// Pull up to `max` sided records in one call.
+    pub fn next_sided_batch(&mut self, max: usize) -> Vec<SidedRecord> {
+        let mut out = Vec::with_capacity(max.min(1024));
+        while out.len() < max {
+            match self.next_sided() {
+                Some(s) => out.push(s),
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Schemas of the two inputs.
     pub fn schemas(&self) -> (&Schema, &Schema) {
         (self.left.schema(), self.right.schema())
@@ -248,6 +155,7 @@ impl<L: RecordStream, R: RecordStream> InterleavedStream<L, R> {
 
 #[cfg(test)]
 mod tests {
+    use super::super::VecStream;
     use super::*;
     use crate::schema::Field;
     use crate::value::Value;
@@ -270,30 +178,9 @@ mod tests {
     }
 
     #[test]
-    fn vec_stream_yields_in_order_and_rewinds() {
-        let mut s = stream_of(&["a", "b", "c"]);
-        assert_eq!(s.size_hint(), Some(3));
-        assert_eq!(s.next_record().unwrap().key_str(0).unwrap(), "a");
-        assert_eq!(s.consumed(), 1);
-        assert_eq!(s.size_hint(), Some(2));
-        assert!(s.rewind());
-        assert_eq!(s.consumed(), 0);
-        assert_eq!(s.next_record().unwrap().key_str(0).unwrap(), "a");
-        assert_eq!(s.total(), 3);
-    }
-
-    #[test]
-    fn vec_stream_exhausts() {
-        let mut s = stream_of(&["a"]);
-        assert!(s.next_record().is_some());
-        assert!(s.next_record().is_none());
-        assert!(s.next_record().is_none());
-        assert_eq!(s.size_hint(), Some(0));
-    }
-
-    #[test]
     fn alternating_interleave_strictly_alternates() {
-        let inter = InterleavedStream::alternating(stream_of(&["l1", "l2"]), stream_of(&["r1", "r2"]));
+        let inter =
+            InterleavedStream::alternating(stream_of(&["l1", "l2"]), stream_of(&["r1", "r2"]));
         let out = inter.collect_all();
         assert_eq!(
             sides(&out),
@@ -374,8 +261,7 @@ mod tests {
 
     #[test]
     fn emitted_counts_records() {
-        let mut inter =
-            InterleavedStream::alternating(stream_of(&["l1"]), stream_of(&["r1"]));
+        let mut inter = InterleavedStream::alternating(stream_of(&["l1"]), stream_of(&["r1"]));
         assert_eq!(inter.emitted(), 0);
         inter.next_sided();
         inter.next_sided();
@@ -385,12 +271,30 @@ mod tests {
     }
 
     #[test]
-    fn record_batch_from_relation() {
-        let mut rel = Relation::empty("r", schema());
-        rel.push_values(vec![Value::string("a")]).unwrap();
-        let batch = RecordBatch::from_relation(&rel);
-        assert_eq!(batch.len(), 1);
-        assert!(!batch.is_empty());
-        assert_eq!(batch.schema, *rel.schema());
+    fn open_close_propagate_to_both_inputs() {
+        let mut inter =
+            InterleavedStream::alternating(stream_of(&["l1", "l2"]), stream_of(&["r1"]));
+        inter.open();
+        assert!(inter.next_sided().is_some());
+        inter.close();
+        assert!(inter.next_sided().is_none());
+        assert_eq!(inter.emitted(), 1);
+    }
+
+    #[test]
+    fn sided_batch_pull_is_bounded() {
+        let mut inter = InterleavedStream::alternating(
+            stream_of(&["l1", "l2", "l3"]),
+            stream_of(&["r1", "r2", "r3"]),
+        );
+        let batch = inter.next_sided_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(
+            sides(&batch),
+            vec![Side::Left, Side::Right, Side::Left, Side::Right]
+        );
+        let rest = inter.next_sided_batch(100);
+        assert_eq!(rest.len(), 2);
+        assert!(inter.next_sided_batch(1).is_empty());
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository check suite: formatting, lints, and the tier-1 verify command.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "All checks passed."

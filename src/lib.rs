@@ -1,0 +1,29 @@
+//! # linkage
+//!
+//! Umbrella crate for the adaptive record-linkage workspace
+//! (conf_edbt_LenguMFGM09): a pipelined exact symmetric hash join that is
+//! switched mid-stream to an approximate q-gram similarity join when a
+//! binomial outlier test flags a completeness problem.
+//!
+//! This facade re-exports the workspace crates under stable module names so
+//! the examples (and downstream users) can write `linkage::core::...`
+//! without depending on each sub-crate individually:
+//!
+//! * [`types`] — records, relations, streams, match pairs;
+//! * [`text`] — normalisation, q-grams, similarity functions;
+//! * [`stats`] — binomial outlier detection and running statistics;
+//! * [`operators`] — scans and the exact/approximate/switchable joins;
+//! * [`core`] — the monitor → assessor → actuator control loop;
+//! * [`datagen`] — deterministic dirty-dataset generation.
+//!
+//! See `examples/quickstart.rs` for an end-to-end adaptive join.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use linkage_core as core;
+pub use linkage_datagen as datagen;
+pub use linkage_operators as operators;
+pub use linkage_stats as stats;
+pub use linkage_text as text;
+pub use linkage_types as types;

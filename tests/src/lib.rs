@@ -1,1 +1,247 @@
-//! placeholder
+//! # linkage-tests
+//!
+//! Cross-crate integration tests for the adaptive linkage pipeline.  The
+//! unit tests inside each crate cover their own layer; the suites here
+//! exercise the full stack — generated workloads, pipelined operators,
+//! the adaptive controller — against the quadratic oracle joins and the
+//! generated ground truth:
+//!
+//! * [`exact_equivalence`] — the pipelined `SymmetricHashJoin` emits
+//!   exactly the pairs of a nested-loop oracle, on clean, duplicate-key
+//!   and dirty workloads;
+//! * [`adaptive_recovery`] — on a mid-stream-dirt workload the controller
+//!   switches the join mid-stream, strictly increases the number of
+//!   correct matches over exact-only, and never emits a duplicate pair;
+//! * [`protocol`] — the operator lifecycle is enforced across the stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(test)]
+mod common {
+    use linkage_datagen::GeneratedData;
+    use linkage_operators::InterleavedScan;
+    use linkage_types::{MatchPair, PerSide, RecordId, VecStream};
+    use std::collections::HashSet;
+
+    pub const KEYS: PerSide<usize> = PerSide {
+        left: GeneratedData::KEY_COLUMN,
+        right: GeneratedData::KEY_COLUMN,
+    };
+
+    pub fn scan(data: &GeneratedData) -> InterleavedScan<VecStream, VecStream> {
+        InterleavedScan::alternating(
+            VecStream::from_relation(&data.parents),
+            VecStream::from_relation(&data.children),
+        )
+    }
+
+    pub fn id_set(pairs: &[MatchPair]) -> HashSet<(RecordId, RecordId)> {
+        pairs.iter().map(MatchPair::id_pair).collect()
+    }
+
+    /// Assert the stream contains no duplicate `(left, right)` pair.
+    pub fn assert_no_duplicates(pairs: &[MatchPair]) {
+        let mut seen = HashSet::new();
+        for p in pairs {
+            assert!(
+                seen.insert(p.id_pair()),
+                "duplicate pair {:?} in output stream",
+                p.id_pair()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod exact_equivalence {
+    use super::common::*;
+    use linkage_datagen::{generate, DatagenConfig};
+    use linkage_operators::{oracle, Operator, SymmetricHashJoin};
+    use linkage_text::NormalizeConfig;
+
+    fn assert_matches_oracle(config: &DatagenConfig) {
+        let data = generate(config).expect("datagen failed");
+        let mut join = SymmetricHashJoin::new(scan(&data), KEYS);
+        let pairs = join.run_to_end().expect("join failed");
+        let expected = oracle::nested_loop_exact(
+            &data.parents,
+            &data.children,
+            KEYS,
+            &NormalizeConfig::default(),
+        )
+        .expect("oracle failed");
+        assert_eq!(
+            id_set(&pairs),
+            id_set(&expected),
+            "pipelined join disagrees with the nested-loop oracle"
+        );
+        assert_eq!(pairs.len(), expected.len(), "duplicate or missing pairs");
+        assert_no_duplicates(&pairs);
+    }
+
+    #[test]
+    fn clean_workload() {
+        assert_matches_oracle(&DatagenConfig::clean(150, 1));
+    }
+
+    #[test]
+    fn duplicate_key_workload() {
+        assert_matches_oracle(&DatagenConfig {
+            children_per_parent: 3,
+            ..DatagenConfig::clean(60, 2)
+        });
+    }
+
+    #[test]
+    fn dirty_workload() {
+        // Both the pipelined join and the oracle miss dirty keys equally.
+        assert_matches_oracle(&DatagenConfig::mid_stream_dirty(150, 3));
+    }
+}
+
+#[cfg(test)]
+mod adaptive_recovery {
+    use super::common::*;
+    use linkage_core::{AdaptiveJoin, ControllerConfig};
+    use linkage_datagen::{generate, DatagenConfig};
+    use linkage_operators::{
+        oracle, JoinPhase, Operator, SwitchJoin, SwitchJoinConfig, SymmetricHashJoin,
+    };
+    use linkage_text::QGramJaccard;
+    use linkage_types::RecordId;
+    use std::collections::HashSet;
+
+    const THETA_SIM: f64 = 0.8;
+
+    #[test]
+    fn controller_switches_mid_stream_and_recovers_matches() {
+        let config = DatagenConfig::mid_stream_dirty(250, 7);
+        let data = generate(&config).expect("datagen failed");
+        let truth: HashSet<(RecordId, RecordId)> = data.truth.iter().copied().collect();
+
+        // Baseline: exact-only.
+        let mut exact_join = SymmetricHashJoin::new(scan(&data), KEYS);
+        let exact_pairs = exact_join.run_to_end().expect("exact join failed");
+        let exact_correct = id_set(&exact_pairs).intersection(&truth).count();
+
+        // Adaptive: SwitchJoin driven by the monitor/assessor/actuator loop.
+        let switch = SwitchJoin::new(
+            scan(&data),
+            SwitchJoinConfig::new(KEYS).with_theta(THETA_SIM),
+        );
+        let mut adaptive =
+            AdaptiveJoin::new(switch, ControllerConfig::new(data.parents.len() as u64));
+        let adaptive_pairs = adaptive.run_to_end().expect("adaptive join failed");
+
+        // The switch really happened mid-stream.
+        let event = adaptive.switch_event().expect("controller never switched");
+        let total_input = (data.parents.len() + data.children.len()) as u64;
+        assert!(event.after_tuples > 0 && event.after_tuples < total_input);
+        assert_eq!(adaptive.phase(), JoinPhase::Approximate);
+
+        // Strictly more *correct* matches than exact-only.
+        let adaptive_correct = id_set(&adaptive_pairs).intersection(&truth).count();
+        assert!(
+            adaptive_correct > exact_correct,
+            "adaptive {adaptive_correct} vs exact {exact_correct}"
+        );
+
+        // Everything the exact join found is still in the adaptive output.
+        assert!(id_set(&adaptive_pairs).is_superset(&id_set(&exact_pairs)));
+
+        // No duplicates, in particular none of the pairs the exact phase
+        // already emitted reappear after the switch.
+        assert_no_duplicates(&adaptive_pairs);
+
+        // Soundness: every emitted pair passes the similarity oracle.
+        let allowed = id_set(
+            &oracle::nested_loop_similarity(
+                &data.parents,
+                &data.children,
+                KEYS,
+                &Default::default(),
+                &QGramJaccard::default(),
+                THETA_SIM,
+            )
+            .expect("oracle failed"),
+        );
+        assert!(id_set(&adaptive_pairs).is_subset(&allowed));
+    }
+
+    #[test]
+    fn clean_workload_never_switches() {
+        let data = generate(&DatagenConfig::clean(200, 9)).expect("datagen failed");
+        let switch = SwitchJoin::new(scan(&data), SwitchJoinConfig::new(KEYS));
+        let mut adaptive =
+            AdaptiveJoin::new(switch, ControllerConfig::new(data.parents.len() as u64));
+        let pairs = adaptive.run_to_end().expect("adaptive join failed");
+        assert!(adaptive.switch_event().is_none());
+        assert_eq!(adaptive.phase(), JoinPhase::Exact);
+        assert_eq!(pairs.len(), data.truth.len());
+    }
+
+    #[test]
+    fn manual_switch_is_equivalent_to_controller_switch_result_set() {
+        // Driving SwitchJoin by hand at the same point the controller chose
+        // yields the same distinct result set.
+        let data = generate(&DatagenConfig::mid_stream_dirty(120, 11)).expect("datagen failed");
+
+        let switch = SwitchJoin::new(scan(&data), SwitchJoinConfig::new(KEYS));
+        let mut adaptive =
+            AdaptiveJoin::new(switch, ControllerConfig::new(data.parents.len() as u64));
+        let controller_pairs = adaptive.run_to_end().expect("adaptive failed");
+        let switch_at = adaptive.switch_event().expect("no switch").after_tuples;
+
+        let mut manual = SwitchJoin::new(scan(&data), SwitchJoinConfig::new(KEYS));
+        manual.open().expect("open failed");
+        for _ in 0..switch_at {
+            assert!(manual.advance().expect("advance failed"));
+        }
+        manual.switch_to_approximate().expect("switch failed");
+        let mut manual_pairs = Vec::new();
+        while let Some(p) = manual.next().expect("next failed") {
+            manual_pairs.push(p);
+        }
+        manual.close().expect("close failed");
+
+        assert_eq!(id_set(&manual_pairs), id_set(&controller_pairs));
+        assert_no_duplicates(&manual_pairs);
+    }
+}
+
+#[cfg(test)]
+mod protocol {
+    use super::common::*;
+    use linkage_core::{AdaptiveJoin, ControllerConfig};
+    use linkage_datagen::{generate, DatagenConfig};
+    use linkage_operators::{Operator, OperatorState, SwitchJoin, SwitchJoinConfig};
+
+    #[test]
+    fn lifecycle_is_enforced_through_the_whole_stack() {
+        let data = generate(&DatagenConfig::clean(10, 1)).expect("datagen failed");
+        let switch = SwitchJoin::new(scan(&data), SwitchJoinConfig::new(KEYS));
+        let mut join = AdaptiveJoin::new(switch, ControllerConfig::new(10));
+
+        assert_eq!(join.state(), OperatorState::Created);
+        assert!(join.next().is_err(), "next before open must fail");
+        join.open().expect("open failed");
+        assert!(join.open().is_err(), "double open must fail");
+        assert!(join.next().expect("next failed").is_some());
+        join.close().expect("close failed");
+        assert!(join.next().is_err(), "next after close must fail");
+        assert_eq!(join.state(), OperatorState::Closed);
+    }
+
+    #[test]
+    fn batch_pulls_cross_the_stack() {
+        let data = generate(&DatagenConfig::clean(30, 2)).expect("datagen failed");
+        let mut join = SwitchJoin::new(scan(&data), SwitchJoinConfig::new(KEYS));
+        join.open().expect("open failed");
+        let first = join.next_batch(10).expect("batch failed");
+        assert_eq!(first.len(), 10);
+        let rest = join.next_batch(1000).expect("batch failed");
+        assert_eq!(first.len() + rest.len(), 30);
+        join.close().expect("close failed");
+    }
+}

@@ -1,0 +1,47 @@
+//! Collection strategies.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::rng::Rng;
+use crate::strategy::Strategy;
+
+/// Strategy producing `Vec`s of values from an element strategy, with a
+/// length drawn uniformly from `size` (half-open, like proptest's ranges).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.start, self.size.end);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_element_strategy() {
+        let s = vec(2usize..5, 1..4);
+        let mut rng = Rng::from_seed(9);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| (2..5).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline miniature property-testing engine.
+//!
+//! The workspace builds without network access, so the real `proptest` crate
+//! cannot be resolved from a registry.  This crate implements the small
+//! subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with implementations for numeric [`Range`]s and
+//!   for `&str` regex-like character-class patterns (`"[A-Z ]{0,10}"`);
+//! * [`collection::vec`] and [`Strategy::prop_map`] combinators;
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest: a fixed number of cases per property
+//! ([`NUM_CASES`]), a deterministic per-test seed (derived from the test
+//! name, so failures reproduce across runs), and no shrinking — a failing
+//! case panics with the generated inputs printed.
+//!
+//! [`Range`]: std::ops::Range
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod collection;
+pub mod pattern;
+pub mod prelude;
+pub mod rng;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Number of generated cases per property.
+pub const NUM_CASES: usize = 48;
+
+/// Error carried out of a failing property body by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wrap a failure message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::rng::Rng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\ninputs: {:?}",
+                            stringify!($name),
+                            __case + 1,
+                            $crate::NUM_CASES,
+                            e,
+                            ($(&$arg,)+)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}

@@ -1,0 +1,189 @@
+//! A tiny regex-like string generator.
+//!
+//! Supports the subset of regex syntax the workspace's property tests use:
+//! literal characters, character classes (`[A-Z]`, `[A-Za-z ]`), and the
+//! quantifiers `{m}`, `{m,n}`, `*`, `+` and `?` applied to the preceding
+//! atom.  Anything fancier (alternation, groups, escapes) is out of scope
+//! and rejected with a panic so a typo fails loudly rather than silently
+//! generating the wrong distribution.
+
+use crate::rng::Rng;
+
+/// One pattern atom plus its repetition bounds (inclusive).
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom can produce.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+impl Pattern {
+    /// Parse `source`, panicking on unsupported syntax.
+    pub fn parse(source: &str) -> Self {
+        let chars: Vec<char> = source.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {source:?}"));
+                    let class = &chars[i + 1..i + close];
+                    i += close + 1;
+                    expand_class(class, source)
+                }
+                '(' | ')' | '|' | '\\' | '.' => {
+                    panic!(
+                        "unsupported regex syntax {:?} in pattern {source:?}",
+                        chars[i]
+                    )
+                }
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, source);
+            atoms.push(Atom { choices, min, max });
+        }
+        Self { atoms }
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut Rng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.usize_in(atom.min, atom.max + 1);
+            for _ in 0..count {
+                out.push(atom.choices[rng.usize_in(0, atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Expand the inside of `[...]` into its member characters.
+fn expand_class(class: &[char], source: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "empty class in pattern {source:?}");
+    let mut choices = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {source:?}");
+            for c in lo..=hi {
+                choices.push(c);
+            }
+            i += 3;
+        } else {
+            choices.push(class[i]);
+            i += 1;
+        }
+    }
+    choices
+}
+
+/// Parse an optional quantifier at `chars[*i]`, returning inclusive bounds.
+fn parse_quantifier(chars: &[char], i: &mut usize, source: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {source:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse().expect("bad quantifier lower bound");
+                    let hi = hi.trim().parse().expect("bad quantifier upper bound");
+                    assert!(lo <= hi, "inverted quantifier in pattern {source:?}");
+                    (lo, hi)
+                }
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let parsed = Pattern::parse(pattern);
+        let mut rng = Rng::from_seed(42);
+        (0..n).map(|_| parsed.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier_respects_bounds_and_alphabet() {
+        for s in samples("[A-Z]{1,8}", 200) {
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_may_include_literals_like_space() {
+        let all: String = samples("[A-Z ]{0,10}", 300).concat();
+        assert!(all.chars().all(|c| c == ' ' || c.is_ascii_uppercase()));
+        assert!(all.contains(' '), "space should eventually be generated");
+    }
+
+    #[test]
+    fn multiple_ranges_in_one_class() {
+        for s in samples("[A-Za-z ]{0,12}", 200) {
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        for s in samples("x[0-9]{3}", 50) {
+            assert_eq!(s.chars().count(), 4);
+            assert!(s.starts_with('x'));
+            assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn star_plus_question_quantifiers() {
+        for s in samples("a*b+c?", 200) {
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            assert!(s.contains('b'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_is_rejected() {
+        Pattern::parse("a|b");
+    }
+}

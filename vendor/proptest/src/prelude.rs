@@ -1,0 +1,6 @@
+//! The glob-importable prelude, mirroring `proptest::prelude`.
+
+pub use crate::collection;
+pub use crate::strategy::{Map, Strategy};
+pub use crate::TestCaseError;
+pub use crate::{prop_assert, prop_assert_eq, proptest};

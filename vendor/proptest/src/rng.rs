@@ -1,0 +1,85 @@
+//! Deterministic pseudo-random number generation (xorshift64*).
+
+/// A small, fast, deterministic PRNG.
+///
+/// Properties are seeded from their test name, so every run generates the
+/// same cases and a reported failure reproduces immediately.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        // One splitmix64 round spreads the seed bits and avoids the all-zero
+        // fixed point of xorshift.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { state: z.max(1) }
+    }
+
+    /// Seed from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::from_seed(hash)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[lo, hi)`; `hi` must be greater than `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi > lo, "empty range [{lo}, {hi})");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = Rng::from_name("x::y");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::from_name("x::y");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = Rng::from_name("x::z");
+        assert_ne!(a[0], other.next_u64());
+    }
+
+    #[test]
+    fn floats_and_ranges_stay_in_bounds() {
+        let mut r = Rng::from_seed(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let u = r.usize_in(3, 9);
+            assert!((3..9).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The [`Strategy`] trait and its primitive implementations.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::pattern::Pattern;
+use crate::rng::Rng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The combinator returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Rng) -> usize {
+        rng.usize_in(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Rng) -> u64 {
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut Rng) -> i64 {
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as i64
+    }
+}
+
+/// `&str` strategies are regex-like character-class patterns such as
+/// `"[A-Z ]{0,10}"`; see [`crate::pattern`] for the supported subset.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        Pattern::parse(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = Rng::from_seed(1);
+        for _ in 0..200 {
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let u = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        let mut rng = Rng::from_seed(2);
+        let s = (1usize..5).prop_map(|n| n * 10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace builds without network access, so the real `serde` cannot be
+//! resolved from a registry.  The data-model types in `linkage-types` carry
+//! `#[derive(Serialize, Deserialize)]` so that a later PR can turn on real
+//! serialisation by pointing `[workspace.dependencies] serde` at the real
+//! crate; until then this facade re-exports no-op derives and marker traits
+//! with the same names.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait DeserializeMarker {}

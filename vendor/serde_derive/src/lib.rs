@@ -1,0 +1,22 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derive macros.
+//!
+//! This workspace builds in a fully offline environment, so the real `serde`
+//! crates cannot be fetched from a registry.  Nothing in the workspace
+//! actually serialises data yet — the derives on the data-model types exist
+//! so that a future PR can swap in the real `serde` by editing only
+//! `[workspace.dependencies]`.  Until then these macros accept the same
+//! syntax and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
