@@ -6,7 +6,7 @@
 //! instead every file under `benches/` is a plain `fn main()` harness
 //! (`harness = false`) built from the helpers here:
 //!
-//! * [`bench`] — warm up, run a closure `iters` times, report ns/iter;
+//! * [`bench()`] — warm up, run a closure `iters` times, report ns/iter;
 //! * [`black_box`] — re-export of [`std::hint::black_box`] to keep the
 //!   optimiser from deleting measured work;
 //! * [`workload`] — the standard parent/child dataset the operator

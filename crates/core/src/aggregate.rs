@@ -1,0 +1,118 @@
+//! Epoch-granular global control for the sharded parallel join.
+//!
+//! The serial [`crate::AdaptiveJoin`] runs its monitor → assessor loop
+//! after every consumed tuple.  The sharded executor in `linkage-exec`
+//! cannot: workers process whole batches between barriers, so the
+//! controller only sees **aggregated** counters at epoch boundaries — the
+//! router's consumed counts plus the deduplicated global match count
+//! merged from every shard.  [`GlobalController`] adapts the same
+//! [`Monitor`]/[`Assessor`] pair to that cadence: it assesses once per
+//! *crossed* checkpoint (`check_every` consumed child tuples), whether or
+//! not the epoch boundary lands exactly on the checkpoint, so the switch
+//! decision is global, consistent across shards, and statistically the
+//! same test the serial controller runs.
+
+use linkage_types::PerSide;
+
+use crate::adaptive::ControllerConfig;
+use crate::assessor::{Assessment, Assessor};
+use crate::monitor::Monitor;
+
+/// The aggregated monitor → assessor loop driven at epoch boundaries.
+#[derive(Debug, Clone)]
+pub struct GlobalController {
+    monitor: Monitor,
+    assessor: Assessor,
+    last_checkpoint: u64,
+}
+
+impl GlobalController {
+    /// Build from the same configuration the serial controller takes.
+    pub fn new(config: ControllerConfig) -> Self {
+        Self {
+            monitor: Monitor::new(config.monitor),
+            assessor: Assessor::new(config.assessor),
+            last_checkpoint: 0,
+        }
+    }
+
+    /// Whether observing at `consumed_right` child tuples would cross a new
+    /// checkpoint (and therefore run the outlier test).
+    pub fn checkpoint_due(&self, consumed_right: u64) -> bool {
+        consumed_right / self.monitor.config().check_every > self.last_checkpoint
+    }
+
+    /// Feed the aggregated counters at an epoch boundary.
+    ///
+    /// Returns `None` when no checkpoint was crossed since the previous
+    /// call; otherwise runs one assessment over the *current* totals.  A
+    /// long epoch can cross several checkpoints at once — it still yields a
+    /// single assessment, because the intermediate counter values are gone;
+    /// the hysteresis streak then counts epochs rather than checkpoints,
+    /// which only makes the trigger more conservative.
+    pub fn observe_epoch(
+        &mut self,
+        consumed: PerSide<u64>,
+        distinct_matches: u64,
+    ) -> Option<Assessment> {
+        if !self.checkpoint_due(consumed.right) {
+            return None;
+        }
+        self.last_checkpoint = consumed.right / self.monitor.config().check_every;
+        let observation = self.monitor.observe(consumed, distinct_matches);
+        Some(self.assessor.assess(&observation))
+    }
+
+    /// How many assessments have been run.
+    pub fn assessments(&self) -> u64 {
+        self.monitor.assessments()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(reference: u64, check_every: u64) -> GlobalController {
+        let mut config = ControllerConfig::new(reference);
+        config.monitor = config.monitor.with_check_every(check_every);
+        GlobalController::new(config)
+    }
+
+    #[test]
+    fn assesses_only_when_a_checkpoint_is_crossed() {
+        let mut c = controller(100, 16);
+        assert!(c.observe_epoch(PerSide::new(10, 10), 5).is_none());
+        assert!(c.observe_epoch(PerSide::new(15, 15), 8).is_none());
+        // 17 > 16: the checkpoint is crossed even though the boundary does
+        // not land exactly on a multiple of the cadence.
+        assert!(c.observe_epoch(PerSide::new(17, 17), 9).is_some());
+        assert_eq!(c.assessments(), 1);
+        // Same checkpoint: no re-assessment.
+        assert!(c.observe_epoch(PerSide::new(20, 20), 11).is_none());
+        assert!(c.observe_epoch(PerSide::new(33, 33), 18).is_some());
+    }
+
+    #[test]
+    fn one_epoch_crossing_many_checkpoints_assesses_once() {
+        let mut c = controller(1000, 16);
+        assert!(c.observe_epoch(PerSide::new(100, 100), 10).is_some());
+        assert_eq!(c.assessments(), 1);
+        assert!(!c.checkpoint_due(100));
+        assert!(c.checkpoint_due(112));
+    }
+
+    #[test]
+    fn healthy_counts_stay_nominal_and_collapse_triggers() {
+        let mut c = controller(200, 16);
+        // Half the parents scanned, matches right at expectation: nominal.
+        let first = c.observe_epoch(PerSide::new(100, 16), 8).unwrap();
+        assert!(matches!(first, Assessment::Nominal { .. }));
+
+        // Matches collapse: two consecutive outlier checkpoints trigger.
+        let second = c.observe_epoch(PerSide::new(150, 64), 10).unwrap();
+        assert!(matches!(second, Assessment::Alarm { .. }));
+        let third = c.observe_epoch(PerSide::new(180, 96), 10).unwrap();
+        assert!(third.is_trigger());
+    }
+}

@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod aggregate;
 pub mod assessor;
 pub mod monitor;
 
 pub use adaptive::{AdaptiveJoin, AdaptiveReport, ControllerConfig, SwitchEvent};
+pub use aggregate::GlobalController;
 pub use assessor::{Assessment, Assessor, AssessorConfig};
 pub use monitor::{Monitor, MonitorConfig, Observation};

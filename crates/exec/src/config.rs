@@ -1,0 +1,110 @@
+//! Configuration of the sharded parallel join.
+
+use linkage_core::ControllerConfig;
+use linkage_operators::SwitchJoinConfig;
+use linkage_types::PerSide;
+
+/// Everything the parallel executor needs to know.
+#[derive(Debug, Clone)]
+pub struct ParallelJoinConfig {
+    /// Number of worker shards (threads).  One shard is legal and useful:
+    /// it runs the identical sharded protocol, which is what the
+    /// shard-count-invariance tests compare against.
+    pub shards: usize,
+    /// Input tuples pulled per epoch.  An epoch is the unit of the
+    /// coordinator's lock-step protocol: route a batch, barrier on every
+    /// shard, merge, assess.  Larger epochs amortise the barrier; smaller
+    /// epochs tighten the switch decision's granularity.
+    pub batch_size: usize,
+    /// Bounded depth of each worker's command and reply channel.
+    pub channel_capacity: usize,
+    /// Join configuration shared by every shard (keys, q-grams, θ_sim).
+    pub join: SwitchJoinConfig,
+    /// Global monitor/assessor settings.
+    pub controller: ControllerConfig,
+    /// Testing and experiment hook: unconditionally switch at the first
+    /// epoch boundary at or after this many consumed tuples, bypassing the
+    /// assessor.  `None` (the default) leaves the decision to the
+    /// controller.
+    pub force_switch_after: Option<u64>,
+}
+
+impl ParallelJoinConfig {
+    /// Build with defaults: the paper's join parameters, a 64-tuple epoch,
+    /// and the serial controller's cadence.
+    pub fn new(shards: usize, keys: PerSide<usize>, reference_size: u64) -> Self {
+        assert!(shards > 0, "parallel join requires at least one shard");
+        Self {
+            shards,
+            batch_size: 64,
+            channel_capacity: 2,
+            join: SwitchJoinConfig::new(keys),
+            controller: ControllerConfig::new(reference_size),
+            force_switch_after: None,
+        }
+    }
+
+    /// Override the epoch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "epoch batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Override the join configuration.
+    #[must_use]
+    pub fn with_join(mut self, join: SwitchJoinConfig) -> Self {
+        self.join = join;
+        self
+    }
+
+    /// Override the controller configuration.
+    #[must_use]
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Force the switch at a fixed point in the stream (tests, experiments).
+    #[must_use]
+    pub fn with_forced_switch_after(mut self, consumed_tuples: u64) -> Self {
+        self.force_switch_after = Some(consumed_tuples);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ParallelJoinConfig::new(4, PerSide::new(0, 0), 100);
+        assert_eq!(c.shards, 4);
+        assert!(c.batch_size > 0);
+        assert!(c.channel_capacity > 0);
+        assert!(c.force_switch_after.is_none());
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = ParallelJoinConfig::new(2, PerSide::new(1, 1), 10)
+            .with_batch_size(7)
+            .with_forced_switch_after(100);
+        assert_eq!(c.batch_size, 7);
+        assert_eq!(c.force_switch_after, Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ParallelJoinConfig::new(0, PerSide::new(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        let _ = ParallelJoinConfig::new(1, PerSide::new(0, 0), 1).with_batch_size(0);
+    }
+}

@@ -1,0 +1,264 @@
+//! # linkage-exec
+//!
+//! The partition-parallel execution layer of the adaptive record-linkage
+//! pipeline: scale the paper's single-threaded exact → approximate join
+//! across cores without changing what it emits.
+//!
+//! * [`ParallelJoin`] — a pipelined operator that hash-partitions the
+//!   input across N worker shards (one [`SymmetricHashJoin`]-equivalent
+//!   kernel per thread, bounded channels), switches **globally** to the
+//!   approximate kernel when the aggregated monitor → assessor loop
+//!   triggers, and merges emitted match pairs deterministically;
+//! * [`ParallelJoinConfig`] — shard count, epoch size, the shared join
+//!   parameters and the global controller settings;
+//! * [`ParallelReport`] / [`ShardStats`] — run summary with per-shard
+//!   residency, probe and state-size statistics.
+//!
+//! The match-pair **set** produced is identical to the serial operators'
+//! for every shard count — equal keys co-locate by stable hash in the
+//! exact phase, broadcast probing reaches every resident in the
+//! approximate phase, and the distributed handover recovers cross-shard
+//! pairs — which the shard-count-invariance suite under `tests/` checks
+//! against the nested-loop oracles.
+//!
+//! [`SymmetricHashJoin`]: linkage_operators::SymmetricHashJoin
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod messages;
+pub mod parallel;
+mod shard;
+
+pub use config::ParallelJoinConfig;
+pub use messages::{PreparedTuple, ShardStats};
+pub use parallel::{ParallelJoin, ParallelReport};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    use linkage_core::{AdaptiveJoin, ControllerConfig};
+    use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+    use linkage_operators::{
+        InterleavedScan, JoinPhase, Operator, SshJoin, SwitchJoin, SwitchJoinConfig,
+    };
+    use linkage_types::{Field, Value};
+    use linkage_types::{
+        LinkageError, MatchPair, PerSide, Record, RecordId, Schema, SidedRecord, VecStream,
+    };
+
+    use super::*;
+
+    const KEYS: PerSide<usize> = PerSide {
+        left: GeneratedData::KEY_COLUMN,
+        right: GeneratedData::KEY_COLUMN,
+    };
+
+    fn scan(data: &GeneratedData) -> InterleavedScan<VecStream, VecStream> {
+        InterleavedScan::alternating(
+            VecStream::from_relation(&data.parents),
+            VecStream::from_relation(&data.children),
+        )
+    }
+
+    fn parallel(
+        data: &GeneratedData,
+        shards: usize,
+    ) -> ParallelJoin<InterleavedScan<VecStream, VecStream>> {
+        let config =
+            ParallelJoinConfig::new(shards, KEYS, data.parents.len() as u64).with_batch_size(32);
+        ParallelJoin::new(scan(data), config)
+    }
+
+    fn id_set(pairs: &[MatchPair]) -> HashSet<(RecordId, RecordId)> {
+        pairs.iter().map(MatchPair::id_pair).collect()
+    }
+
+    fn assert_no_duplicates(pairs: &[MatchPair]) {
+        let mut seen = HashSet::new();
+        for p in pairs {
+            assert!(seen.insert(p.id_pair()), "duplicate pair {:?}", p.id_pair());
+        }
+    }
+
+    #[test]
+    fn clean_data_matches_serial_exact_join_for_every_shard_count() {
+        let data = generate(&DatagenConfig::clean(120, 21)).unwrap();
+        let mut serial = SwitchJoin::new(scan(&data), SwitchJoinConfig::new(KEYS));
+        let expected = id_set(&serial.run_to_end().unwrap());
+        for shards in [1, 2, 3, 4] {
+            let mut join = parallel(&data, shards);
+            let pairs = join.run_to_end().unwrap();
+            assert_eq!(join.phase(), JoinPhase::Exact, "{shards} shards switched");
+            assert!(join.switch_event().is_none());
+            assert_no_duplicates(&pairs);
+            assert_eq!(id_set(&pairs), expected, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn dirty_tail_triggers_a_global_switch_with_full_recovery() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(150, 22)).unwrap();
+        // The serial adaptive join is the reference behaviour.
+        let mut serial = AdaptiveJoin::new(
+            SwitchJoin::new(scan(&data), SwitchJoinConfig::new(KEYS)),
+            ControllerConfig::new(data.parents.len() as u64),
+        );
+        let serial_pairs = serial.run_to_end().unwrap();
+        assert!(serial.switch_event().is_some(), "workload must switch");
+
+        for shards in [1, 2, 4] {
+            let mut join = parallel(&data, shards);
+            let pairs = join.run_to_end().unwrap();
+            let event = join.switch_event().expect("parallel join must switch too");
+            assert!(event.sigma <= 0.01);
+            assert!(event.after_tuples > 0);
+            assert!(join.switch_latency().is_some());
+            assert_eq!(join.phase(), JoinPhase::Approximate);
+            assert_no_duplicates(&pairs);
+            // Identical match-pair set as the serial adaptive join: the
+            // post-switch set is invariant to where the switch landed.
+            assert_eq!(id_set(&pairs), id_set(&serial_pairs), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn forced_switch_matches_pure_ssh_join_set() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(100, 23)).unwrap();
+        let mut ssh = SshJoin::new(scan(&data), KEYS, linkage_text::QGramConfig::default(), 0.8);
+        let expected = id_set(&ssh.run_to_end().unwrap());
+        for shards in [1, 3] {
+            let config = ParallelJoinConfig::new(shards, KEYS, data.parents.len() as u64)
+                .with_batch_size(17) // deliberately not a divisor of anything
+                .with_forced_switch_after(60);
+            let mut join = ParallelJoin::new(scan(&data), config);
+            let pairs = join.run_to_end().unwrap();
+            let event = join.switch_event().expect("forced switch");
+            assert_eq!(event.sigma, 0.0, "forced switches report sigma 0");
+            assert_no_duplicates(&pairs);
+            assert_eq!(id_set(&pairs), expected, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic_per_shard_count() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(80, 24)).unwrap();
+        let run = |shards: usize| -> Vec<(RecordId, RecordId)> {
+            parallel(&data, shards)
+                .run_to_end()
+                .unwrap()
+                .iter()
+                .map(MatchPair::id_pair)
+                .collect()
+        };
+        assert_eq!(run(3), run(3), "same shard count, same order");
+    }
+
+    #[test]
+    fn consumed_counts_each_tuple_once_despite_broadcast() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(60, 25)).unwrap();
+        let config = ParallelJoinConfig::new(4, KEYS, data.parents.len() as u64)
+            .with_batch_size(32)
+            .with_forced_switch_after(64); // guarantee a post-switch phase
+        let mut join = ParallelJoin::new(scan(&data), config);
+        join.run_to_end().unwrap();
+        assert_eq!(join.consumed().left as usize, data.parents.len());
+        assert_eq!(join.consumed().right as usize, data.children.len());
+
+        let report = join.report();
+        assert_eq!(report.shards.len(), 4);
+        let stored: u64 = report.shards.iter().map(|s| s.stored_tuples).sum();
+        assert_eq!(stored, join.total_consumed(), "every tuple has one home");
+        let resident: usize = report
+            .shards
+            .iter()
+            .map(|s| s.resident.left + s.resident.right)
+            .sum();
+        assert_eq!(resident as u64, join.total_consumed());
+        assert!(report.shards.iter().all(|s| s.state_bytes.left > 0));
+        // Post-switch, every shard probes every tuple: probes exceed stores.
+        assert!(report.shards.iter().any(|s| s.probes > s.stored_tuples));
+    }
+
+    #[test]
+    fn emitted_counters_match_output_stream() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(70, 26)).unwrap();
+        let mut join = parallel(&data, 2);
+        let pairs = join.run_to_end().unwrap();
+        assert_eq!(join.emitted().total() as usize, pairs.len());
+        let exact = pairs.iter().filter(|p| p.kind.is_exact()).count();
+        assert_eq!(join.emitted().exact as usize, exact);
+        let per_shard: u64 = join.report().shards.iter().map(|s| s.emitted.total()).sum();
+        assert_eq!(per_shard as usize, pairs.len());
+    }
+
+    #[test]
+    fn operator_protocol_is_enforced() {
+        let data = generate(&DatagenConfig::clean(10, 27)).unwrap();
+        let mut join = parallel(&data, 2);
+        assert!(matches!(
+            join.next(),
+            Err(LinkageError::OperatorState(ref m)) if m.contains("before open")
+        ));
+        join.open().unwrap();
+        assert!(join.open().is_err(), "double open must fail");
+        join.close().unwrap();
+        assert!(join.close().is_ok(), "close is idempotent");
+        assert!(join.next().is_err(), "next after close must fail");
+    }
+
+    #[test]
+    fn non_string_key_column_errors_and_close_still_works() {
+        let schema = Schema::of(vec![Field::integer("id")]);
+        let records = vec![Record::new(0u64, vec![Value::Int(5)])];
+        let left = VecStream::new(schema.clone(), records.clone());
+        let right = VecStream::new(schema, records);
+        let scan = InterleavedScan::alternating(left, right);
+        let mut join = ParallelJoin::new(scan, ParallelJoinConfig::new(2, PerSide::new(0, 0), 1));
+        join.open().unwrap();
+        assert!(join.next().is_err());
+        assert_eq!(join.next().unwrap(), None, "poisoned join is exhausted");
+        join.close().unwrap();
+    }
+
+    #[test]
+    fn dropping_an_open_join_shuts_workers_down() {
+        let data = generate(&DatagenConfig::clean(40, 28)).unwrap();
+        let mut join = parallel(&data, 3);
+        join.open().unwrap();
+        let _ = join.next().unwrap();
+        drop(join); // must not hang or leak threads
+    }
+
+    #[test]
+    fn report_before_close_has_no_shard_stats() {
+        let data = generate(&DatagenConfig::clean(20, 29)).unwrap();
+        let mut join = parallel(&data, 2);
+        join.open().unwrap();
+        let _ = join.next().unwrap();
+        assert!(join.report().shards.is_empty());
+        join.close().unwrap();
+        assert_eq!(join.report().shards.len(), 2);
+    }
+
+    #[test]
+    fn prepared_tuples_share_the_router_allocation() {
+        // Routing metadata is Arc-shared, not copied per shard.
+        let rec = SidedRecord::new(
+            linkage_types::Side::Left,
+            Record::new(1u64, vec![Value::string("LOC ABC DEF")]),
+        );
+        let prep = PreparedTuple {
+            sided: rec.clone(),
+            key: Arc::from("loc abc def"),
+            grams: linkage_text::QGramSet::extract_default("LOC ABC DEF"),
+            home: linkage_types::ShardId(0),
+        };
+        let clone = prep.clone();
+        assert!(Arc::ptr_eq(&prep.key, &clone.key));
+        assert_eq!(prep.home, clone.home);
+    }
+}

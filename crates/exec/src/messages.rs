@@ -1,0 +1,86 @@
+//! The coordinator ⇄ shard wire protocol.
+//!
+//! Commands flow down a bounded channel per shard, replies flow back up
+//! one.  The protocol is strictly request/reply in epoch lock-step: the
+//! coordinator sends one command to every shard, then collects exactly one
+//! reply from every shard in shard order — which is what makes the merged
+//! output deterministic for a given shard count.
+
+use std::sync::Arc;
+
+use linkage_operators::{PerKind, SshStored};
+use linkage_text::QGramSet;
+use linkage_types::{MatchPair, PerSide, Result, ShardId, Side, SidedRecord};
+
+/// One input tuple with its routing work pre-done by the coordinator.
+///
+/// In the approximate phase every shard receives every tuple (to probe its
+/// slice of the resident state), so the key is normalised and tokenised
+/// **once** here and shared; `home` names the single shard that also
+/// stores the tuple.
+#[derive(Debug, Clone)]
+pub struct PreparedTuple {
+    /// The tuple, tagged with its input side.
+    pub sided: SidedRecord,
+    /// The normalised join key.
+    pub key: Arc<str>,
+    /// The q-gram set of the key.
+    pub grams: QGramSet,
+    /// The shard that stores this tuple.
+    pub home: ShardId,
+}
+
+/// A command from the coordinator to one shard.
+#[derive(Debug)]
+pub enum ShardCmd {
+    /// Exact phase: process these hash-routed tuples (key pre-normalised).
+    ExactBatch(Vec<(SidedRecord, Arc<str>)>),
+    /// Approximate phase: probe every tuple, store the ones homed here.
+    ApproxBatch(Arc<Vec<PreparedTuple>>),
+    /// Perform the local exact → approximate handover (paper §3.3) and
+    /// reply with the recovered pairs plus a snapshot of the residents.
+    Switch,
+    /// Probe these foreign residents (snapshots of lower-numbered shards)
+    /// against the local post-handover indexes.
+    Recover(Vec<Arc<Vec<(Side, SshStored)>>>),
+    /// Report final statistics and exit.
+    Finish,
+}
+
+/// A reply from one shard to the coordinator.
+#[derive(Debug)]
+pub enum ShardReply {
+    /// Pairs emitted by a batch command (either phase), in processing
+    /// order; an `Err` poisons the join.
+    Pairs(Result<Vec<MatchPair>>),
+    /// The local handover completed.
+    Switched {
+        /// Matches recovered from this shard's own resident state.
+        recovered: Vec<MatchPair>,
+        /// Snapshot of the shard's residents, for cross-shard recovery.
+        residents: Vec<(Side, SshStored)>,
+    },
+    /// Cross-shard recovery completed with these additional pairs.
+    Recovered(Vec<MatchPair>),
+    /// Final per-shard statistics, sent in response to [`ShardCmd::Finish`].
+    Finished(Box<ShardStats>),
+}
+
+/// What one shard did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Which shard.
+    pub shard: ShardId,
+    /// Tuples this shard stored (exact-phase routed plus approximate-phase
+    /// homed).  Summed over shards this equals the join's consumed count.
+    pub stored_tuples: u64,
+    /// Probe operations performed, including approximate-phase broadcast
+    /// probes of tuples homed elsewhere.
+    pub probes: u64,
+    /// Pairs this shard emitted, by kind (recovery included).
+    pub emitted: PerKind,
+    /// Tuples resident per side at the end of the run.
+    pub resident: PerSide<usize>,
+    /// Estimated resident-state bytes per side at the end of the run.
+    pub state_bytes: PerSide<usize>,
+}

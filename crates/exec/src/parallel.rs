@@ -1,0 +1,526 @@
+//! The partition-parallel adaptive join.
+//!
+//! [`ParallelJoin`] drives N worker shards (one thread each, bounded
+//! channels) through lock-step **epochs**:
+//!
+//! 1. pull up to `batch_size` tuples from the input operator;
+//! 2. route them — in the **exact phase** each tuple goes to the single
+//!    shard owning the stable hash of its normalised key, so every shard
+//!    runs an independent symmetric hash join over a disjoint partition;
+//!    in the **approximate phase** every tuple is tokenised once at the
+//!    router and broadcast: every shard probes it against its slice of the
+//!    resident inverted index, and only the tuple's home shard stores it;
+//! 3. barrier on one reply per shard, merging emitted pairs in shard
+//!    order — deterministic for a given shard count, with each distinct
+//!    pair emitted exactly once;
+//! 4. feed the aggregated counters to the global
+//!    [`GlobalController`]; on a trigger, orchestrate the distributed
+//!    §3.3 handover: every shard migrates its hash tables into inverted
+//!    indexes and recovers its local matches, then each shard probes the
+//!    resident snapshots of the shards before it, recovering the
+//!    cross-shard matches hash partitioning had separated.
+//!
+//! The exact phase parallelises because the partitions are disjoint; the
+//! approximate phase parallelises because probe cost is proportional to
+//! posting-list length and every shard holds ~1/N of the postings.  The
+//! switch decision is made once, globally, from deduplicated counts — the
+//! same binomial outlier test the serial [`AdaptiveJoin`] applies.
+//!
+//! [`AdaptiveJoin`]: linkage_core::AdaptiveJoin
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use linkage_core::{Assessment, GlobalController, SwitchEvent};
+use linkage_operators::{JoinPhase, Operator, OperatorState, PerKind, SshJoinCore, SshStored};
+use linkage_text::normalize;
+use linkage_types::{
+    LinkageError, MatchKind, MatchPair, Partitioner, PerSide, Result, ShardId, Side, SidedRecord,
+};
+
+use crate::config::ParallelJoinConfig;
+use crate::messages::{PreparedTuple, ShardCmd, ShardReply, ShardStats};
+use crate::shard::ShardWorker;
+
+/// One spawned worker: its command channel, reply channel and thread.
+struct WorkerHandle {
+    id: ShardId,
+    cmd: SyncSender<ShardCmd>,
+    reply: Receiver<ShardReply>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    fn send(&self, cmd: ShardCmd) -> Result<()> {
+        self.cmd
+            .send(cmd)
+            .map_err(|_| LinkageError::execution(format!("{} disconnected", self.id)))
+    }
+
+    fn recv(&self) -> Result<ShardReply> {
+        self.reply
+            .recv()
+            .map_err(|_| LinkageError::execution(format!("{} died without replying", self.id)))
+    }
+}
+
+/// Summary of a parallel join run.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Phase the join ended in.
+    pub phase: JoinPhase,
+    /// Input tuples consumed per side (each tuple counted once, at the
+    /// router, regardless of approximate-phase broadcast).
+    pub consumed: PerSide<u64>,
+    /// Distinct pairs emitted, by kind.
+    pub emitted: PerKind,
+    /// The switch, if it happened.  A forced switch reports `sigma = 0.0`.
+    pub switch: Option<SwitchEvent>,
+    /// Wall-clock duration of the distributed handover (local migrations
+    /// plus cross-shard recovery), if a switch happened.
+    pub switch_latency: Option<Duration>,
+    /// Per-shard statistics, populated by [`Operator::close`].
+    pub shards: Vec<ShardStats>,
+}
+
+/// The sharded parallel adaptive join operator.
+///
+/// A pipelined [`Operator`] like its serial counterpart: callers pull
+/// merged match pairs from it.  `open` spawns the worker threads, `close`
+/// collects their statistics and joins them.
+pub struct ParallelJoin<I> {
+    input: I,
+    config: ParallelJoinConfig,
+    partitioner: Partitioner,
+    /// Zero-state kernel used only for its `prepare` (normalise + tokenise)
+    /// so the router shares the workers' exact configuration.
+    prep: SshJoinCore,
+    controller: GlobalController,
+    workers: Vec<WorkerHandle>,
+    state: OperatorState,
+    phase: JoinPhase,
+    out: VecDeque<MatchPair>,
+    /// The next approximate-phase epoch, tokenised while the workers were
+    /// busy probing the previous one.
+    prepared_ahead: Option<Arc<Vec<PreparedTuple>>>,
+    consumed: PerSide<u64>,
+    emitted: PerKind,
+    switch: Option<SwitchEvent>,
+    switch_latency: Option<Duration>,
+    shard_stats: Vec<ShardStats>,
+    exhausted: bool,
+}
+
+impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
+    /// Build over a sided input.
+    pub fn new(input: I, config: ParallelJoinConfig) -> Self {
+        let partitioner = Partitioner::new(config.shards);
+        let prep = SshJoinCore::new(
+            config.join.keys,
+            config.join.qgram.clone(),
+            config.join.theta_sim,
+        );
+        let controller = GlobalController::new(config.controller.clone());
+        Self {
+            input,
+            config,
+            partitioner,
+            prep,
+            controller,
+            workers: Vec::new(),
+            state: OperatorState::default(),
+            phase: JoinPhase::Exact,
+            out: VecDeque::new(),
+            prepared_ahead: None,
+            consumed: PerSide::default(),
+            emitted: PerKind::default(),
+            switch: None,
+            switch_latency: None,
+            shard_stats: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.config.shards
+    }
+
+    /// The phase currently driving output.
+    pub fn phase(&self) -> JoinPhase {
+        self.phase
+    }
+
+    /// Input tuples consumed per side.
+    pub fn consumed(&self) -> PerSide<u64> {
+        self.consumed
+    }
+
+    /// Total input tuples consumed.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed.left + self.consumed.right
+    }
+
+    /// Distinct pairs emitted so far, by kind.
+    pub fn emitted(&self) -> PerKind {
+        self.emitted
+    }
+
+    /// The switch decision, if one was made.
+    pub fn switch_event(&self) -> Option<SwitchEvent> {
+        self.switch
+    }
+
+    /// Wall-clock duration of the distributed handover, if it ran.
+    pub fn switch_latency(&self) -> Option<Duration> {
+        self.switch_latency
+    }
+
+    /// Summarise the run.  Per-shard statistics are collected by
+    /// [`Operator::close`]; before that `shards` is empty.
+    pub fn report(&self) -> ParallelReport {
+        ParallelReport {
+            phase: self.phase,
+            consumed: self.consumed,
+            emitted: self.emitted,
+            switch: self.switch,
+            switch_latency: self.switch_latency,
+            shards: self.shard_stats.clone(),
+        }
+    }
+
+    fn spawn_workers(&mut self) -> Result<()> {
+        let cmd_depth = self.config.channel_capacity.max(1);
+        // One stale lock-step reply plus the final `Finished` must fit
+        // without blocking the worker, or an error-path shutdown could
+        // deadlock on a full reply channel.
+        let reply_depth = cmd_depth + 1;
+        for id in self.partitioner.shard_ids() {
+            let (cmd_tx, cmd_rx) = sync_channel::<ShardCmd>(cmd_depth);
+            let (reply_tx, reply_rx) = sync_channel::<ShardReply>(reply_depth);
+            let worker = ShardWorker::new(id, self.config.join.clone());
+            let thread = std::thread::Builder::new()
+                .name(format!("linkage-{id}"))
+                .spawn(move || worker.run(cmd_rx, reply_tx))?;
+            self.workers.push(WorkerHandle {
+                id,
+                cmd: cmd_tx,
+                reply: reply_rx,
+                thread: Some(thread),
+            });
+        }
+        Ok(())
+    }
+
+    /// Pull up to one epoch's worth of input.
+    fn pull_batch(&mut self) -> Result<Vec<SidedRecord>> {
+        let mut batch = Vec::with_capacity(self.config.batch_size);
+        while batch.len() < self.config.batch_size {
+            match self.input.next()? {
+                Some(sided) => batch.push(sided),
+                None => break,
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Run one epoch: pull, route, barrier, merge, assess.
+    fn epoch(&mut self) -> Result<()> {
+        if self.phase == JoinPhase::Approximate {
+            return self.approx_epoch();
+        }
+        let batch = self.pull_batch()?;
+        if batch.is_empty() {
+            self.exhausted = true;
+            return Ok(());
+        }
+        self.exact_epoch(batch)?;
+        self.control_step()
+    }
+
+    /// Exact phase: hash-partition the batch, one shard per tuple.
+    fn exact_epoch(&mut self, batch: Vec<SidedRecord>) -> Result<()> {
+        let mut per_shard: Vec<Vec<(SidedRecord, Arc<str>)>> =
+            (0..self.config.shards).map(|_| Vec::new()).collect();
+        let normalization = self.config.join.normalization();
+        for sided in batch {
+            let raw = sided.record.key_str(self.config.join.keys[sided.side])?;
+            let key: Arc<str> = Arc::from(normalize(raw, &normalization).as_str());
+            let shard = self.partitioner.shard_of(&key);
+            self.consumed[sided.side] += 1;
+            per_shard[shard.as_usize()].push((sided, key));
+        }
+        // Every shard gets a (possibly empty) batch: the barrier stays
+        // symmetric and the merge order deterministic.
+        for (worker, tuples) in self.workers.iter().zip(per_shard) {
+            worker.send(ShardCmd::ExactBatch(tuples))?;
+        }
+        self.collect_batch_replies()
+    }
+
+    /// Approximate phase: broadcast a prepared batch, store at the home
+    /// shard — then tokenise the *next* epoch while the workers probe this
+    /// one, so the router's normalise + q-gram work (the dominant
+    /// per-tuple cost of the approximate phase's critical path when
+    /// posting lists are short) overlaps with shard work instead of
+    /// serialising in front of it.
+    fn approx_epoch(&mut self) -> Result<()> {
+        let shared = match self.prepared_ahead.take() {
+            Some(prepared) => prepared,
+            None => {
+                let batch = self.pull_batch()?;
+                if batch.is_empty() {
+                    self.exhausted = true;
+                    return Ok(());
+                }
+                self.prepare_batch(batch)?
+            }
+        };
+        for worker in &self.workers {
+            worker.send(ShardCmd::ApproxBatch(Arc::clone(&shared)))?;
+        }
+        let next = self.pull_batch()?;
+        if !next.is_empty() {
+            self.prepared_ahead = Some(self.prepare_batch(next)?);
+        }
+        self.collect_batch_replies()
+    }
+
+    /// Normalise, tokenise and home-assign one epoch's tuples.  Counts the
+    /// tuples as consumed: the router has irrevocably taken them from the
+    /// input, even if the matching barrier happens next epoch.
+    fn prepare_batch(&mut self, batch: Vec<SidedRecord>) -> Result<Arc<Vec<PreparedTuple>>> {
+        let mut prepared = Vec::with_capacity(batch.len());
+        for sided in batch {
+            let (key, grams) = self.prep.prepare(&sided)?;
+            let home = self.partitioner.shard_of(&key);
+            self.consumed[sided.side] += 1;
+            prepared.push(PreparedTuple {
+                sided,
+                key,
+                grams,
+                home,
+            });
+        }
+        Ok(Arc::new(prepared))
+    }
+
+    /// Barrier: one `Pairs` reply per shard, merged in shard order.
+    fn collect_batch_replies(&mut self) -> Result<()> {
+        for i in 0..self.workers.len() {
+            match self.workers[i].recv()? {
+                ShardReply::Pairs(Ok(pairs)) => self.absorb(pairs),
+                ShardReply::Pairs(Err(e)) => return Err(e),
+                _ => {
+                    return Err(LinkageError::execution(format!(
+                        "{}: unexpected reply to a batch command",
+                        self.workers[i].id
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Buffer merged pairs, folding their kinds into the global counters.
+    /// Every pair arrives here exactly once (disjoint exact partitions;
+    /// unique home shards in the approximate phase; disjoint local/cross
+    /// recovery), so these counters are the deduplicated global result
+    /// size the monitor observes.
+    fn absorb(&mut self, pairs: Vec<MatchPair>) {
+        for pair in &pairs {
+            match pair.kind {
+                MatchKind::Exact => self.emitted.exact += 1,
+                MatchKind::Approximate { .. } => self.emitted.approximate += 1,
+            }
+        }
+        self.out.extend(pairs);
+    }
+
+    /// The global monitor → assessor → actuator step, run per epoch while
+    /// the join is exact.
+    fn control_step(&mut self) -> Result<()> {
+        if self.phase != JoinPhase::Exact {
+            return Ok(());
+        }
+        if let Some(after) = self.config.force_switch_after {
+            if self.total_consumed() >= after {
+                return self.orchestrate_switch(0.0);
+            }
+        }
+        if let Some(Assessment::Trigger { sigma }) = self
+            .controller
+            .observe_epoch(self.consumed, self.emitted.total())
+        {
+            return self.orchestrate_switch(sigma);
+        }
+        Ok(())
+    }
+
+    /// The distributed exact → approximate handover.
+    fn orchestrate_switch(&mut self, sigma: f64) -> Result<()> {
+        let start = Instant::now();
+        for worker in &self.workers {
+            worker.send(ShardCmd::Switch)?;
+        }
+        let mut snapshots: Vec<Arc<Vec<(Side, SshStored)>>> =
+            Vec::with_capacity(self.workers.len());
+        let mut recovered_total = 0u64;
+        for i in 0..self.workers.len() {
+            match self.workers[i].recv()? {
+                ShardReply::Switched {
+                    recovered,
+                    residents,
+                } => {
+                    recovered_total += recovered.len() as u64;
+                    self.absorb(recovered);
+                    snapshots.push(Arc::new(residents));
+                }
+                ShardReply::Pairs(Err(e)) => return Err(e),
+                _ => {
+                    return Err(LinkageError::execution(format!(
+                        "{}: unexpected reply to Switch",
+                        self.workers[i].id
+                    )))
+                }
+            }
+        }
+        // Cross-shard recovery: shard j probes the residents of shards
+        // i < j, so every cross-shard resident pair is probed exactly once.
+        for (j, worker) in self.workers.iter().enumerate().skip(1) {
+            worker.send(ShardCmd::Recover(snapshots[..j].to_vec()))?;
+        }
+        for j in 1..self.workers.len() {
+            match self.workers[j].recv()? {
+                ShardReply::Recovered(pairs) => {
+                    recovered_total += pairs.len() as u64;
+                    self.absorb(pairs);
+                }
+                ShardReply::Pairs(Err(e)) => return Err(e),
+                _ => {
+                    return Err(LinkageError::execution(format!(
+                        "{}: unexpected reply to Recover",
+                        self.workers[j].id
+                    )))
+                }
+            }
+        }
+        self.phase = JoinPhase::Approximate;
+        self.switch = Some(SwitchEvent {
+            after_tuples: self.total_consumed(),
+            sigma,
+            recovered: recovered_total,
+        });
+        self.switch_latency = Some(start.elapsed());
+        Ok(())
+    }
+
+    /// Send `Finish` everywhere, harvest statistics, join the threads.
+    fn shutdown_workers(&mut self) -> Result<()> {
+        let mut workers = std::mem::take(&mut self.workers);
+        let mut first_err: Option<LinkageError> = None;
+        for worker in &workers {
+            if let Err(e) = worker.send(ShardCmd::Finish) {
+                first_err.get_or_insert(e);
+            }
+        }
+        for worker in &workers {
+            // Drain stale lock-step replies (an aborted epoch can leave
+            // one) until the final statistics arrive.
+            loop {
+                match worker.reply.recv() {
+                    Ok(ShardReply::Finished(stats)) => {
+                        self.shard_stats.push(*stats);
+                        break;
+                    }
+                    Ok(_) => continue,
+                    Err(_) => {
+                        first_err.get_or_insert_with(|| {
+                            LinkageError::execution(format!(
+                                "{} died before reporting statistics",
+                                worker.id
+                            ))
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        for worker in &mut workers {
+            if let Some(handle) = worker.thread.take() {
+                let _ = handle.join();
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<I: Operator<Item = SidedRecord>> Operator for ParallelJoin<I> {
+    type Item = MatchPair;
+
+    fn name(&self) -> &'static str {
+        "parallel-join"
+    }
+
+    fn state(&self) -> OperatorState {
+        self.state
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.state.check_open(self.name())?;
+        self.input.open()?;
+        self.spawn_workers()?;
+        self.state = OperatorState::Open;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<MatchPair>> {
+        self.state.check_next(self.name())?;
+        loop {
+            if let Some(pair) = self.out.pop_front() {
+                return Ok(Some(pair));
+            }
+            if self.exhausted {
+                return Ok(None);
+            }
+            if let Err(e) = self.epoch() {
+                // A severed shard cannot be resumed; stop pulling input.
+                self.exhausted = true;
+                return Err(e);
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.state != OperatorState::Closed {
+            let shutdown = self.shutdown_workers();
+            self.input.close()?;
+            self.state = OperatorState::Closed;
+            shutdown?;
+        }
+        Ok(())
+    }
+}
+
+impl<I> Drop for ParallelJoin<I> {
+    fn drop(&mut self) {
+        // Severing the command channels makes every worker exit its loop;
+        // dropping the reply receivers unblocks any in-flight send.
+        for worker in std::mem::take(&mut self.workers) {
+            let WorkerHandle {
+                cmd, reply, thread, ..
+            } = worker;
+            drop(cmd);
+            drop(reply);
+            if let Some(handle) = thread {
+                let _ = handle.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The per-shard worker: one thread, one switchable join kernel.
+//!
+//! A worker owns the same kernels the serial [`SwitchJoin`] drives — an
+//! [`ExactJoinCore`] that becomes an [`SshJoinCore`] at the handover — but
+//! is fed through the [`ShardCmd`] channel protocol instead of an input
+//! operator, and obeys the coordinator's *global* switch decision instead
+//! of deciding locally.
+//!
+//! [`SwitchJoin`]: linkage_operators::SwitchJoin
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, SyncSender};
+
+use linkage_operators::{ExactJoinCore, PerKind, SshJoinCore, SwitchJoinConfig};
+use linkage_types::{LinkageError, MatchKind, MatchPair, PerSide, ShardId};
+
+use crate::messages::{ShardCmd, ShardReply, ShardStats};
+
+enum Core {
+    Exact(ExactJoinCore),
+    Approx(SshJoinCore),
+    /// Transient placeholder while the handover runs.
+    Switching,
+}
+
+/// One worker shard; consumed by [`ShardWorker::run`] on its own thread.
+pub(crate) struct ShardWorker {
+    id: ShardId,
+    config: SwitchJoinConfig,
+    core: Core,
+    out: VecDeque<MatchPair>,
+    stored_tuples: u64,
+    probes: u64,
+    emitted: PerKind,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(id: ShardId, config: SwitchJoinConfig) -> Self {
+        let exact = ExactJoinCore::new(config.keys, config.normalization());
+        Self {
+            id,
+            config,
+            core: Core::Exact(exact),
+            out: VecDeque::new(),
+            stored_tuples: 0,
+            probes: 0,
+            emitted: PerKind::default(),
+        }
+    }
+
+    /// Serve commands until `Finish` arrives or either channel is severed.
+    pub(crate) fn run(mut self, rx: Receiver<ShardCmd>, tx: SyncSender<ShardReply>) {
+        while let Ok(cmd) = rx.recv() {
+            let done = matches!(cmd, ShardCmd::Finish);
+            let reply = self.handle(cmd);
+            if tx.send(reply).is_err() || done {
+                return;
+            }
+        }
+    }
+
+    fn handle(&mut self, cmd: ShardCmd) -> ShardReply {
+        match cmd {
+            ShardCmd::ExactBatch(tuples) => {
+                let Core::Exact(exact) = &mut self.core else {
+                    return Self::protocol_error("ExactBatch outside the exact phase");
+                };
+                for (sided, key) in tuples {
+                    self.stored_tuples += 1;
+                    self.probes += 1;
+                    if let Err(e) = exact.process_with_key(sided, key, &mut self.out) {
+                        return ShardReply::Pairs(Err(e));
+                    }
+                }
+                ShardReply::Pairs(Ok(self.drain()))
+            }
+            ShardCmd::ApproxBatch(batch) => {
+                let Core::Approx(ssh) = &mut self.core else {
+                    return Self::protocol_error("ApproxBatch outside the approximate phase");
+                };
+                for tuple in batch.iter() {
+                    let store = tuple.home == self.id;
+                    self.probes += 1;
+                    if store {
+                        self.stored_tuples += 1;
+                    }
+                    if let Err(e) = ssh.process_prepared(
+                        &tuple.sided,
+                        &tuple.key,
+                        &tuple.grams,
+                        store,
+                        &mut self.out,
+                    ) {
+                        return ShardReply::Pairs(Err(e));
+                    }
+                }
+                ShardReply::Pairs(Ok(self.drain()))
+            }
+            ShardCmd::Switch => match std::mem::replace(&mut self.core, Core::Switching) {
+                Core::Exact(exact) => {
+                    let (ssh, _) = SshJoinCore::from_exact(
+                        self.config.keys,
+                        self.config.qgram.clone(),
+                        self.config.theta_sim,
+                        exact.into_tables(),
+                        &mut self.out,
+                    );
+                    let residents = ssh.residents();
+                    self.core = Core::Approx(ssh);
+                    ShardReply::Switched {
+                        recovered: self.drain(),
+                        residents,
+                    }
+                }
+                other => {
+                    self.core = other;
+                    Self::protocol_error("Switch outside the exact phase")
+                }
+            },
+            ShardCmd::Recover(snapshots) => {
+                let Core::Approx(ssh) = &mut self.core else {
+                    return Self::protocol_error("Recover outside the approximate phase");
+                };
+                for snapshot in &snapshots {
+                    self.probes += snapshot.len() as u64;
+                    ssh.recover_foreign(snapshot, &mut self.out);
+                }
+                ShardReply::Recovered(self.drain())
+            }
+            ShardCmd::Finish => ShardReply::Finished(Box::new(self.stats())),
+        }
+    }
+
+    /// Drain buffered pairs, folding their kinds into the emission counters.
+    fn drain(&mut self) -> Vec<MatchPair> {
+        let pairs: Vec<MatchPair> = self.out.drain(..).collect();
+        for pair in &pairs {
+            match pair.kind {
+                MatchKind::Exact => self.emitted.exact += 1,
+                MatchKind::Approximate { .. } => self.emitted.approximate += 1,
+            }
+        }
+        pairs
+    }
+
+    fn stats(&self) -> ShardStats {
+        let (resident, state_bytes) = match &self.core {
+            Core::Exact(c) => (c.stored(), c.state_bytes()),
+            Core::Approx(c) => (c.stored(), c.state_bytes()),
+            Core::Switching => (PerSide::default(), PerSide::default()),
+        };
+        ShardStats {
+            shard: self.id,
+            stored_tuples: self.stored_tuples,
+            probes: self.probes,
+            emitted: self.emitted,
+            resident,
+            state_bytes,
+        }
+    }
+
+    fn protocol_error(message: &str) -> ShardReply {
+        ShardReply::Pairs(Err(LinkageError::execution(message)))
+    }
+}

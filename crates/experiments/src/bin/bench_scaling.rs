@@ -1,0 +1,161 @@
+//! Shard-count scaling bench → machine-readable `BENCH_*.json`.
+//!
+//! The binary behind `scripts/bench.sh`:
+//!
+//! ```text
+//! bench_scaling [--smoke|--full] [--out PATH] [--sha SHA]
+//!               [--baseline PATH] [--max-regression FRACTION]
+//!               [--min-speedup FACTOR]
+//! ```
+//!
+//! Runs the 1/2/4/8-shard sweep over the mid-stream-dirt workload, writes
+//! the JSON report to `--out` (default: stdout only), and — when
+//! `--baseline` is given — compares `headline_throughput_tuples_per_s`
+//! against the baseline document, exiting non-zero if throughput dropped
+//! by more than `--max-regression` (default 0.20, the CI gate).
+//!
+//! The absolute-throughput gate is only meaningful against a baseline
+//! from comparable hardware, so `--min-speedup` adds a hardware-
+//! independent check: the 4-shard/1-shard throughput ratio must reach the
+//! given factor.  It is skipped (with a note) on hosts with fewer than 4
+//! cores, where no parallel speedup is physically possible.
+
+use std::process::ExitCode;
+
+use linkage_experiments::{extract_number, run_scaling, scaling_report, ScalingConfig};
+
+struct Args {
+    mode: &'static str,
+    out: Option<String>,
+    sha: String,
+    baseline: Option<String>,
+    max_regression: f64,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: "smoke",
+        out: None,
+        sha: std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".into()),
+        baseline: None,
+        max_regression: 0.20,
+        min_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--smoke" => args.mode = "smoke",
+            "--full" => args.mode = "full",
+            "--out" => args.out = Some(value("--out")?),
+            "--sha" => args.sha = value("--sha")?,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?
+            }
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    value("--min-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--min-speedup: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench_scaling: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match args.mode {
+        "full" => ScalingConfig::full(),
+        _ => ScalingConfig::smoke(),
+    };
+    eprintln!(
+        "bench_scaling: {} sweep, {} parents, shard curve {:?}",
+        args.mode, config.parents, config.shard_counts
+    );
+
+    let run = match run_scaling(&config) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("bench_scaling: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for point in &run.points {
+        eprintln!(
+            "  {} shard(s): {:>9.0} tuples/s, {} pairs, switch at {:?}",
+            point.shards, point.throughput, point.pairs, point.switch_after
+        );
+    }
+
+    let report = scaling_report(&run, args.mode, &args.sha).render();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("bench_scaling: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench_scaling: wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+
+    if let Some(path) = &args.baseline {
+        let baseline_text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_scaling: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline) = extract_number(&baseline_text, "headline_throughput_tuples_per_s")
+        else {
+            eprintln!("bench_scaling: baseline {path} has no headline throughput");
+            return ExitCode::FAILURE;
+        };
+        let current = run.headline_throughput();
+        let floor = baseline * (1.0 - args.max_regression);
+        eprintln!(
+            "bench_scaling: headline {current:.0} tuples/s vs baseline {baseline:.0} \
+             (floor {floor:.0}, max regression {:.0}%)",
+            args.max_regression * 100.0
+        );
+        if current < floor {
+            eprintln!("bench_scaling: REGRESSION — throughput below the gate");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(min_speedup) = args.min_speedup {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        if cores < 4 {
+            eprintln!("bench_scaling: skipping --min-speedup gate: only {cores} core(s) available");
+        } else {
+            let Some(speedup) = run.speedup(4) else {
+                eprintln!("bench_scaling: --min-speedup requires 1- and 4-shard points");
+                return ExitCode::FAILURE;
+            };
+            eprintln!(
+                "bench_scaling: 4-shard speedup {speedup:.2}x vs required {min_speedup:.2}x \
+                 ({cores} cores)"
+            );
+            if speedup < min_speedup {
+                eprintln!("bench_scaling: REGRESSION — parallel speedup below the gate");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use linkage_core::{AdaptiveJoin, AssessorConfig, ControllerConfig, MonitorConfig};
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+use linkage_exec::{ParallelJoin, ParallelJoinConfig};
 use linkage_operators::{
     InterleavedScan, Operator, SshJoin, SwitchJoin, SwitchJoinConfig, SymmetricHashJoin,
 };
@@ -20,6 +21,12 @@ pub enum JoinMode {
     ApproxOnly,
     /// Exact join with the adaptive switch (the paper's system).
     Adaptive,
+    /// The adaptive join sharded across worker threads by the parallel
+    /// execution layer, with the global switch.
+    Parallel {
+        /// Number of worker shards.
+        shards: usize,
+    },
 }
 
 impl JoinMode {
@@ -29,6 +36,7 @@ impl JoinMode {
             JoinMode::ExactOnly => "exact-only",
             JoinMode::ApproxOnly => "approx-only",
             JoinMode::Adaptive => "adaptive",
+            JoinMode::Parallel { .. } => "parallel",
         }
     }
 }
@@ -171,6 +179,15 @@ pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult> {
     let join_cfg = SwitchJoinConfig::new(keys)
         .with_theta(config.theta_sim)
         .with_qgram(config.qgram.clone());
+    // One controller wiring for both adaptive modes, so the parallel
+    // experiment always runs the exact test the serial reference runs.
+    let controller = ControllerConfig {
+        monitor: MonitorConfig::new(data.parents.len() as u64).with_check_every(config.check_every),
+        assessor: AssessorConfig {
+            theta_out: config.theta_out,
+            ..AssessorConfig::default()
+        },
+    };
 
     let start = Instant::now();
     let (pairs, switched_after, recovered) = match config.mode {
@@ -184,15 +201,20 @@ pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult> {
             (join.run_to_end()?, None, 0)
         }
         JoinMode::Adaptive => {
-            let controller = ControllerConfig {
-                monitor: MonitorConfig::new(data.parents.len() as u64)
-                    .with_check_every(config.check_every),
-                assessor: AssessorConfig {
-                    theta_out: config.theta_out,
-                    ..AssessorConfig::default()
-                },
-            };
             let mut join = AdaptiveJoin::new(SwitchJoin::new(scan, join_cfg), controller);
+            let pairs = join.run_to_end()?;
+            let event = join.switch_event();
+            (
+                pairs,
+                event.map(|e| e.after_tuples),
+                event.map(|e| e.recovered).unwrap_or(0),
+            )
+        }
+        JoinMode::Parallel { shards } => {
+            let parallel_cfg = ParallelJoinConfig::new(shards, keys, data.parents.len() as u64)
+                .with_join(join_cfg)
+                .with_controller(controller);
+            let mut join = ParallelJoin::new(scan, parallel_cfg);
             let pairs = join.run_to_end()?;
             let event = join.switch_event();
             (
@@ -239,6 +261,18 @@ mod tests {
             );
             assert!(r.precision >= 0.99, "{}", mode.label());
         }
+    }
+
+    #[test]
+    fn parallel_mode_matches_adaptive_results() {
+        let base = ExperimentConfig::adaptive(120, 14);
+        let adaptive = run(&base).unwrap();
+        let parallel = run(&base.clone().with_mode(JoinMode::Parallel { shards: 3 })).unwrap();
+        assert_eq!(parallel.pairs, adaptive.pairs);
+        assert_eq!(parallel.correct, adaptive.correct);
+        assert_eq!(parallel.recall, adaptive.recall);
+        assert!(parallel.switched_after.is_some());
+        assert_eq!(JoinMode::Parallel { shards: 3 }.label(), "parallel");
     }
 
     #[test]

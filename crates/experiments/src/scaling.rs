@@ -1,0 +1,308 @@
+//! Shard-count scaling measurements behind the `BENCH_*.json` trajectory.
+//!
+//! One [`ScalingRun`] generates a mid-stream-dirt workload once, then
+//! drives the parallel executor over it at each configured shard count,
+//! measuring throughput, the global switch point and latency, and
+//! per-shard resident-state size.  [`scaling_report`] renders the result
+//! as the machine-readable JSON document `scripts/bench.sh` writes and CI
+//! gates on:
+//!
+//! * `headline_throughput_tuples_per_s` — best throughput over the shard
+//!   curve; the single number the regression gate compares;
+//! * `shards[]` — the full 1/2/4/8 scaling curve with per-shard state
+//!   bytes and switch latency;
+//! * `git_sha`, `mode`, workload and host metadata, so any two trajectory
+//!   files are comparable.
+
+use std::time::{Duration, Instant};
+
+use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+use linkage_exec::{ParallelJoin, ParallelJoinConfig};
+use linkage_operators::{InterleavedScan, Operator};
+use linkage_types::{PerSide, Result, VecStream};
+
+use crate::json::JsonValue;
+
+/// Configuration of one scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingConfig {
+    /// Parent-relation size of the generated workload.
+    pub parents: usize,
+    /// Child records per parent.
+    pub children_per_parent: usize,
+    /// Fraction of the child stream guaranteed clean (dirt follows).
+    pub clean_prefix: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Shard counts to sweep, in order.
+    pub shard_counts: Vec<usize>,
+    /// Epoch size handed to the executor.
+    pub batch_size: usize,
+}
+
+impl ScalingConfig {
+    /// The CI smoke sweep: seconds of wall clock, shard curve 1/2/4/8.
+    pub fn smoke() -> Self {
+        Self {
+            parents: 4000,
+            children_per_parent: 1,
+            clean_prefix: 0.3,
+            seed: 42,
+            shard_counts: vec![1, 2, 4, 8],
+            batch_size: 256,
+        }
+    }
+
+    /// The local full sweep: the same shape, an order of magnitude more
+    /// data.
+    pub fn full() -> Self {
+        Self {
+            parents: 20_000,
+            ..Self::smoke()
+        }
+    }
+
+    /// Total input tuples the workload produces.
+    pub fn total_tuples(&self) -> u64 {
+        (self.parents + self.parents * self.children_per_parent) as u64
+    }
+
+    fn datagen(&self) -> DatagenConfig {
+        DatagenConfig {
+            parents: self.parents,
+            children_per_parent: self.children_per_parent,
+            clean_prefix: self.clean_prefix,
+            seed: self.seed,
+            ..DatagenConfig::default()
+        }
+    }
+}
+
+/// One measured point on the shard curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Wall-clock time of the join (excludes data generation).
+    pub elapsed: Duration,
+    /// Consumed input tuples per second.
+    pub throughput: f64,
+    /// Distinct pairs emitted.
+    pub pairs: u64,
+    /// Consumed tuples at the global switch, if it fired.
+    pub switch_after: Option<u64>,
+    /// Wall-clock duration of the distributed handover, if it ran.
+    pub switch_latency: Option<Duration>,
+    /// Matches recovered during the handover.
+    pub recovered: u64,
+    /// Final resident-state bytes, one entry per shard.
+    pub state_bytes_per_shard: Vec<u64>,
+}
+
+/// A completed sweep: the workload description plus every measured point.
+#[derive(Debug, Clone)]
+pub struct ScalingRun {
+    /// The configuration that produced this run.
+    pub config: ScalingConfig,
+    /// Points in the order of `config.shard_counts`.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingRun {
+    /// Best throughput over the curve — the regression gate's headline.
+    pub fn headline_throughput(&self) -> f64 {
+        self.points.iter().map(|p| p.throughput).fold(0.0, f64::max)
+    }
+
+    /// Throughput of the N-shard point relative to the 1-shard point.
+    pub fn speedup(&self, shards: usize) -> Option<f64> {
+        let single = self.points.iter().find(|p| p.shards == 1)?;
+        let multi = self.points.iter().find(|p| p.shards == shards)?;
+        Some(multi.throughput / single.throughput)
+    }
+}
+
+/// Execute the sweep: one generated workload, one executor run per shard
+/// count.
+pub fn run_scaling(config: &ScalingConfig) -> Result<ScalingRun> {
+    let data = generate(&config.datagen())?;
+    let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
+    let mut points = Vec::with_capacity(config.shard_counts.len());
+    for &shards in &config.shard_counts {
+        let scan = InterleavedScan::alternating(
+            VecStream::from_relation(&data.parents),
+            VecStream::from_relation(&data.children),
+        );
+        let parallel_cfg = ParallelJoinConfig::new(shards, keys, data.parents.len() as u64)
+            .with_batch_size(config.batch_size);
+        let mut join = ParallelJoin::new(scan, parallel_cfg);
+        let start = Instant::now();
+        let pairs = join.run_to_end()?;
+        let elapsed = start.elapsed();
+        let report = join.report();
+        points.push(ScalingPoint {
+            shards,
+            elapsed,
+            throughput: join.total_consumed() as f64 / elapsed.as_secs_f64().max(1e-9),
+            pairs: pairs.len() as u64,
+            switch_after: report.switch.map(|e| e.after_tuples),
+            switch_latency: report.switch_latency,
+            recovered: report.switch.map(|e| e.recovered).unwrap_or(0),
+            state_bytes_per_shard: report
+                .shards
+                .iter()
+                .map(|s| (s.state_bytes.left + s.state_bytes.right) as u64)
+                .collect(),
+        });
+    }
+    Ok(ScalingRun {
+        config: config.clone(),
+        points,
+    })
+}
+
+/// Render a sweep as the `BENCH_*.json` document.
+pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue {
+    let points: Vec<JsonValue> = run
+        .points
+        .iter()
+        .map(|p| {
+            JsonValue::object(vec![
+                ("shards", JsonValue::num(p.shards as f64)),
+                ("elapsed_ms", JsonValue::num(p.elapsed.as_secs_f64() * 1e3)),
+                ("throughput_tuples_per_s", JsonValue::num(p.throughput)),
+                ("pairs", JsonValue::num(p.pairs as f64)),
+                (
+                    "switch_after_tuples",
+                    p.switch_after
+                        .map_or(JsonValue::Null, |n| JsonValue::num(n as f64)),
+                ),
+                (
+                    "switch_latency_ms",
+                    p.switch_latency
+                        .map_or(JsonValue::Null, |d| JsonValue::num(d.as_secs_f64() * 1e3)),
+                ),
+                ("recovered_at_switch", JsonValue::num(p.recovered as f64)),
+                (
+                    "state_bytes_per_shard",
+                    JsonValue::Array(
+                        p.state_bytes_per_shard
+                            .iter()
+                            .map(|&b| JsonValue::num(b as f64))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let speedups: Vec<JsonValue> = run
+        .config
+        .shard_counts
+        .iter()
+        .filter(|&&s| s > 1)
+        .filter_map(|&s| {
+            run.speedup(s).map(|v| {
+                JsonValue::object(vec![
+                    ("shards", JsonValue::num(s as f64)),
+                    ("speedup_vs_1_shard", JsonValue::num(v)),
+                ])
+            })
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("schema_version", JsonValue::num(1)),
+        ("bench", JsonValue::str("adaptive-parallel-scaling")),
+        ("mode", JsonValue::str(mode)),
+        ("git_sha", JsonValue::str(git_sha)),
+        (
+            "workload",
+            JsonValue::object(vec![
+                ("parents", JsonValue::num(run.config.parents as f64)),
+                (
+                    "children_per_parent",
+                    JsonValue::num(run.config.children_per_parent as f64),
+                ),
+                ("clean_prefix", JsonValue::num(run.config.clean_prefix)),
+                ("seed", JsonValue::num(run.config.seed as f64)),
+                (
+                    "total_tuples",
+                    JsonValue::num(run.config.total_tuples() as f64),
+                ),
+            ]),
+        ),
+        (
+            "host",
+            JsonValue::object(vec![(
+                "available_parallelism",
+                JsonValue::num(std::thread::available_parallelism().map_or(1, usize::from) as f64),
+            )]),
+        ),
+        (
+            "headline_throughput_tuples_per_s",
+            JsonValue::num(run.headline_throughput()),
+        ),
+        ("speedups", JsonValue::Array(speedups)),
+        ("shards", JsonValue::Array(points)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::extract_number;
+
+    fn tiny() -> ScalingConfig {
+        ScalingConfig {
+            parents: 80,
+            children_per_parent: 1,
+            clean_prefix: 0.3,
+            seed: 7,
+            shard_counts: vec![1, 2],
+            batch_size: 32,
+        }
+    }
+
+    #[test]
+    fn sweep_measures_every_shard_count_identically() {
+        let run = run_scaling(&tiny()).unwrap();
+        assert_eq!(run.points.len(), 2);
+        assert_eq!(run.points[0].shards, 1);
+        assert_eq!(run.points[1].shards, 2);
+        assert_eq!(
+            run.points[0].pairs, run.points[1].pairs,
+            "shard count must not change the result size"
+        );
+        assert!(run.points.iter().all(|p| p.throughput > 0.0));
+        assert_eq!(run.points[1].state_bytes_per_shard.len(), 2);
+        assert!(run.headline_throughput() > 0.0);
+        assert!(run.speedup(2).is_some());
+        assert!(run.speedup(64).is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_the_extractor() {
+        let run = run_scaling(&tiny()).unwrap();
+        let text = scaling_report(&run, "smoke", "deadbeef").render();
+        assert_eq!(
+            extract_number(&text, "headline_throughput_tuples_per_s"),
+            Some(run.headline_throughput())
+        );
+        assert_eq!(extract_number(&text, "schema_version"), Some(1.0));
+        assert_eq!(
+            extract_number(&text, "total_tuples"),
+            Some(tiny().total_tuples() as f64)
+        );
+        assert!(text.contains("\"git_sha\": \"deadbeef\""));
+        assert!(text.contains("\"mode\": \"smoke\""));
+        assert!(text.contains("state_bytes_per_shard"));
+    }
+
+    #[test]
+    fn smoke_and_full_presets_scale_the_same_shape() {
+        let smoke = ScalingConfig::smoke();
+        let full = ScalingConfig::full();
+        assert_eq!(smoke.shard_counts, full.shard_counts);
+        assert!(full.parents > smoke.parents);
+        assert_eq!(smoke.total_tuples(), 8000);
+    }
+}

@@ -48,9 +48,30 @@ impl ExactJoinCore {
     /// into `out`, insert into the own table.  Returns the number of pairs
     /// emitted.
     pub fn process(&mut self, sided: SidedRecord, out: &mut VecDeque<MatchPair>) -> Result<usize> {
-        let raw = sided.record.key_str(self.keys[sided.side])?;
-        let key: Arc<str> = Arc::from(normalize(raw, &self.normalize).as_str());
+        let key = self.normalized_key(&sided)?;
+        self.process_with_key(sided, key, out)
+    }
 
+    /// The normalised join key of `sided`, as [`Self::process`] would
+    /// compute it.  The sharded execution layer normalises once at the
+    /// router (it needs the key to pick a shard) and then hands the key to
+    /// [`Self::process_with_key`], so the work is not repeated per shard.
+    pub fn normalized_key(&self, sided: &SidedRecord) -> Result<Arc<str>> {
+        let raw = sided.record.key_str(self.keys[sided.side])?;
+        Ok(Arc::from(normalize(raw, &self.normalize).as_str()))
+    }
+
+    /// [`Self::process`] with the normalised key already computed.
+    ///
+    /// The caller is responsible for `key` being exactly
+    /// [`Self::normalized_key`] of `sided` — an inconsistent key would
+    /// silently corrupt the hash table.
+    pub fn process_with_key(
+        &mut self,
+        sided: SidedRecord,
+        key: Arc<str>,
+        out: &mut VecDeque<MatchPair>,
+    ) -> Result<usize> {
         let (own, opposite) = self.tables.own_and_opposite_mut(sided.side);
         let partners = opposite.positions_of(&key).to_vec();
         let my_idx = own.insert(sided.record.clone(), key);
@@ -81,6 +102,11 @@ impl ExactJoinCore {
     /// Read access to the accumulated per-side tables.
     pub fn tables(&self) -> &PerSide<KeyTable> {
         &self.tables
+    }
+
+    /// Estimated resident-state size in bytes, per side.
+    pub fn state_bytes(&self) -> PerSide<usize> {
+        self.tables.map(KeyTable::state_bytes)
     }
 
     /// Consume the core, yielding its state for the exact → approximate

@@ -17,7 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use linkage_text::{normalize, QGramConfig, QGramSet};
+use linkage_text::{normalize, Gram, QGramConfig, QGramSet};
 use linkage_types::{MatchPair, PerSide, Record, Result, Side, SidedRecord};
 
 use crate::exact::orient;
@@ -68,6 +68,26 @@ impl GramIndex {
     /// The indexed tuples, in arrival order.
     pub fn tuples(&self) -> &[SshStored] {
         &self.tuples
+    }
+
+    /// Estimated resident-state size in bytes.
+    ///
+    /// Counts the tuple entries, key text, per-tuple gram pointers and the
+    /// inverted index (posting headers, gram text once per distinct gram,
+    /// posting entries).  Same estimate-not-measurement caveat as
+    /// [`crate::state::KeyTable::state_bytes`].
+    pub fn state_bytes(&self) -> usize {
+        let tuples = self.tuples.len() * std::mem::size_of::<SshStored>();
+        let keys: usize = self.tuples.iter().map(|t| t.key.len()).sum();
+        let gram_ptrs: usize = self
+            .tuples
+            .iter()
+            .map(|t| t.grams.len() * std::mem::size_of::<Gram>())
+            .sum();
+        let postings = self.postings.len() * std::mem::size_of::<(Gram, Vec<usize>)>()
+            + self.postings.keys().map(|g| g.len()).sum::<usize>()
+            + self.posting_entries() * std::mem::size_of::<usize>();
+        tuples + keys + gram_ptrs + postings
     }
 
     fn insert(&mut self, stored: SshStored) -> usize {
@@ -202,21 +222,53 @@ impl SshJoinCore {
     /// or above the threshold into `out`, insert into the own index.
     /// Returns the number of pairs emitted.
     pub fn process(&mut self, sided: SidedRecord, out: &mut VecDeque<MatchPair>) -> Result<usize> {
+        let (key, grams) = self.prepare(&sided)?;
+        self.process_prepared(&sided, &key, &grams, true, out)
+    }
+
+    /// Normalise and tokenise the join key of `sided`, exactly as
+    /// [`Self::process`] would.
+    ///
+    /// The sharded execution layer broadcasts each post-switch tuple to
+    /// every shard; preparing once at the router and sharing the result
+    /// keeps tokenisation — the per-tuple cost the paper's Table 1 prices
+    /// as `α_q · |jA|` — off the workers' critical path.
+    pub fn prepare(&self, sided: &SidedRecord) -> Result<(Arc<str>, QGramSet)> {
         let raw = sided.record.key_str(self.keys[sided.side])?;
         let key: Arc<str> = Arc::from(normalize(raw, &self.config.normalize).as_str());
         let grams = QGramSet::extract(raw, &self.config);
-        let bound = min_overlap(&grams, self.theta);
+        Ok((key, grams))
+    }
+
+    /// [`Self::process`] with the key already prepared, and an explicit
+    /// choice of whether the tuple is **stored** in the own-side index.
+    ///
+    /// `store = false` is the probe-only half of the sharded approximate
+    /// join: every shard probes every tuple against its slice of the
+    /// resident state, but only the tuple's home shard stores it, so each
+    /// resident lives in exactly one shard and no pair is emitted twice.
+    /// The caller must pass `key`/`grams` from [`Self::prepare`] for this
+    /// `sided`.
+    pub fn process_prepared(
+        &mut self,
+        sided: &SidedRecord,
+        key: &Arc<str>,
+        grams: &QGramSet,
+        store: bool,
+        out: &mut VecDeque<MatchPair>,
+    ) -> Result<usize> {
+        let bound = min_overlap(grams, self.theta);
 
         let (own, opposite) = self.sides.own_and_opposite_mut(sided.side);
         let mut emitted = 0usize;
         let mut matched_exactly = false;
         let mut exact_partners: Vec<usize> = Vec::new();
-        for (idx, shared) in opposite.overlap_counts(&grams) {
+        for (idx, shared) in opposite.overlap_counts(grams) {
             if shared < bound {
                 continue;
             }
             let partner = &opposite.tuples[idx];
-            let pair = if partner.key == key {
+            let pair = if partner.key == *key {
                 matched_exactly = true;
                 exact_partners.push(idx);
                 let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
@@ -240,13 +292,79 @@ impl SshJoinCore {
         for idx in exact_partners {
             opposite.tuples[idx].matched_exactly = true;
         }
-        own.insert(SshStored {
-            record: sided.record,
-            key,
-            grams,
-            matched_exactly,
-        });
+        if store {
+            own.insert(SshStored {
+                record: sided.record.clone(),
+                key: Arc::clone(key),
+                grams: grams.clone(),
+                matched_exactly,
+            });
+        }
         Ok(emitted)
+    }
+
+    /// Snapshot every resident tuple, tagged with its side.
+    ///
+    /// Cheap relative to the state itself — records, keys and grams are all
+    /// `Arc`-shared — and used by the sharded switch handover to ship one
+    /// shard's residents to the others for cross-shard match recovery.
+    pub fn residents(&self) -> Vec<(Side, SshStored)> {
+        let mut out = Vec::with_capacity(self.sides.left.len() + self.sides.right.len());
+        for side in Side::BOTH {
+            for stored in self.sides[side].tuples() {
+                out.push((side, stored.clone()));
+            }
+        }
+        out
+    }
+
+    /// Probe foreign residents (from **other** shards) against the local
+    /// indexes, emitting recovered matches into `out`.
+    ///
+    /// This is the cross-shard half of the §3.3 handover: under hash
+    /// partitioning a dirty tuple and its true partner usually accumulated
+    /// in *different* shards during the exact phase, so after each shard's
+    /// local [`Self::from_exact`] recovery the coordinator routes every
+    /// shard's residents past the shards that came before it.  Foreign
+    /// tuples are probed but never stored, and the same matched-exactly
+    /// suppression as local recovery applies.  Returns the number of
+    /// recovered pairs.
+    pub fn recover_foreign(
+        &mut self,
+        foreign: &[(Side, SshStored)],
+        out: &mut VecDeque<MatchPair>,
+    ) -> u64 {
+        let mut recovered_exact = 0u64;
+        let mut recovered_approx = 0u64;
+        for (side, f) in foreign {
+            let bound = min_overlap(&f.grams, self.theta);
+            let local = &self.sides[side.opposite()];
+            for (idx, shared) in local.overlap_counts(&f.grams) {
+                if shared < bound {
+                    continue;
+                }
+                let partner = &local.tuples[idx];
+                if partner.key == f.key {
+                    if partner.matched_exactly && f.matched_exactly {
+                        continue;
+                    }
+                    let (l, r) = orient(*side, f.record.clone(), partner.record.clone());
+                    out.push_back(MatchPair::exact(l, r));
+                    recovered_exact += 1;
+                    continue;
+                }
+                let sim =
+                    QGramSet::jaccard_from_overlap(f.grams.len(), partner.grams.len(), shared);
+                if sim >= self.theta {
+                    let (l, r) = orient(*side, f.record.clone(), partner.record.clone());
+                    out.push_back(MatchPair::approximate(l, r, sim));
+                    recovered_approx += 1;
+                }
+            }
+        }
+        self.emitted_exact += recovered_exact;
+        self.emitted_approx += recovered_approx;
+        recovered_exact + recovered_approx
     }
 
     /// The similarity threshold.
@@ -272,6 +390,11 @@ impl SshJoinCore {
     /// Read access to the per-side indexes (state-size reporting).
     pub fn indexes(&self) -> &PerSide<GramIndex> {
         &self.sides
+    }
+
+    /// Estimated resident-state size in bytes, per side.
+    pub fn state_bytes(&self) -> PerSide<usize> {
+        self.sides.map(GramIndex::state_bytes)
     }
 }
 
@@ -491,5 +614,131 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn rejects_out_of_range_threshold() {
         SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 1.5);
+    }
+
+    fn sided(side: Side, id: u64, key: &str) -> SidedRecord {
+        SidedRecord::new(side, Record::new(id, vec![Value::string(key)]))
+    }
+
+    #[test]
+    fn probe_only_emits_but_does_not_store() {
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+
+        let probe = sided(Side::Right, 0, LONG_A_TYPO);
+        let (key, grams) = core.prepare(&probe).unwrap();
+        let emitted = core
+            .process_prepared(&probe, &key, &grams, false, &mut out)
+            .unwrap();
+        assert_eq!(emitted, 1);
+        assert_eq!(
+            core.stored(),
+            PerSide::new(1, 0),
+            "probe-only must not store"
+        );
+
+        // Probing again still finds the pair: nothing was consumed or moved.
+        let emitted = core
+            .process_prepared(&probe, &key, &grams, true, &mut out)
+            .unwrap();
+        assert_eq!(emitted, 1);
+        assert_eq!(core.stored(), PerSide::new(1, 1));
+    }
+
+    #[test]
+    fn prepared_store_matches_plain_process() {
+        let mut plain = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut prepared = plain.clone();
+        let tuples = [
+            sided(Side::Left, 0, LONG_A),
+            sided(Side::Right, 0, LONG_A_TYPO),
+            sided(Side::Right, 1, UNRELATED),
+            sided(Side::Left, 1, UNRELATED),
+        ];
+        let (mut out_a, mut out_b) = (VecDeque::new(), VecDeque::new());
+        for t in &tuples {
+            plain.process(t.clone(), &mut out_a).unwrap();
+            let (key, grams) = prepared.prepare(t).unwrap();
+            prepared
+                .process_prepared(t, &key, &grams, true, &mut out_b)
+                .unwrap();
+        }
+        let ids = |q: &VecDeque<MatchPair>| q.iter().map(MatchPair::id_pair).collect::<Vec<_>>();
+        assert_eq!(ids(&out_a), ids(&out_b));
+        assert_eq!(plain.stored(), prepared.stored());
+    }
+
+    #[test]
+    fn foreign_recovery_finds_cross_shard_pairs_once() {
+        // Shard 0 accumulated the clean left tuple, shard 1 its dirty
+        // partner — the situation hash partitioning produces for typo pairs.
+        let mut shard0 = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut shard1 = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        shard0
+            .process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        shard1
+            .process(sided(Side::Right, 7, LONG_A_TYPO), &mut out)
+            .unwrap();
+        assert!(out.is_empty(), "different shards: nothing found locally");
+
+        // Coordinator ships shard 0's residents past shard 1.
+        let recovered = shard1.recover_foreign(&shard0.residents(), &mut out);
+        assert_eq!(recovered, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id_pair(), (0.into(), 7.into()));
+        assert!(out[0].kind.is_approximate());
+        assert_eq!(
+            shard1.stored(),
+            PerSide::new(0, 1),
+            "foreign tuples not stored"
+        );
+    }
+
+    #[test]
+    fn foreign_recovery_respects_matched_exactly_flags() {
+        // Both residents carry the flag and equal keys: the pair was already
+        // emitted by the exact phase and must be suppressed.
+        let mut shard = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        shard
+            .process(sided(Side::Right, 3, LONG_A), &mut out)
+            .unwrap();
+        let flagged: Vec<(Side, SshStored)> = {
+            let mut probe = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+            probe
+                .process(sided(Side::Left, 3, LONG_A), &mut out)
+                .unwrap();
+            probe
+                .residents()
+                .into_iter()
+                .map(|(side, mut stored)| {
+                    stored.matched_exactly = true;
+                    (side, stored)
+                })
+                .collect()
+        };
+        // Flag the local resident too.
+        shard.sides[Side::Right].tuples[0].matched_exactly = true;
+        out.clear();
+        assert_eq!(shard.recover_foreign(&flagged, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn state_bytes_counts_index_growth() {
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        assert_eq!(core.state_bytes(), PerSide::new(0, 0));
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        let one = core.state_bytes();
+        assert!(one.left > 0 && one.right == 0);
+        core.process(sided(Side::Left, 1, UNRELATED), &mut out)
+            .unwrap();
+        assert!(core.state_bytes().left > one.left);
     }
 }

@@ -89,6 +89,25 @@ impl KeyTable {
     pub fn distinct_keys(&self) -> usize {
         self.by_key.len()
     }
+
+    /// Estimated resident-state size in bytes.
+    ///
+    /// Counts the tuple entries, the shared key text (once — both the tuple
+    /// and the index hold `Arc` clones of the same allocation) and the
+    /// key-index positions.  An estimate, not an allocator measurement: it
+    /// exists so experiments can compare state growth across operators and
+    /// shard counts on a consistent scale (the paper's §2.3 space analysis).
+    pub fn state_bytes(&self) -> usize {
+        let tuples = self.tuples.len() * std::mem::size_of::<StoredTuple>();
+        let keys: usize = self.tuples.iter().map(|t| t.key.len()).sum();
+        let index = self.by_key.len() * std::mem::size_of::<(Arc<str>, Vec<usize>)>()
+            + self
+                .by_key
+                .values()
+                .map(|v| v.len() * std::mem::size_of::<usize>())
+                .sum::<usize>();
+        tuples + keys + index
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +134,19 @@ mod tests {
         assert_eq!(t.positions_of("MILANO"), &[1]);
         assert!(t.positions_of("NAPOLI").is_empty());
         assert_eq!(t.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn state_bytes_grow_with_insertions() {
+        let mut t = KeyTable::new();
+        assert_eq!(t.state_bytes(), 0);
+        let (r0, k0) = rec(0, "ROMA");
+        t.insert(r0, k0);
+        let after_one = t.state_bytes();
+        assert!(after_one > 0);
+        let (r1, k1) = rec(1, "MILANO");
+        t.insert(r1, k1);
+        assert!(t.state_bytes() > after_one);
     }
 
     #[test]

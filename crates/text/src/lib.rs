@@ -17,7 +17,7 @@
 //!
 //! * [`QGramConfig`] / [`QGramSet`] — q-gram extraction with the padding
 //!   convention the paper's cost model assumes;
-//! * [`normalize`] — the canonicalisation applied to join keys before
+//! * [`normalize()`] — the canonicalisation applied to join keys before
 //!   tokenisation (case folding, whitespace collapsing);
 //! * [`StringSimilarity`] and a family of implementations: the paper's
 //!   [`QGramJaccard`] plus [`QGramDice`], [`QGramCosine`], [`QGramOverlap`],

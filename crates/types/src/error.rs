@@ -36,6 +36,9 @@ pub enum LinkageError {
     DataGen(String),
     /// An experiment could not be executed or reported.
     Experiment(String),
+    /// The parallel execution layer failed (e.g. a worker shard died or a
+    /// channel was severed mid-join).
+    Execution(String),
     /// An I/O error, flattened to a string so the error stays `Clone + Eq`.
     Io(String),
 }
@@ -75,6 +78,11 @@ impl LinkageError {
     pub fn experiment(msg: impl fmt::Display) -> Self {
         Self::Experiment(msg.to_string())
     }
+
+    /// Build a [`LinkageError::Execution`] from anything displayable.
+    pub fn execution(msg: impl fmt::Display) -> Self {
+        Self::Execution(msg.to_string())
+    }
 }
 
 impl fmt::Display for LinkageError {
@@ -90,6 +98,7 @@ impl fmt::Display for LinkageError {
             Self::Config(m) => write!(f, "configuration error: {m}"),
             Self::DataGen(m) => write!(f, "data generation error: {m}"),
             Self::Experiment(m) => write!(f, "experiment error: {m}"),
+            Self::Execution(m) => write!(f, "execution error: {m}"),
             Self::Io(m) => write!(f, "io error: {m}"),
         }
     }
@@ -141,6 +150,10 @@ mod tests {
         assert!(matches!(
             LinkageError::experiment("x"),
             LinkageError::Experiment(_)
+        ));
+        assert!(matches!(
+            LinkageError::execution("x"),
+            LinkageError::Execution(_)
         ));
     }
 

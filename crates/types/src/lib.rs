@@ -28,6 +28,7 @@
 
 pub mod error;
 pub mod matchpair;
+pub mod partition;
 pub mod record;
 pub mod relation;
 pub mod schema;
@@ -37,6 +38,7 @@ pub mod value;
 
 pub use error::{LinkageError, Result};
 pub use matchpair::{MatchKind, MatchPair, MatchSet};
+pub use partition::{stable_hash, Partitioner, ShardId};
 pub use record::{Record, RecordId, SidedRecord};
 pub use relation::Relation;
 pub use schema::{DataType, Field, Schema};

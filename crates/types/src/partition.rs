@@ -1,0 +1,139 @@
+//! Hash partitioning vocabulary for the sharded execution layer.
+//!
+//! The parallel join in `linkage-exec` splits its input across worker
+//! shards.  The routing decision must be **stable** — the same key must
+//! map to the same shard on every run and on every machine, or sharded
+//! results would stop being reproducible — so the partitioner hashes with
+//! FNV-1a rather than the process-seeded [`std::collections::HashMap`]
+//! hasher.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one worker shard, dense in `0..shard_count`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ShardId(pub usize);
+
+impl ShardId {
+    /// The numeric value.
+    pub fn as_usize(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of a byte string.
+///
+/// Deterministic across runs, processes and platforms — the property the
+/// sharded join's reproducibility rests on.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Maps join keys to shards by stable hash.
+///
+/// Keys that compare equal (after the join's normalisation, which the
+/// caller applies before routing) always land on the same shard, which is
+/// what lets each shard run an independent exact hash join over its
+/// partition without ever missing an equal-key pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioner {
+    shards: usize,
+}
+
+impl Partitioner {
+    /// Build a partitioner over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero: a join with no workers cannot route.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "partitioner requires at least one shard");
+        Self { shards }
+    }
+
+    /// Number of shards routed to.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard responsible for `key`.
+    pub fn shard_of(&self, key: &str) -> ShardId {
+        ShardId((stable_hash(key.as_bytes()) % self.shards as u64) as usize)
+    }
+
+    /// Iterate every shard id, in order.
+    pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.shards).map(ShardId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(stable_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn equal_keys_route_to_equal_shards() {
+        let p = Partitioner::new(4);
+        for key in ["", "ROMA", "LOC ABCDEFGHIJKL MNOPQRSTUVWXYZ"] {
+            let owned: String = key.chars().collect();
+            assert_eq!(p.shard_of(key), p.shard_of(&owned));
+            assert!(p.shard_of(key).as_usize() < 4);
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let p = Partitioner::new(1);
+        assert_eq!(p.shard_of("anything"), ShardId(0));
+        assert_eq!(p.shard_count(), 1);
+    }
+
+    #[test]
+    fn routing_spreads_distinct_keys() {
+        let p = Partitioner::new(4);
+        let mut hits = [0usize; 4];
+        for i in 0..400 {
+            hits[p.shard_of(&format!("key-{i}")).as_usize()] += 1;
+        }
+        for (shard, &count) in hits.iter().enumerate() {
+            assert!(count > 40, "shard {shard} got only {count}/400 keys");
+        }
+    }
+
+    #[test]
+    fn shard_ids_enumerate_in_order() {
+        let p = Partitioner::new(3);
+        let ids: Vec<usize> = p.shard_ids().map(ShardId::as_usize).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(ShardId(2).to_string(), "shard2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        Partitioner::new(0);
+    }
+}

@@ -22,7 +22,7 @@
 //!
 //! * [`batch`] — [`RecordBatch`], the unit handed around by the experiment
 //!   harness and returned by batch pulls;
-//! * [`vec`] — [`VecStream`], the in-memory source used everywhere in
+//! * [`mod@vec`] — [`VecStream`], the in-memory source used everywhere in
 //!   tests and examples;
 //! * [`interleave`] — [`InterleavedStream`] and [`InterleavePolicy`], which
 //!   merge the two inputs of a symmetric join into one sided stream.

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Machine-readable bench pipeline: run the shard-count scaling sweep and
+# write the next BENCH_<n>.json trajectory file.
+#
+# Usage: scripts/bench.sh [--smoke|--full] [--out PATH] [--baseline PATH]
+#                         [--max-regression FRACTION]
+#
+#   --smoke           seconds-long sweep for CI (default)
+#   --full            the order-of-magnitude-larger local sweep
+#   --out PATH        output file; default: the first unused BENCH_<n>.json
+#                     (n starts at 2 — the PR that introduced the pipeline)
+#   --baseline PATH   gate headline throughput against this report,
+#                     failing on a drop beyond --max-regression
+#   --max-regression  allowed fractional drop (default 0.20)
+#   --min-speedup     required 4-shard/1-shard throughput ratio (skipped
+#                     automatically on hosts with fewer than 4 cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="--smoke"
+OUT=""
+EXTRA=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke|--full) MODE="$1"; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    --baseline|--max-regression|--min-speedup) EXTRA+=("$1" "$2"); shift 2 ;;
+    *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$OUT" ]]; then
+  n=2
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+  OUT="BENCH_${n}.json"
+fi
+
+SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+
+echo "==> cargo build --release -p linkage-experiments --bin bench_scaling"
+cargo build --release -p linkage-experiments --bin bench_scaling
+
+echo "==> bench_scaling ${MODE} -> ${OUT} (sha ${SHA})"
+target/release/bench_scaling "${MODE}" --out "${OUT}" --sha "${SHA}" ${EXTRA[@]+"${EXTRA[@]}"}
+
+echo "Wrote ${OUT}."

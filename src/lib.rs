@@ -14,15 +14,18 @@
 //! * [`stats`] — binomial outlier detection and running statistics;
 //! * [`operators`] — scans and the exact/approximate/switchable joins;
 //! * [`core`] — the monitor → assessor → actuator control loop;
+//! * [`exec`] — the sharded partition-parallel executor;
 //! * [`datagen`] — deterministic dirty-dataset generation.
 //!
-//! See `examples/quickstart.rs` for an end-to-end adaptive join.
+//! See `examples/quickstart.rs` for an end-to-end adaptive join and
+//! `examples/parallel_scaling.rs` for the sharded executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use linkage_core as core;
 pub use linkage_datagen as datagen;
+pub use linkage_exec as exec;
 pub use linkage_operators as operators;
 pub use linkage_stats as stats;
 pub use linkage_text as text;

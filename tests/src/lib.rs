@@ -6,13 +6,18 @@
 //! the adaptive controller — against the quadratic oracle joins and the
 //! generated ground truth:
 //!
-//! * [`exact_equivalence`] — the pipelined `SymmetricHashJoin` emits
+//! * `exact_equivalence` — the pipelined `SymmetricHashJoin` emits
 //!   exactly the pairs of a nested-loop oracle, on clean, duplicate-key
 //!   and dirty workloads;
-//! * [`adaptive_recovery`] — on a mid-stream-dirt workload the controller
+//! * `adaptive_recovery` — on a mid-stream-dirt workload the controller
 //!   switches the join mid-stream, strictly increases the number of
 //!   correct matches over exact-only, and never emits a duplicate pair;
-//! * [`protocol`] — the operator lifecycle is enforced across the stack.
+//! * `parallel_equivalence` — the sharded executor emits the identical
+//!   match-pair set as the nested-loop oracles for every shard count,
+//!   including across a mid-stream exact → approximate switch
+//!   (property-based over workload, shard count, epoch size and switch
+//!   point);
+//! * `protocol` — the operator lifecycle is enforced across the stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -207,6 +212,125 @@ mod adaptive_recovery {
 
         assert_eq!(id_set(&manual_pairs), id_set(&controller_pairs));
         assert_no_duplicates(&manual_pairs);
+    }
+}
+
+#[cfg(test)]
+mod parallel_equivalence {
+    use super::common::*;
+    use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+    use linkage_exec::{ParallelJoin, ParallelJoinConfig};
+    use linkage_operators::{oracle, Operator};
+    use linkage_text::QGramJaccard;
+    use linkage_types::{MatchPair, RecordId};
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    const THETA_SIM: f64 = 0.8;
+
+    /// Run the sharded executor, optionally forcing the global switch.
+    fn parallel_pairs(
+        data: &GeneratedData,
+        shards: usize,
+        batch: usize,
+        force_switch_after: Option<u64>,
+    ) -> Vec<MatchPair> {
+        let mut config =
+            ParallelJoinConfig::new(shards, KEYS, data.parents.len() as u64).with_batch_size(batch);
+        config.force_switch_after = force_switch_after;
+        let mut join = ParallelJoin::new(scan(data), config);
+        let pairs = join.run_to_end().expect("parallel join failed");
+        if force_switch_after.is_some() {
+            assert!(join.switch_event().is_some(), "forced switch must fire");
+        }
+        pairs
+    }
+
+    fn exact_oracle(data: &GeneratedData) -> HashSet<(RecordId, RecordId)> {
+        id_set(
+            &oracle::nested_loop_exact(&data.parents, &data.children, KEYS, &Default::default())
+                .expect("oracle failed"),
+        )
+    }
+
+    fn similarity_oracle(data: &GeneratedData) -> HashSet<(RecordId, RecordId)> {
+        id_set(
+            &oracle::nested_loop_similarity(
+                &data.parents,
+                &data.children,
+                KEYS,
+                &Default::default(),
+                &QGramJaccard::default(),
+                THETA_SIM,
+            )
+            .expect("oracle failed"),
+        )
+    }
+
+    #[test]
+    fn clean_workload_matches_exact_oracle_for_every_shard_count() {
+        let data = generate(&DatagenConfig::clean(90, 31)).expect("datagen failed");
+        let expected = exact_oracle(&data);
+        for shards in 1..=4 {
+            let pairs = parallel_pairs(&data, shards, 32, None);
+            assert_no_duplicates(&pairs);
+            assert_eq!(id_set(&pairs), expected, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn switched_workload_matches_similarity_oracle_for_every_shard_count() {
+        // Once a switch happens — wherever it lands — the final match set
+        // is the full similarity-oracle set: pre-switch resident pairs are
+        // recovered by the (cross-shard) handover, later pairs are found
+        // by broadcast probing.
+        let data = generate(&DatagenConfig::mid_stream_dirty(90, 32)).expect("datagen failed");
+        let expected = similarity_oracle(&data);
+        for shards in 1..=4 {
+            let pairs = parallel_pairs(&data, shards, 32, Some(50));
+            assert_no_duplicates(&pairs);
+            assert_eq!(id_set(&pairs), expected, "{shards} shards");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn shard_count_never_changes_the_match_set(
+            parents in 24usize..64,
+            seed in 0u64..10_000,
+            shards in 2usize..5,
+            batch in 8usize..40,
+            switch_percent in 0u64..100,
+        ) {
+            let data = generate(&DatagenConfig::mid_stream_dirty(parents, seed))
+                .expect("datagen failed");
+            let total = (data.parents.len() + data.children.len()) as u64;
+            // A mid-stream switch point anywhere in the stream; the first
+            // epoch boundary at or after it performs the global handover.
+            let force = 1 + switch_percent * (total - 1) / 100;
+
+            let expected = similarity_oracle(&data);
+            let sharded = parallel_pairs(&data, shards, batch, Some(force));
+            assert_no_duplicates(&sharded);
+            prop_assert_eq!(&id_set(&sharded), &expected);
+
+            // And 1 shard agrees, so N-shard ≡ 1-shard ≡ oracle.
+            let single = parallel_pairs(&data, 1, batch, Some(force));
+            prop_assert_eq!(&id_set(&single), &expected);
+        }
+
+        #[test]
+        fn unswitched_exact_phase_is_partition_invariant(
+            parents in 24usize..64,
+            seed in 0u64..10_000,
+            shards in 2usize..5,
+            batch in 8usize..40,
+        ) {
+            let data = generate(&DatagenConfig::clean(parents, seed)).expect("datagen failed");
+            let pairs = parallel_pairs(&data, shards, batch, None);
+            assert_no_duplicates(&pairs);
+            prop_assert_eq!(&id_set(&pairs), &exact_oracle(&data));
+        }
     }
 }
 

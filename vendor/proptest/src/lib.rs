@@ -6,7 +6,7 @@
 //!
 //! * the [`Strategy`] trait with implementations for numeric [`Range`]s and
 //!   for `&str` regex-like character-class patterns (`"[A-Z ]{0,10}"`);
-//! * [`collection::vec`] and [`Strategy::prop_map`] combinators;
+//! * [`collection::vec()`] and [`Strategy::prop_map`] combinators;
 //! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
 //!
 //! Differences from real proptest: a fixed number of cases per property
