@@ -16,29 +16,76 @@
 //! The loop only runs while the join is in its exact phase — after the
 //! switch there is nothing left to decide.
 
+use std::time::{Duration, Instant};
+
 use linkage_operators::{JoinPhase, Operator, OperatorState, PerKind, SwitchJoin};
 use linkage_types::{MatchPair, PerSide, Result, SidedRecord};
 
 use crate::assessor::{Assessor, AssessorConfig};
 use crate::monitor::{Monitor, MonitorConfig};
 
+/// When the actuator performs the exact → approximate switch.
+///
+/// Shared by the serial [`AdaptiveJoin`] and the sharded executor, so the
+/// same policy drives both engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchPolicy {
+    /// The paper's behaviour: the monitor → assessor loop decides.
+    #[default]
+    Adaptive,
+    /// Never switch — the join stays exact (the non-adaptive baseline).
+    Never,
+    /// Switch unconditionally once this many input tuples were consumed,
+    /// bypassing the assessor (tests, experiments; `ForceAt(0)` runs the
+    /// approximate join from the first tuple).
+    ForceAt(u64),
+}
+
 /// Everything the controller needs to know.
-#[derive(Debug, Clone)]
+///
+/// `#[non_exhaustive]`: construct via [`ControllerConfig::new`] (or
+/// [`Default`]) and refine with the `with_*` builders.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct ControllerConfig {
     /// Monitor settings (declared reference size, cadence).
     pub monitor: MonitorConfig,
     /// Assessor settings (threshold, hysteresis).
     pub assessor: AssessorConfig,
+    /// When the actuator switches.
+    pub policy: SwitchPolicy,
 }
 
 impl ControllerConfig {
-    /// Build with the given declared parent-relation size and default
-    /// assessor settings.
+    /// Build with the given declared parent-relation size, default
+    /// assessor settings and the adaptive switch policy.
     pub fn new(reference_size: u64) -> Self {
         Self {
             monitor: MonitorConfig::new(reference_size),
             assessor: AssessorConfig::default(),
+            policy: SwitchPolicy::default(),
         }
+    }
+
+    /// Override the monitor settings.
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Override the assessor settings.
+    #[must_use]
+    pub fn with_assessor(mut self, assessor: AssessorConfig) -> Self {
+        self.assessor = assessor;
+        self
+    }
+
+    /// Override the switch policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SwitchPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -64,6 +111,9 @@ pub struct AdaptiveReport {
     pub emitted: PerKind,
     /// The switch, if it happened.
     pub switch: Option<SwitchEvent>,
+    /// Wall-clock duration of the §3.3 handover (state migration plus
+    /// recovery probing), if a switch happened.
+    pub switch_latency: Option<Duration>,
 }
 
 /// The self-tuning join operator.
@@ -71,7 +121,18 @@ pub struct AdaptiveJoin<I> {
     inner: SwitchJoin<I>,
     monitor: Monitor,
     assessor: Assessor,
+    policy: SwitchPolicy,
     switch: Option<SwitchEvent>,
+    switch_latency: Option<Duration>,
+    /// Pairs that were buffered *before* the handover and not yet pulled.
+    /// While nonzero, [`Self::switch_event`] stays `None`, so streaming
+    /// consumers see every pre-switch pair before the switch notification.
+    undrained_pre_switch: usize,
+    /// Whether the previous pull returned a pre-switch pair.  The
+    /// decrement is deferred to the *next* call, so the switch does not
+    /// become visible in the middle of the call that returns the last
+    /// pre-switch pair.
+    pre_switch_in_flight: bool,
 }
 
 impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
@@ -81,7 +142,11 @@ impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
             inner,
             monitor: Monitor::new(config.monitor),
             assessor: Assessor::new(config.assessor),
+            policy: config.policy,
             switch: None,
+            switch_latency: None,
+            undrained_pre_switch: 0,
+            pre_switch_in_flight: false,
         }
     }
 
@@ -90,9 +155,21 @@ impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
         self.inner.phase()
     }
 
-    /// The switch decision, if one was made.
+    /// The switch decision, once it is *visible*: pairs that were already
+    /// buffered when the handover ran are pulled first, so a consumer
+    /// polling this between pulls sees every pre-switch pair before the
+    /// event.  [`Self::report`] carries the raw decision regardless.
     pub fn switch_event(&self) -> Option<SwitchEvent> {
-        self.switch
+        if self.undrained_pre_switch > 0 {
+            None
+        } else {
+            self.switch
+        }
+    }
+
+    /// Wall-clock duration of the handover, if it ran.
+    pub fn switch_latency(&self) -> Option<Duration> {
+        self.switch_latency
     }
 
     /// Summarise the run so far.
@@ -102,7 +179,23 @@ impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
             consumed: self.inner.consumed(),
             emitted: self.inner.emitted(),
             switch: self.switch,
+            switch_latency: self.switch_latency,
         }
+    }
+
+    /// Perform the timed handover and record the switch event.
+    fn perform_switch(&mut self, sigma: f64) -> Result<()> {
+        let pre_switch_buffered = self.inner.buffered();
+        let start = Instant::now();
+        let recovered = self.inner.switch_to_approximate()?;
+        self.undrained_pre_switch = pre_switch_buffered;
+        self.switch_latency = Some(start.elapsed());
+        self.switch = Some(SwitchEvent {
+            after_tuples: self.inner.total_consumed(),
+            sigma,
+            recovered,
+        });
+        Ok(())
     }
 
     /// Run the control loop after one consumed tuple.
@@ -110,21 +203,27 @@ impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
         if self.inner.phase() != JoinPhase::Exact {
             return Ok(());
         }
-        let consumed = self.inner.consumed();
-        if !self.monitor.due(consumed.right) {
-            return Ok(());
+        match self.policy {
+            SwitchPolicy::Never => Ok(()),
+            SwitchPolicy::ForceAt(after) => {
+                if self.inner.total_consumed() >= after {
+                    self.perform_switch(0.0)?;
+                }
+                Ok(())
+            }
+            SwitchPolicy::Adaptive => {
+                let consumed = self.inner.consumed();
+                if !self.monitor.due(consumed.right) {
+                    return Ok(());
+                }
+                let observation = self.monitor.observe(consumed, self.inner.emitted().total());
+                let assessment = self.assessor.assess(&observation);
+                if let crate::assessor::Assessment::Trigger { sigma } = assessment {
+                    self.perform_switch(sigma)?;
+                }
+                Ok(())
+            }
         }
-        let observation = self.monitor.observe(consumed, self.inner.emitted().total());
-        let assessment = self.assessor.assess(&observation);
-        if let crate::assessor::Assessment::Trigger { sigma } = assessment {
-            let recovered = self.inner.switch_to_approximate()?;
-            self.switch = Some(SwitchEvent {
-                after_tuples: self.inner.total_consumed(),
-                sigma,
-                recovered,
-            });
-        }
-        Ok(())
     }
 }
 
@@ -140,7 +239,14 @@ impl<I: Operator<Item = SidedRecord>> Operator for AdaptiveJoin<I> {
     }
 
     fn open(&mut self) -> Result<()> {
-        self.inner.open()
+        self.inner.open()?;
+        // `ForceAt(0)` means "approximate from the first tuple": perform
+        // the (empty) handover before anything is consumed, so the run is
+        // byte-for-byte a pure SSH join.
+        if self.policy == SwitchPolicy::ForceAt(0) && self.inner.phase() == JoinPhase::Exact {
+            self.perform_switch(0.0)?;
+        }
+        Ok(())
     }
 
     fn next(&mut self) -> Result<Option<MatchPair>> {
@@ -148,8 +254,19 @@ impl<I: Operator<Item = SidedRecord>> Operator for AdaptiveJoin<I> {
         // operator's own state check, and buffered pairs must not leak
         // out of a closed operator.
         self.inner.state().check_next(self.name())?;
+        // The pair returned by the previous call has been consumed by now;
+        // settle its deferred pre-switch accounting.
+        if self.pre_switch_in_flight {
+            self.pre_switch_in_flight = false;
+            self.undrained_pre_switch = self.undrained_pre_switch.saturating_sub(1);
+        }
         loop {
             if let Some(pair) = self.inner.pop() {
+                // The queue is FIFO: the first pops after a switch are
+                // exactly the pairs that were buffered before it.
+                if self.undrained_pre_switch > 0 {
+                    self.pre_switch_in_flight = true;
+                }
                 return Ok(Some(pair));
             }
             if !self.inner.advance()? {

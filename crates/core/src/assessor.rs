@@ -9,11 +9,16 @@
 //!   window does not trigger an irreversible operator switch.
 
 use linkage_stats::BinomialOutlierDetector;
+use linkage_types::defaults;
 
 use crate::monitor::Observation;
 
 /// Assessor configuration.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and refine with the
+/// `with_*` builders.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct AssessorConfig {
     /// Significance threshold `θ_out` of the outlier test.
     pub theta_out: f64,
@@ -26,10 +31,33 @@ pub struct AssessorConfig {
 impl Default for AssessorConfig {
     fn default() -> Self {
         Self {
-            theta_out: 0.01,
-            min_trials: 16,
-            consecutive_alarms: 2,
+            theta_out: defaults::THETA_OUT,
+            min_trials: defaults::MIN_TRIALS,
+            consecutive_alarms: defaults::CONSECUTIVE_ALARMS,
         }
+    }
+}
+
+impl AssessorConfig {
+    /// Override the outlier significance threshold `θ_out`.
+    #[must_use]
+    pub fn with_theta_out(mut self, theta_out: f64) -> Self {
+        self.theta_out = theta_out;
+        self
+    }
+
+    /// Override the minimum trial count.
+    #[must_use]
+    pub fn with_min_trials(mut self, min_trials: u64) -> Self {
+        self.min_trials = min_trials;
+        self
+    }
+
+    /// Override the consecutive-alarm (hysteresis) requirement.
+    #[must_use]
+    pub fn with_consecutive_alarms(mut self, consecutive_alarms: u32) -> Self {
+        self.consecutive_alarms = consecutive_alarms;
+        self
     }
 }
 

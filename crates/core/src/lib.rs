@@ -28,7 +28,7 @@ pub mod aggregate;
 pub mod assessor;
 pub mod monitor;
 
-pub use adaptive::{AdaptiveJoin, AdaptiveReport, ControllerConfig, SwitchEvent};
+pub use adaptive::{AdaptiveJoin, AdaptiveReport, ControllerConfig, SwitchEvent, SwitchPolicy};
 pub use aggregate::GlobalController;
 pub use assessor::{Assessment, Assessor, AssessorConfig};
 pub use monitor::{Monitor, MonitorConfig, Observation};

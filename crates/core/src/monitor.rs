@@ -10,10 +10,15 @@
 //! The monitor packages the operator's counters into that
 //! `(trials, p, observed)` triple; the assessor applies the outlier test.
 
-use linkage_types::PerSide;
+use linkage_types::{defaults, PerSide};
 
 /// Monitor configuration.
+///
+/// `#[non_exhaustive]`: construct via [`MonitorConfig::new`] (or
+/// [`Default`], which uses a placeholder reference size of 1 that callers
+/// are expected to override with the actual catalog statistic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct MonitorConfig {
     /// Declared size of the parent (left/reference) relation — the paper's
     /// `|R|`, known from catalog statistics rather than the stream itself.
@@ -22,9 +27,15 @@ pub struct MonitorConfig {
     pub check_every: u64,
 }
 
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
 impl MonitorConfig {
-    /// Build with the given declared parent size and a check cadence of one
-    /// assessment per 16 child tuples.
+    /// Build with the given declared parent size and the paper's check
+    /// cadence ([`defaults::CHECK_EVERY`] consumed child tuples).
     pub fn new(reference_size: u64) -> Self {
         assert!(
             reference_size > 0,
@@ -32,7 +43,7 @@ impl MonitorConfig {
         );
         Self {
             reference_size,
-            check_every: 16,
+            check_every: defaults::CHECK_EVERY,
         }
     }
 

@@ -14,7 +14,12 @@ enum Edit {
 }
 
 /// Generator configuration.
+///
+/// `#[non_exhaustive]`: construct via [`Default`],
+/// [`DatagenConfig::clean`] or [`DatagenConfig::mid_stream_dirty`] and
+/// refine with the `with_*` builders.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct DatagenConfig {
     /// Number of parent (reference) records.
     pub parents: usize,
@@ -66,6 +71,34 @@ impl DatagenConfig {
             seed,
             ..Self::default()
         }
+    }
+
+    /// Override the number of child records per parent.
+    #[must_use]
+    pub fn with_children_per_parent(mut self, children_per_parent: usize) -> Self {
+        self.children_per_parent = children_per_parent;
+        self
+    }
+
+    /// Override the fraction of dirty-region children that are perturbed.
+    #[must_use]
+    pub fn with_dirty_fraction(mut self, dirty_fraction: f64) -> Self {
+        self.dirty_fraction = dirty_fraction;
+        self
+    }
+
+    /// Override the guaranteed-clean fraction of the child stream.
+    #[must_use]
+    pub fn with_clean_prefix(mut self, clean_prefix: f64) -> Self {
+        self.clean_prefix = clean_prefix;
+        self
+    }
+
+    /// Override the number of character edits per dirty key.
+    #[must_use]
+    pub fn with_edits(mut self, edits: usize) -> Self {
+        self.edits = edits;
+        self
     }
 
     /// Total number of child records this configuration produces.

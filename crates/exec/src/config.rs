@@ -1,11 +1,16 @@
 //! Configuration of the sharded parallel join.
 
-use linkage_core::ControllerConfig;
+use linkage_core::{ControllerConfig, SwitchPolicy};
 use linkage_operators::SwitchJoinConfig;
-use linkage_types::PerSide;
+use linkage_types::{defaults, PerSide};
 
 /// Everything the parallel executor needs to know.
+///
+/// `#[non_exhaustive]`: construct via [`ParallelJoinConfig::new`] (or
+/// [`Default`]) and refine with the `with_*` builders.  The unified
+/// `linkage::api::PipelineConfig` constructs this type internally.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ParallelJoinConfig {
     /// Number of worker shards (threads).  One shard is legal and useful:
     /// it runs the identical sharded protocol, which is what the
@@ -18,29 +23,35 @@ pub struct ParallelJoinConfig {
     pub batch_size: usize,
     /// Bounded depth of each worker's command and reply channel.
     pub channel_capacity: usize,
-    /// Join configuration shared by every shard (keys, q-grams, θ_sim).
+    /// Join configuration shared by every shard (keys, q-grams, the
+    /// similarity coefficient, θ_sim).
     pub join: SwitchJoinConfig,
-    /// Global monitor/assessor settings.
+    /// Global monitor/assessor settings and the switch policy.  A
+    /// [`SwitchPolicy::ForceAt`] policy switches at the first epoch
+    /// boundary at or after the given consumed-tuple count.
     pub controller: ControllerConfig,
-    /// Testing and experiment hook: unconditionally switch at the first
-    /// epoch boundary at or after this many consumed tuples, bypassing the
-    /// assessor.  `None` (the default) leaves the decision to the
-    /// controller.
-    pub force_switch_after: Option<u64>,
+}
+
+impl Default for ParallelJoinConfig {
+    /// One shard, the paper's join parameters, and a placeholder
+    /// reference size of 1 (override via the controller).
+    fn default() -> Self {
+        Self::new(1, PerSide::new(0, 0), 1)
+    }
 }
 
 impl ParallelJoinConfig {
-    /// Build with defaults: the paper's join parameters, a 64-tuple epoch,
-    /// and the serial controller's cadence.
+    /// Build with defaults: the paper's join parameters, a
+    /// [`defaults::EPOCH_BATCH_SIZE`]-tuple epoch, and the serial
+    /// controller's cadence.
     pub fn new(shards: usize, keys: PerSide<usize>, reference_size: u64) -> Self {
         assert!(shards > 0, "parallel join requires at least one shard");
         Self {
             shards,
-            batch_size: 64,
-            channel_capacity: 2,
+            batch_size: defaults::EPOCH_BATCH_SIZE,
+            channel_capacity: defaults::CHANNEL_CAPACITY,
             join: SwitchJoinConfig::new(keys),
             controller: ControllerConfig::new(reference_size),
-            force_switch_after: None,
         }
     }
 
@@ -49,6 +60,14 @@ impl ParallelJoinConfig {
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         assert!(batch_size > 0, "epoch batch size must be positive");
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Override the worker channel depth.
+    #[must_use]
+    pub fn with_channel_capacity(mut self, channel_capacity: usize) -> Self {
+        assert!(channel_capacity > 0, "channel capacity must be positive");
+        self.channel_capacity = channel_capacity;
         self
     }
 
@@ -66,10 +85,14 @@ impl ParallelJoinConfig {
         self
     }
 
-    /// Force the switch at a fixed point in the stream (tests, experiments).
+    /// Force the switch at a fixed point in the stream (tests,
+    /// experiments) — shorthand for setting [`SwitchPolicy::ForceAt`] on
+    /// the controller.
     #[must_use]
     pub fn with_forced_switch_after(mut self, consumed_tuples: u64) -> Self {
-        self.force_switch_after = Some(consumed_tuples);
+        self.controller = self
+            .controller
+            .with_policy(SwitchPolicy::ForceAt(consumed_tuples));
         self
     }
 }
@@ -84,16 +107,19 @@ mod tests {
         assert_eq!(c.shards, 4);
         assert!(c.batch_size > 0);
         assert!(c.channel_capacity > 0);
-        assert!(c.force_switch_after.is_none());
+        assert_eq!(c.controller.policy, SwitchPolicy::Adaptive);
+        assert_eq!(ParallelJoinConfig::default().shards, 1);
     }
 
     #[test]
     fn builders_override() {
         let c = ParallelJoinConfig::new(2, PerSide::new(1, 1), 10)
             .with_batch_size(7)
+            .with_channel_capacity(5)
             .with_forced_switch_after(100);
         assert_eq!(c.batch_size, 7);
-        assert_eq!(c.force_switch_after, Some(100));
+        assert_eq!(c.channel_capacity, 5);
+        assert_eq!(c.controller.policy, SwitchPolicy::ForceAt(100));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use linkage_core::{Assessment, GlobalController, SwitchEvent};
+use linkage_core::{Assessment, GlobalController, SwitchEvent, SwitchPolicy};
 use linkage_operators::{JoinPhase, Operator, OperatorState, PerKind, SshJoinCore, SshStored};
 use linkage_text::normalize;
 use linkage_types::{
@@ -110,6 +110,13 @@ pub struct ParallelJoin<I> {
     emitted: PerKind,
     switch: Option<SwitchEvent>,
     switch_latency: Option<Duration>,
+    /// Pairs buffered *before* the handover and not yet pulled.  While
+    /// nonzero, [`Self::switch_event`] stays `None`, so streaming
+    /// consumers see every pre-switch pair before the notification.
+    undrained_pre_switch: usize,
+    /// Whether the previous pull returned a pre-switch pair; the
+    /// decrement is deferred to the *next* call (see the serial engine).
+    pre_switch_in_flight: bool,
     shard_stats: Vec<ShardStats>,
     exhausted: bool,
 }
@@ -118,11 +125,7 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
     /// Build over a sided input.
     pub fn new(input: I, config: ParallelJoinConfig) -> Self {
         let partitioner = Partitioner::new(config.shards);
-        let prep = SshJoinCore::new(
-            config.join.keys,
-            config.join.qgram.clone(),
-            config.join.theta_sim,
-        );
+        let prep = config.join.ssh_core();
         let controller = GlobalController::new(config.controller.clone());
         Self {
             input,
@@ -139,6 +142,8 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
             emitted: PerKind::default(),
             switch: None,
             switch_latency: None,
+            undrained_pre_switch: 0,
+            pre_switch_in_flight: false,
             shard_stats: Vec::new(),
             exhausted: false,
         }
@@ -169,9 +174,16 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
         self.emitted
     }
 
-    /// The switch decision, if one was made.
+    /// The switch decision, once it is *visible*: pairs of the epoch that
+    /// triggered the switch are pulled first, so a consumer polling this
+    /// between pulls sees every pre-switch pair before the event.
+    /// [`Self::report`] carries the raw decision regardless.
     pub fn switch_event(&self) -> Option<SwitchEvent> {
-        self.switch
+        if self.undrained_pre_switch > 0 {
+            None
+        } else {
+            self.switch
+        }
     }
 
     /// Wall-clock duration of the distributed handover, if it ran.
@@ -346,22 +358,32 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
         if self.phase != JoinPhase::Exact {
             return Ok(());
         }
-        if let Some(after) = self.config.force_switch_after {
-            if self.total_consumed() >= after {
-                return self.orchestrate_switch(0.0);
+        match self.config.controller.policy {
+            SwitchPolicy::Never => Ok(()),
+            SwitchPolicy::ForceAt(after) => {
+                if self.total_consumed() >= after {
+                    return self.orchestrate_switch(0.0);
+                }
+                Ok(())
+            }
+            SwitchPolicy::Adaptive => {
+                if let Some(Assessment::Trigger { sigma }) = self
+                    .controller
+                    .observe_epoch(self.consumed, self.emitted.total())
+                {
+                    return self.orchestrate_switch(sigma);
+                }
+                Ok(())
             }
         }
-        if let Some(Assessment::Trigger { sigma }) = self
-            .controller
-            .observe_epoch(self.consumed, self.emitted.total())
-        {
-            return self.orchestrate_switch(sigma);
-        }
-        Ok(())
     }
 
     /// The distributed exact → approximate handover.
     fn orchestrate_switch(&mut self, sigma: f64) -> Result<()> {
+        // Everything buffered at this point was emitted by the exact
+        // phase (including this epoch's pairs) and must be pulled before
+        // the switch notification becomes visible.
+        self.undrained_pre_switch = self.out.len();
         let start = Instant::now();
         for worker in &self.workers {
             worker.send(ShardCmd::Switch)?;
@@ -477,13 +499,32 @@ impl<I: Operator<Item = SidedRecord>> Operator for ParallelJoin<I> {
         self.input.open()?;
         self.spawn_workers()?;
         self.state = OperatorState::Open;
+        // `ForceAt(0)` means "approximate from the first tuple": run the
+        // (empty) distributed handover before any epoch, mirroring the
+        // serial engine.
+        if self.config.controller.policy == SwitchPolicy::ForceAt(0)
+            && self.phase == JoinPhase::Exact
+        {
+            self.orchestrate_switch(0.0)?;
+        }
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<MatchPair>> {
         self.state.check_next(self.name())?;
+        // The pair returned by the previous call has been consumed by now;
+        // settle its deferred pre-switch accounting.
+        if self.pre_switch_in_flight {
+            self.pre_switch_in_flight = false;
+            self.undrained_pre_switch = self.undrained_pre_switch.saturating_sub(1);
+        }
         loop {
             if let Some(pair) = self.out.pop_front() {
+                // FIFO: the first pops after a switch are exactly the
+                // pairs that were buffered before it.
+                if self.undrained_pre_switch > 0 {
+                    self.pre_switch_in_flight = true;
+                }
                 return Ok(Some(pair));
             }
             if self.exhausted {

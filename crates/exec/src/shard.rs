@@ -36,7 +36,7 @@ pub(crate) struct ShardWorker {
 
 impl ShardWorker {
     pub(crate) fn new(id: ShardId, config: SwitchJoinConfig) -> Self {
-        let exact = ExactJoinCore::new(config.keys, config.normalization());
+        let exact = config.exact_core();
         Self {
             id,
             config,
@@ -98,13 +98,10 @@ impl ShardWorker {
             }
             ShardCmd::Switch => match std::mem::replace(&mut self.core, Core::Switching) {
                 Core::Exact(exact) => {
-                    let (ssh, _) = SshJoinCore::from_exact(
-                        self.config.keys,
-                        self.config.qgram.clone(),
-                        self.config.theta_sim,
-                        exact.into_tables(),
-                        &mut self.out,
-                    );
+                    let (ssh, _) = self
+                        .config
+                        .ssh_core()
+                        .with_exact_state(exact.into_tables(), &mut self.out);
                     let residents = ssh.residents();
                     self.core = Core::Approx(ssh);
                     ShardReply::Switched {

@@ -13,12 +13,9 @@ fn main() {
         "population", "mean", "min", "max"
     );
     for edits in 1..=3usize {
-        let cfg = DatagenConfig {
-            parents: 300,
-            edits,
-            clean_prefix: 0.0,
-            ..DatagenConfig::default()
-        };
+        let cfg = DatagenConfig::mid_stream_dirty(300, 42)
+            .with_edits(edits)
+            .with_clean_prefix(0.0);
         let data = generate(&cfg).expect("datagen failed");
         let mut moments = OnlineMoments::new();
         for (parent_id, child_id) in &data.truth {

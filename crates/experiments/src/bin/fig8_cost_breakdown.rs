@@ -1,11 +1,15 @@
-//! Fig. 8 analogue: where the adaptive join's time goes — exact phase,
-//! the switch (state migration + recovery probing), approximate phase.
+//! Fig. 8 analogue: where the adaptive pipeline's time goes — exact
+//! phase, the switch (state migration + recovery probing), approximate
+//! phase — measured from the `linkage::api` event stream.
+//!
+//! The pipeline is forced to switch at 75% of the stream: past the dirt
+//! onset at 50%, like a real controller that needs evidence before
+//! switching, so some missed matches are resident and recoverable.
 
 use std::time::Instant;
 
+use linkage::api::{MatchEvent, Pipeline};
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
-use linkage_operators::{InterleavedScan, Operator, SwitchJoin, SwitchJoinConfig};
-use linkage_types::{PerSide, VecStream};
 
 fn main() {
     println!(
@@ -14,37 +18,37 @@ fn main() {
     );
     for parents in [200usize, 400, 800] {
         let data = generate(&DatagenConfig::mid_stream_dirty(parents, 42)).expect("datagen");
-        let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
-        let scan = InterleavedScan::alternating(
-            VecStream::from_relation(&data.parents),
-            VecStream::from_relation(&data.children),
-        );
-        let mut join = SwitchJoin::new(scan, SwitchJoinConfig::new(keys));
-        join.open().expect("open failed");
+        let switch_at = 3 * (data.parents.len() + data.children.len()) / 4;
+        let stream = Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+            .force_switch_at(switch_at as u64)
+            .run()
+            .expect("pipeline failed");
 
-        // Run the exact phase to 75% of the stream: past the dirt onset at
-        // 50%, like a real controller that needs evidence before switching,
-        // so some missed matches are resident and recoverable.
-        let exact_phase = 3 * (data.parents.len() + data.children.len()) / 4;
-        let exact_start = Instant::now();
-        for _ in 0..exact_phase {
-            if !join.advance().expect("advance failed") {
-                break;
+        // Split wall-clock time at the Switched event; the handover's own
+        // cost is reported separately by the engine and subtracted from
+        // the phase that contains it.
+        let start = Instant::now();
+        let mut until_switch_ms = 0.0f64;
+        let mut recovered = 0u64;
+        let mut switch_ms = 0.0f64;
+        for event in stream {
+            match event.expect("join failed") {
+                MatchEvent::Switched(event) => {
+                    until_switch_ms = start.elapsed().as_secs_f64() * 1e3;
+                    recovered = event.recovered;
+                }
+                MatchEvent::Finished(report) => {
+                    switch_ms = report.switch_latency.map_or(0.0, |d| d.as_secs_f64() * 1e3);
+                }
+                _ => {}
             }
         }
-        while join.pop().is_some() {}
-        let exact_ms = exact_start.elapsed().as_secs_f64() * 1e3;
-
-        // The switch itself: migration + recovery probing.
-        let switch_start = Instant::now();
-        let recovered = join.switch_to_approximate().expect("switch failed");
-        let switch_ms = switch_start.elapsed().as_secs_f64() * 1e3;
-
-        // Approximate phase over the remaining (dirty) tuples.
-        let approx_start = Instant::now();
-        while join.next().expect("next failed").is_some() {}
-        let approx_ms = approx_start.elapsed().as_secs_f64() * 1e3;
-        join.close().expect("close failed");
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        let exact_ms = (until_switch_ms - switch_ms).max(0.0);
+        let approx_ms = (total_ms - until_switch_ms).max(0.0);
 
         println!(
             "{parents:>8} {exact_ms:>12.2} {switch_ms:>12.2} {approx_ms:>12.2} {recovered:>10}"

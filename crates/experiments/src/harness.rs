@@ -1,16 +1,18 @@
-//! The single-run experiment harness.
+//! The single-run experiment harness, built on the `linkage::api` facade.
+//!
+//! Every join mode — the exact-only baseline, the approximate-from-start
+//! join, the serial adaptive pipeline and the sharded parallel pipeline —
+//! is one declaration against [`Pipeline::builder`] differing only in its
+//! switch policy and execution mode; no per-layer config is constructed
+//! here.
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use linkage_core::{AdaptiveJoin, AssessorConfig, ControllerConfig, MonitorConfig};
+use linkage::api::{Pipeline, PipelineBuilder, RunOutcome};
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
-use linkage_exec::{ParallelJoin, ParallelJoinConfig};
-use linkage_operators::{
-    InterleavedScan, Operator, SshJoin, SwitchJoin, SwitchJoinConfig, SymmetricHashJoin,
-};
 use linkage_text::QGramConfig;
-use linkage_types::{MatchPair, PerSide, RecordId, Result, VecStream};
+use linkage_types::{defaults, RecordId, Result};
 
 /// Which join to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +44,11 @@ impl JoinMode {
 }
 
 /// One experiment: a workload plus a join configuration.
+///
+/// `#[non_exhaustive]`: construct via [`ExperimentConfig::adaptive`] (or
+/// [`Default`]) and adjust the public fields.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ExperimentConfig {
     /// The generated workload.
     pub data: DatagenConfig,
@@ -58,15 +64,21 @@ pub struct ExperimentConfig {
     pub qgram: QGramConfig,
 }
 
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::adaptive(500, 42)
+    }
+}
+
 impl ExperimentConfig {
     /// The default adaptive experiment over a mid-stream-dirt workload.
     pub fn adaptive(parents: usize, seed: u64) -> Self {
         Self {
             data: DatagenConfig::mid_stream_dirty(parents, seed),
             mode: JoinMode::Adaptive,
-            theta_sim: 0.8,
-            theta_out: 0.01,
-            check_every: 16,
+            theta_sim: defaults::THETA_SIM,
+            theta_out: defaults::THETA_OUT,
+            check_every: defaults::CHECK_EVERY,
             qgram: QGramConfig::default(),
         }
     }
@@ -76,6 +88,24 @@ impl ExperimentConfig {
     pub fn with_mode(mut self, mode: JoinMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// The pipeline declaration this experiment induces over `data`.
+    fn pipeline(&self, data: &GeneratedData) -> PipelineBuilder {
+        let builder = Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+            .qgram(self.qgram.clone())
+            .theta_sim(self.theta_sim)
+            .theta_out(self.theta_out)
+            .check_every(self.check_every);
+        match self.mode {
+            JoinMode::ExactOnly => builder.never_switch(),
+            JoinMode::ApproxOnly => builder.approximate_from_start(),
+            JoinMode::Adaptive => builder.serial(),
+            JoinMode::Parallel { shards } => builder.sharded(shards),
+        }
     }
 }
 
@@ -131,14 +161,12 @@ pub fn header() -> String {
     )
 }
 
-fn score(
-    pairs: &[MatchPair],
-    data: &GeneratedData,
-    switched_after: Option<u64>,
-    recovered: u64,
-    elapsed: Duration,
-) -> ExperimentResult {
+fn score(outcome: &RunOutcome, data: &GeneratedData, elapsed: Duration) -> ExperimentResult {
     let truth: HashSet<(RecordId, RecordId)> = data.truth.iter().copied().collect();
+    let pairs = &outcome.matches;
+    // An approximate-from-start run records a pro-forma switch at tuple 0;
+    // report it like the old bare SSH baseline did: no mid-stream switch.
+    let switch = outcome.report.switch.filter(|e| e.after_tuples > 0);
     let exact_pairs = pairs.iter().filter(|p| p.kind.is_exact()).count();
     let correct = pairs
         .iter()
@@ -162,8 +190,8 @@ fn score(
         true_matches: truth.len(),
         recall,
         precision,
-        switched_after,
-        recovered,
+        switched_after: switch.map(|e| e.after_tuples),
+        recovered: switch.map(|e| e.recovered).unwrap_or(0),
         elapsed,
     }
 }
@@ -171,61 +199,11 @@ fn score(
 /// Generate the workload and run the configured join over it.
 pub fn run(config: &ExperimentConfig) -> Result<ExperimentResult> {
     let data = generate(&config.data)?;
-    let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
-    let scan = InterleavedScan::alternating(
-        VecStream::from_relation(&data.parents),
-        VecStream::from_relation(&data.children),
-    );
-    let join_cfg = SwitchJoinConfig::new(keys)
-        .with_theta(config.theta_sim)
-        .with_qgram(config.qgram.clone());
-    // One controller wiring for both adaptive modes, so the parallel
-    // experiment always runs the exact test the serial reference runs.
-    let controller = ControllerConfig {
-        monitor: MonitorConfig::new(data.parents.len() as u64).with_check_every(config.check_every),
-        assessor: AssessorConfig {
-            theta_out: config.theta_out,
-            ..AssessorConfig::default()
-        },
-    };
-
+    let pipeline = config.pipeline(&data).build()?;
     let start = Instant::now();
-    let (pairs, switched_after, recovered) = match config.mode {
-        JoinMode::ExactOnly => {
-            let mut join =
-                SymmetricHashJoin::with_normalization(scan, keys, config.qgram.normalize);
-            (join.run_to_end()?, None, 0)
-        }
-        JoinMode::ApproxOnly => {
-            let mut join = SshJoin::new(scan, keys, config.qgram.clone(), config.theta_sim);
-            (join.run_to_end()?, None, 0)
-        }
-        JoinMode::Adaptive => {
-            let mut join = AdaptiveJoin::new(SwitchJoin::new(scan, join_cfg), controller);
-            let pairs = join.run_to_end()?;
-            let event = join.switch_event();
-            (
-                pairs,
-                event.map(|e| e.after_tuples),
-                event.map(|e| e.recovered).unwrap_or(0),
-            )
-        }
-        JoinMode::Parallel { shards } => {
-            let parallel_cfg = ParallelJoinConfig::new(shards, keys, data.parents.len() as u64)
-                .with_join(join_cfg)
-                .with_controller(controller);
-            let mut join = ParallelJoin::new(scan, parallel_cfg);
-            let pairs = join.run_to_end()?;
-            let event = join.switch_event();
-            (
-                pairs,
-                event.map(|e| e.after_tuples),
-                event.map(|e| e.recovered).unwrap_or(0),
-            )
-        }
-    };
+    let outcome = pipeline.collect()?;
     let elapsed = start.elapsed();
-    Ok(score(&pairs, &data, switched_after, recovered, elapsed))
+    Ok(score(&outcome, &data, elapsed))
 }
 
 #[cfg(test)]
@@ -273,6 +251,22 @@ mod tests {
         assert_eq!(parallel.recall, adaptive.recall);
         assert!(parallel.switched_after.is_some());
         assert_eq!(JoinMode::Parallel { shards: 3 }.label(), "parallel");
+    }
+
+    #[test]
+    fn approx_only_emits_similarity_matches_for_dirty_keys() {
+        let base = ExperimentConfig::adaptive(100, 15);
+        let exact = run(&base.clone().with_mode(JoinMode::ExactOnly)).unwrap();
+        let approx = run(&base.with_mode(JoinMode::ApproxOnly)).unwrap();
+        assert!(
+            approx.approx_pairs > 0,
+            "dirty keys must match approximately"
+        );
+        assert!(approx.recall > exact.recall);
+        assert_eq!(
+            approx.switched_after, None,
+            "the approximate-only baseline reports no mid-stream switch"
+        );
     }
 
     #[test]

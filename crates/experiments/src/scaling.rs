@@ -16,15 +16,18 @@
 
 use std::time::{Duration, Instant};
 
+use linkage::api::Pipeline;
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
-use linkage_exec::{ParallelJoin, ParallelJoinConfig};
-use linkage_operators::{InterleavedScan, Operator};
-use linkage_types::{PerSide, Result, VecStream};
+use linkage_types::Result;
 
 use crate::json::JsonValue;
 
 /// Configuration of one scaling sweep.
+///
+/// `#[non_exhaustive]`: construct via [`ScalingConfig::smoke`],
+/// [`ScalingConfig::full`] or [`Default`] and adjust the public fields.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ScalingConfig {
     /// Parent-relation size of the generated workload.
     pub parents: usize,
@@ -38,6 +41,12 @@ pub struct ScalingConfig {
     pub shard_counts: Vec<usize>,
     /// Epoch size handed to the executor.
     pub batch_size: usize,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        Self::smoke()
+    }
 }
 
 impl ScalingConfig {
@@ -68,13 +77,9 @@ impl ScalingConfig {
     }
 
     fn datagen(&self) -> DatagenConfig {
-        DatagenConfig {
-            parents: self.parents,
-            children_per_parent: self.children_per_parent,
-            clean_prefix: self.clean_prefix,
-            seed: self.seed,
-            ..DatagenConfig::default()
-        }
+        DatagenConfig::mid_stream_dirty(self.parents, self.seed)
+            .with_children_per_parent(self.children_per_parent)
+            .with_clean_prefix(self.clean_prefix)
     }
 }
 
@@ -122,34 +127,33 @@ impl ScalingRun {
     }
 }
 
-/// Execute the sweep: one generated workload, one executor run per shard
-/// count.
+/// Execute the sweep: one generated workload, one pipeline run per shard
+/// count, all through the `linkage::api` facade.
 pub fn run_scaling(config: &ScalingConfig) -> Result<ScalingRun> {
     let data = generate(&config.datagen())?;
-    let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
     let mut points = Vec::with_capacity(config.shard_counts.len());
     for &shards in &config.shard_counts {
-        let scan = InterleavedScan::alternating(
-            VecStream::from_relation(&data.parents),
-            VecStream::from_relation(&data.children),
-        );
-        let parallel_cfg = ParallelJoinConfig::new(shards, keys, data.parents.len() as u64)
-            .with_batch_size(config.batch_size);
-        let mut join = ParallelJoin::new(scan, parallel_cfg);
+        let pipeline = Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+            .sharded(shards)
+            .batch_size(config.batch_size)
+            .build()?;
         let start = Instant::now();
-        let pairs = join.run_to_end()?;
+        let outcome = pipeline.collect()?;
         let elapsed = start.elapsed();
-        let report = join.report();
+        let report = &outcome.report;
         points.push(ScalingPoint {
             shards,
             elapsed,
-            throughput: join.total_consumed() as f64 / elapsed.as_secs_f64().max(1e-9),
-            pairs: pairs.len() as u64,
+            throughput: report.total_consumed() as f64 / elapsed.as_secs_f64().max(1e-9),
+            pairs: outcome.matches.len() as u64,
             switch_after: report.switch.map(|e| e.after_tuples),
             switch_latency: report.switch_latency,
             recovered: report.switch.map(|e| e.recovered).unwrap_or(0),
             state_bytes_per_shard: report
-                .shards
+                .shard_stats
                 .iter()
                 .map(|s| (s.state_bytes.left + s.state_bytes.right) as u64)
                 .collect(),

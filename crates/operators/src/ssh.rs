@@ -17,7 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use linkage_text::{normalize, Gram, QGramConfig, QGramSet};
+use linkage_text::{normalize, Gram, QGramCoefficient, QGramConfig, QGramSet};
 use linkage_types::{MatchPair, PerSide, Record, Result, Side, SidedRecord};
 
 use crate::exact::orient;
@@ -121,6 +121,7 @@ impl GramIndex {
 pub struct SshJoinCore {
     keys: PerSide<usize>,
     config: QGramConfig,
+    coefficient: QGramCoefficient,
     theta: f64,
     sides: PerSide<GramIndex>,
     emitted_exact: u64,
@@ -129,7 +130,8 @@ pub struct SshJoinCore {
 
 impl SshJoinCore {
     /// Build a core joining on `keys` with similarity threshold `theta`
-    /// over q-gram sets extracted under `config`.
+    /// over q-gram sets extracted under `config`, scored with the paper's
+    /// Jaccard coefficient (override via [`Self::with_coefficient`]).
     pub fn new(keys: PerSide<usize>, config: QGramConfig, theta: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&theta),
@@ -138,11 +140,38 @@ impl SshJoinCore {
         Self {
             keys,
             config,
+            coefficient: QGramCoefficient::default(),
             theta,
             sides: PerSide::default(),
             emitted_exact: 0,
             emitted_approx: 0,
         }
+    }
+
+    /// Score candidates with a different q-gram set coefficient.  The
+    /// kernel's per-candidate counters and the coefficient's sound
+    /// [`QGramCoefficient::min_overlap`] pruning bound adapt automatically.
+    #[must_use]
+    pub fn with_coefficient(mut self, coefficient: QGramCoefficient) -> Self {
+        self.coefficient = coefficient;
+        self
+    }
+
+    /// The similarity coefficient scoring candidates.
+    pub fn coefficient(&self) -> QGramCoefficient {
+        self.coefficient
+    }
+
+    /// The §3.3 state handover with the paper's default Jaccard scoring;
+    /// see [`Self::with_exact_state`].
+    pub fn from_exact(
+        keys: PerSide<usize>,
+        config: QGramConfig,
+        theta: f64,
+        tables: PerSide<KeyTable>,
+        out: &mut VecDeque<MatchPair>,
+    ) -> (Self, u64) {
+        Self::new(keys, config, theta).with_exact_state(tables, out)
     }
 
     /// The §3.3 state handover: rebuild the inverted index from the exact
@@ -152,15 +181,22 @@ impl SshJoinCore {
     /// Pairs whose keys are identical are skipped when both tuples carry the
     /// matched-exactly flag — the exact operator already emitted them, and
     /// re-emitting would duplicate output.  Returns the core and the number
-    /// of recovered pairs.
-    pub fn from_exact(
-        keys: PerSide<usize>,
-        config: QGramConfig,
-        theta: f64,
+    /// of recovered pairs.  Must be called on a freshly built core (no
+    /// resident state yet).
+    pub fn with_exact_state(
+        mut self,
         tables: PerSide<KeyTable>,
         out: &mut VecDeque<MatchPair>,
     ) -> (Self, u64) {
-        let mut core = Self::new(keys, config, theta);
+        assert!(
+            self.sides.left.is_empty()
+                && self.sides.right.is_empty()
+                && self.emitted_exact == 0
+                && self.emitted_approx == 0,
+            "with_exact_state requires a freshly built core: resident state \
+             would be re-probed and matches re-emitted"
+        );
+        let core = &mut self;
 
         // Migrate: tokenise every resident tuple and rebuild both indexes.
         // Keys stored by the exact core are already normalised, and
@@ -183,7 +219,7 @@ impl SshJoinCore {
         let mut recovered_approx = 0u64;
         let (left_index, right_index) = (&core.sides[Side::Left], &core.sides[Side::Right]);
         for l in left_index.tuples() {
-            let bound = min_overlap(&l.grams, core.theta);
+            let bound = core.coefficient.min_overlap(l.grams.len(), core.theta);
             for (r_idx, shared) in right_index.overlap_counts(&l.grams) {
                 if shared < bound {
                     continue;
@@ -202,7 +238,9 @@ impl SshJoinCore {
                     recovered_exact += 1;
                     continue;
                 }
-                let sim = QGramSet::jaccard_from_overlap(l.grams.len(), r.grams.len(), shared);
+                let sim = core
+                    .coefficient
+                    .from_overlap(l.grams.len(), r.grams.len(), shared);
                 if sim >= core.theta {
                     out.push_back(MatchPair::approximate(
                         l.record.clone(),
@@ -215,7 +253,8 @@ impl SshJoinCore {
         }
         core.emitted_exact += recovered_exact;
         core.emitted_approx += recovered_approx;
-        (core, recovered_exact + recovered_approx)
+        let recovered = recovered_exact + recovered_approx;
+        (self, recovered)
     }
 
     /// Process one arriving tuple: probe the opposite index, emit pairs at
@@ -257,7 +296,8 @@ impl SshJoinCore {
         store: bool,
         out: &mut VecDeque<MatchPair>,
     ) -> Result<usize> {
-        let bound = min_overlap(grams, self.theta);
+        let bound = self.coefficient.min_overlap(grams.len(), self.theta);
+        let coefficient = self.coefficient;
 
         let (own, opposite) = self.sides.own_and_opposite_mut(sided.side);
         let mut emitted = 0usize;
@@ -274,7 +314,7 @@ impl SshJoinCore {
                 let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
                 MatchPair::exact(l, r)
             } else {
-                let sim = QGramSet::jaccard_from_overlap(grams.len(), partner.grams.len(), shared);
+                let sim = coefficient.from_overlap(grams.len(), partner.grams.len(), shared);
                 if sim < self.theta {
                     continue;
                 }
@@ -337,7 +377,7 @@ impl SshJoinCore {
         let mut recovered_exact = 0u64;
         let mut recovered_approx = 0u64;
         for (side, f) in foreign {
-            let bound = min_overlap(&f.grams, self.theta);
+            let bound = self.coefficient.min_overlap(f.grams.len(), self.theta);
             let local = &self.sides[side.opposite()];
             for (idx, shared) in local.overlap_counts(&f.grams) {
                 if shared < bound {
@@ -353,8 +393,9 @@ impl SshJoinCore {
                     recovered_exact += 1;
                     continue;
                 }
-                let sim =
-                    QGramSet::jaccard_from_overlap(f.grams.len(), partner.grams.len(), shared);
+                let sim = self
+                    .coefficient
+                    .from_overlap(f.grams.len(), partner.grams.len(), shared);
                 if sim >= self.theta {
                     let (l, r) = orient(*side, f.record.clone(), partner.record.clone());
                     out.push_back(MatchPair::approximate(l, r, sim));
@@ -398,12 +439,6 @@ impl SshJoinCore {
     }
 }
 
-/// The `|A ∩ B| ≥ θ·|A|` candidate-pruning bound; empty probe sets can
-/// never produce a candidate through the inverted index.
-fn min_overlap(probe: &QGramSet, theta: f64) -> usize {
-    probe.min_overlap_for(theta)
-}
-
 /// The approximate SSH join as a standalone pipelined [`Operator`].
 pub struct SshJoin<I> {
     input: I,
@@ -424,6 +459,13 @@ impl<I: Operator<Item = SidedRecord>> SshJoin<I> {
             state: OperatorState::default(),
             consumed: PerSide::default(),
         }
+    }
+
+    /// Score candidates with a different q-gram set coefficient.
+    #[must_use]
+    pub fn with_coefficient(mut self, coefficient: QGramCoefficient) -> Self {
+        self.core = self.core.with_coefficient(coefficient);
+        self
     }
 
     /// Number of input tuples consumed from each side.

@@ -19,8 +19,8 @@
 
 use std::collections::VecDeque;
 
-use linkage_text::{NormalizeConfig, QGramConfig};
-use linkage_types::{LinkageError, MatchKind, MatchPair, PerSide, Result, SidedRecord};
+use linkage_text::{NormalizeConfig, QGramCoefficient, QGramConfig};
+use linkage_types::{defaults, LinkageError, MatchKind, MatchPair, PerSide, Result, SidedRecord};
 
 use crate::exact::ExactJoinCore;
 use crate::iterator::{Operator, OperatorState};
@@ -36,24 +36,42 @@ pub enum JoinPhase {
 }
 
 /// Configuration shared by both phases of a [`SwitchJoin`].
+///
+/// `#[non_exhaustive]`: construct via [`SwitchJoinConfig::new`] or
+/// [`Default`] and refine with the `with_*` builders, so new knobs can be
+/// added without breaking downstream crates.  The unified
+/// `linkage::api::PipelineConfig` constructs this type internally.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SwitchJoinConfig {
     /// Join key column per side.
     pub keys: PerSide<usize>,
     /// Q-gram extraction (its embedded normalisation is also used by the
     /// exact phase, so key equality and similarity 1.0 coincide).
     pub qgram: QGramConfig,
+    /// The q-gram set coefficient scoring candidates in the approximate
+    /// phase (the paper's Jaccard by default).
+    pub coefficient: QGramCoefficient,
     /// Similarity threshold `θ_sim` for the approximate phase.
     pub theta_sim: f64,
 }
 
+impl Default for SwitchJoinConfig {
+    /// The paper's defaults, joining both sides on column 0.
+    fn default() -> Self {
+        Self::new(PerSide::new(0, 0))
+    }
+}
+
 impl SwitchJoinConfig {
-    /// Build with the paper's defaults (`q = 3`, padded, `θ_sim = 0.8`).
+    /// Build with the paper's defaults (`q = 3`, padded, Jaccard,
+    /// `θ_sim = 0.8` — see [`linkage_types::defaults`]).
     pub fn new(keys: PerSide<usize>) -> Self {
         Self {
             keys,
             qgram: QGramConfig::default(),
-            theta_sim: 0.8,
+            coefficient: QGramCoefficient::default(),
+            theta_sim: defaults::THETA_SIM,
         }
     }
 
@@ -71,9 +89,27 @@ impl SwitchJoinConfig {
         self
     }
 
+    /// Override the similarity coefficient of the approximate phase.
+    #[must_use]
+    pub fn with_coefficient(mut self, coefficient: QGramCoefficient) -> Self {
+        self.coefficient = coefficient;
+        self
+    }
+
     /// The key normalisation both phases apply.
     pub fn normalization(&self) -> NormalizeConfig {
         self.qgram.normalize
+    }
+
+    /// A fresh exact-phase kernel under this configuration.
+    pub fn exact_core(&self) -> ExactJoinCore {
+        ExactJoinCore::new(self.keys, self.normalization())
+    }
+
+    /// A fresh approximate-phase kernel under this configuration.
+    pub fn ssh_core(&self) -> SshJoinCore {
+        SshJoinCore::new(self.keys, self.qgram.clone(), self.theta_sim)
+            .with_coefficient(self.coefficient)
     }
 }
 
@@ -116,7 +152,7 @@ impl PerKind {
 impl<I: Operator<Item = SidedRecord>> SwitchJoin<I> {
     /// Build over a sided input, starting in the exact phase.
     pub fn new(input: I, config: SwitchJoinConfig) -> Self {
-        let exact = ExactJoinCore::new(config.keys, config.normalization());
+        let exact = config.exact_core();
         Self {
             input,
             config,
@@ -189,13 +225,10 @@ impl<I: Operator<Item = SidedRecord>> SwitchJoin<I> {
         match std::mem::replace(&mut self.core, PhaseCore::Switching) {
             PhaseCore::Exact(exact) => {
                 let before = self.out.len();
-                let (ssh, recovered) = SshJoinCore::from_exact(
-                    self.config.keys,
-                    self.config.qgram.clone(),
-                    self.config.theta_sim,
-                    exact.into_tables(),
-                    &mut self.out,
-                );
+                let (ssh, recovered) = self
+                    .config
+                    .ssh_core()
+                    .with_exact_state(exact.into_tables(), &mut self.out);
                 self.count_new_emissions(before);
                 self.core = PhaseCore::Approximate(ssh);
                 self.recovered_at_switch = recovered;
@@ -244,6 +277,11 @@ impl<I: Operator<Item = SidedRecord>> SwitchJoin<I> {
     /// Pop one buffered match, if any.
     pub fn pop(&mut self) -> Option<MatchPair> {
         self.out.pop_front()
+    }
+
+    /// Number of emitted pairs currently buffered (not yet popped).
+    pub fn buffered(&self) -> usize {
+        self.out.len()
     }
 
     fn count_new_emissions(&mut self, buffered_before: usize) {

@@ -39,5 +39,6 @@ pub use jaro::{jaro_similarity, jaro_winkler_similarity, JaroWinkler};
 pub use normalize::{normalize, NormalizeConfig};
 pub use qgram::{Gram, QGramConfig, QGramSet};
 pub use similarity::{
-    QGramCosine, QGramDice, QGramJaccard, QGramOverlap, SimilarityFn, StringSimilarity,
+    QGramCoefficient, QGramCosine, QGramDice, QGramJaccard, QGramOverlap, SimilarityFn,
+    StringSimilarity,
 };

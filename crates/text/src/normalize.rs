@@ -12,7 +12,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Options controlling [`normalize`].
+///
+/// `#[non_exhaustive]`: construct via [`Default`],
+/// [`NormalizeConfig::none`] or [`NormalizeConfig::aggressive`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct NormalizeConfig {
     /// Convert the string to uppercase.
     pub uppercase: bool,

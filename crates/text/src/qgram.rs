@@ -27,7 +27,12 @@ use crate::normalize::{normalize, NormalizeConfig};
 pub type Gram = Arc<str>;
 
 /// Configuration for q-gram extraction.
+///
+/// `#[non_exhaustive]`: construct via [`Default`], [`QGramConfig::with_q`]
+/// or [`QGramConfig::unpadded`] so new knobs can be added without breaking
+/// downstream crates.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct QGramConfig {
     /// Window width. The paper uses `q = 3`.
     pub q: usize,
@@ -46,7 +51,7 @@ pub struct QGramConfig {
 impl Default for QGramConfig {
     fn default() -> Self {
         Self {
-            q: 3,
+            q: linkage_types::defaults::Q,
             pad: true,
             pad_begin: '\u{2310}', // '⌐', outside the generator's alphabet
             pad_end: '\u{00B6}',   // '¶'
@@ -233,17 +238,13 @@ impl QGramSet {
     /// The Jaccard similarity implied by an externally counted intersection
     /// size — the formula the approximate join uses once its per-candidate
     /// counters are known: `c / (|A| + |B| − c)`.
+    ///
+    /// Delegates to [`QGramCoefficient::Jaccard`], the single home of the
+    /// coefficient arithmetic.
+    ///
+    /// [`QGramCoefficient::Jaccard`]: crate::similarity::QGramCoefficient
     pub fn jaccard_from_overlap(len_a: usize, len_b: usize, overlap: usize) -> f64 {
-        if len_a == 0 && len_b == 0 {
-            return 1.0;
-        }
-        let overlap = overlap.min(len_a).min(len_b);
-        let union = len_a + len_b - overlap;
-        if union == 0 {
-            1.0
-        } else {
-            overlap as f64 / union as f64
-        }
+        crate::similarity::QGramCoefficient::Jaccard.from_overlap(len_a, len_b, overlap)
     }
 
     /// Minimum number of common grams two sets must share for their Jaccard
@@ -253,12 +254,12 @@ impl QGramSet {
     /// This is the bound the approximate join uses to drive the
     /// reverse-frequency prefix optimisation (§2.2, point 4 and following
     /// paragraph): if `J(A, B) ≥ θ` then `|A ∩ B| ≥ θ·|A ∪ B| ≥ θ·|A|`.
+    /// Delegates to [`QGramCoefficient::Jaccard`]; the other coefficients
+    /// carry their own sound bounds there.
+    ///
+    /// [`QGramCoefficient::Jaccard`]: crate::similarity::QGramCoefficient
     pub fn min_overlap_for(&self, threshold: f64) -> usize {
-        if self.is_empty() {
-            return 0;
-        }
-        let t = threshold.clamp(0.0, 1.0);
-        ((t * self.len() as f64).ceil() as usize).max(1)
+        crate::similarity::QGramCoefficient::Jaccard.min_overlap(self.len(), threshold)
     }
 }
 

@@ -34,17 +34,58 @@ impl fmt::Debug for dyn StringSimilarity + Send + Sync {
     }
 }
 
-/// How the multiset/set coefficient combines intersection and sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-enum SetCoefficient {
+/// The family of q-gram set coefficients the approximate join can be
+/// parameterised with — the pipeline's *pluggable similarity choice*.
+///
+/// The paper uses the Jaccard coefficient; its §2.2 footnote notes that
+/// "other similarity functions based on q-grams can be exploited", which
+/// is exactly what this enum encodes.  Every member is computable in
+/// O(1) from `(|A|, |B|, |A ∩ B|)`, so the SSH join's inverted-index
+/// kernel supports all of them with the same per-candidate counters; and
+/// every member admits a *sound* minimum-overlap pruning bound
+/// ([`Self::min_overlap`]), so candidate pruning never drops a true
+/// match whichever coefficient is selected.
+///
+/// [`Self::with_config`] yields the corresponding [`StringSimilarity`]
+/// implementation, which the nested-loop oracles use to cross-check the
+/// kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QGramCoefficient {
+    /// `|A ∩ B| / |A ∪ B|` — the paper's similarity.
+    #[default]
     Jaccard,
+    /// `2·|A ∩ B| / (|A| + |B|)`.
     Dice,
+    /// `|A ∩ B| / √(|A|·|B|)`.
     Cosine,
+    /// `|A ∩ B| / min(|A|, |B|)`.
     Overlap,
 }
 
-impl SetCoefficient {
-    fn combine(self, inter: usize, len_a: usize, len_b: usize) -> f64 {
+impl QGramCoefficient {
+    /// Every member, for sweeps and ablation experiments.
+    pub const ALL: [QGramCoefficient; 4] = [
+        QGramCoefficient::Jaccard,
+        QGramCoefficient::Dice,
+        QGramCoefficient::Cosine,
+        QGramCoefficient::Overlap,
+    ];
+
+    /// A short, stable name for reports and configuration.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QGramCoefficient::Jaccard => "jaccard",
+            QGramCoefficient::Dice => "dice",
+            QGramCoefficient::Cosine => "cosine",
+            QGramCoefficient::Overlap => "overlap",
+        }
+    }
+
+    /// Combine an intersection size with the two set sizes.
+    ///
+    /// Conventions: two empty sets are identical (1.0); an empty set
+    /// against a non-empty one shares nothing (0.0).
+    pub fn combine(self, inter: usize, len_a: usize, len_b: usize) -> f64 {
         if len_a == 0 && len_b == 0 {
             return 1.0;
         }
@@ -54,10 +95,57 @@ impl SetCoefficient {
         let inter = inter as f64;
         let (a, b) = (len_a as f64, len_b as f64);
         match self {
-            SetCoefficient::Jaccard => inter / (a + b - inter),
-            SetCoefficient::Dice => 2.0 * inter / (a + b),
-            SetCoefficient::Cosine => inter / (a * b).sqrt(),
-            SetCoefficient::Overlap => inter / a.min(b),
+            QGramCoefficient::Jaccard => inter / (a + b - inter),
+            QGramCoefficient::Dice => 2.0 * inter / (a + b),
+            QGramCoefficient::Cosine => inter / (a * b).sqrt(),
+            QGramCoefficient::Overlap => inter / a.min(b),
+        }
+    }
+
+    /// The similarity implied by an externally counted intersection size
+    /// — the formula the approximate join applies once its per-candidate
+    /// counters are known.  The overlap is clamped to `min(|A|, |B|)` so
+    /// inconsistent counts can never produce a similarity above 1.
+    pub fn from_overlap(self, len_a: usize, len_b: usize, overlap: usize) -> f64 {
+        self.combine(overlap.min(len_a).min(len_b), len_a, len_b)
+    }
+
+    /// Minimum number of shared grams a candidate must have for this
+    /// coefficient to possibly reach `threshold` against a probe set of
+    /// `probe_len` grams — the sound generalisation of the paper's
+    /// `|A ∩ B| ≥ θ·|A|` Jaccard pruning bound (§2.2).
+    ///
+    /// Derivations use `i ≤ min(|A|, |B|)` with `A` the probe set:
+    ///
+    /// * Jaccard ≥ θ ⟹ `i ≥ θ·|A ∪ B| ≥ θ·|A|`;
+    /// * Dice ≥ θ ⟹ `2i ≥ θ(|A| + |B|) ≥ θ(|A| + i)` ⟹ `i ≥ θ·|A|/(2−θ)`;
+    /// * Cosine ≥ θ ⟹ `i ≥ θ·√(|A|·|B|) ≥ θ·√(|A|·i)` ⟹ `i ≥ θ²·|A|`;
+    /// * Overlap ≥ θ ⟹ only `i ≥ 1` can be guaranteed (a small candidate
+    ///   set keeps the denominator small).
+    pub fn min_overlap(self, probe_len: usize, threshold: f64) -> usize {
+        if probe_len == 0 {
+            return 0;
+        }
+        let t = threshold.clamp(0.0, 1.0);
+        let a = probe_len as f64;
+        let bound = match self {
+            QGramCoefficient::Jaccard => t * a,
+            QGramCoefficient::Dice => t * a / (2.0 - t),
+            QGramCoefficient::Cosine => t * t * a,
+            QGramCoefficient::Overlap => 1.0,
+        };
+        (bound.ceil() as usize).clamp(1, probe_len)
+    }
+
+    /// The [`StringSimilarity`] implementation computing this coefficient
+    /// over q-gram sets extracted under `config` — what the inverted-index
+    /// kernel's output is equivalent to, pair by pair.
+    pub fn with_config(self, config: QGramConfig) -> SimilarityFn {
+        match self {
+            QGramCoefficient::Jaccard => Arc::new(QGramJaccard::new(config)),
+            QGramCoefficient::Dice => Arc::new(QGramDice::new(config)),
+            QGramCoefficient::Cosine => Arc::new(QGramCosine::new(config)),
+            QGramCoefficient::Overlap => Arc::new(QGramOverlap::new(config)),
         }
     }
 }
@@ -106,28 +194,28 @@ qgram_similarity!(
     /// The paper's similarity: Jaccard coefficient over q-gram sets,
     /// `|q(s1) ∩ q(s2)| / |q(s1) ∪ q(s2)|`.
     QGramJaccard,
-    SetCoefficient::Jaccard,
+    QGramCoefficient::Jaccard,
     "qgram-jaccard"
 );
 
 qgram_similarity!(
     /// Dice coefficient over q-gram sets, `2·|A ∩ B| / (|A| + |B|)`.
     QGramDice,
-    SetCoefficient::Dice,
+    QGramCoefficient::Dice,
     "qgram-dice"
 );
 
 qgram_similarity!(
     /// Cosine coefficient over q-gram sets, `|A ∩ B| / √(|A|·|B|)`.
     QGramCosine,
-    SetCoefficient::Cosine,
+    QGramCoefficient::Cosine,
     "qgram-cosine"
 );
 
 qgram_similarity!(
     /// Overlap coefficient over q-gram sets, `|A ∩ B| / min(|A|, |B|)`.
     QGramOverlap,
-    SetCoefficient::Overlap,
+    QGramCoefficient::Overlap,
     "qgram-overlap"
 );
 
@@ -212,6 +300,55 @@ mod tests {
         assert_eq!(QGramDice::default().name(), "qgram-dice");
         assert_eq!(QGramCosine::default().name(), "qgram-cosine");
         assert_eq!(QGramOverlap::default().name(), "qgram-overlap");
+        for coefficient in QGramCoefficient::ALL {
+            assert!(!coefficient.name().is_empty());
+        }
+        assert_eq!(QGramCoefficient::default(), QGramCoefficient::Jaccard);
+    }
+
+    #[test]
+    fn coefficient_handle_agrees_with_the_concrete_struct() {
+        let config = QGramConfig::default();
+        for coefficient in QGramCoefficient::ALL {
+            let handle = coefficient.with_config(config.clone());
+            let sa = QGramSet::extract(VARIANT_A, &config);
+            let sb = QGramSet::extract(VARIANT_B, &config);
+            let via_sets = coefficient.combine(sa.intersection_size(&sb), sa.len(), sb.len());
+            let via_handle = handle.similarity(VARIANT_A, VARIANT_B);
+            assert!(
+                (via_sets - via_handle).abs() < 1e-12,
+                "{} disagrees with its handle",
+                coefficient.name()
+            );
+        }
+    }
+
+    #[test]
+    fn from_overlap_clamps_and_respects_empty_set_conventions() {
+        for coefficient in QGramCoefficient::ALL {
+            assert_eq!(coefficient.from_overlap(0, 0, 0), 1.0);
+            assert_eq!(coefficient.from_overlap(5, 0, 0), 0.0);
+            assert_eq!(coefficient.from_overlap(0, 5, 3), 0.0);
+            // Inconsistent overlap counts can never exceed 1.
+            assert!(coefficient.from_overlap(3, 3, 10) <= 1.0);
+            assert_eq!(coefficient.from_overlap(4, 4, 4), 1.0);
+        }
+    }
+
+    #[test]
+    fn min_overlap_edges() {
+        for coefficient in QGramCoefficient::ALL {
+            assert_eq!(coefficient.min_overlap(0, 0.8), 0, "empty probe");
+            assert!(coefficient.min_overlap(10, 0.0) >= 1);
+            assert_eq!(
+                coefficient.min_overlap(10, 1.0),
+                if coefficient == QGramCoefficient::Overlap {
+                    1
+                } else {
+                    10
+                }
+            );
+        }
     }
 
     #[test]
@@ -270,6 +407,34 @@ mod proptests {
             prop_assert_eq!(sim.matches(&a, &b, 0.0), s >= 0.0);
             if sim.matches(&a, &b, 0.9) {
                 prop_assert!(sim.matches(&a, &b, 0.5));
+            }
+        }
+
+        /// The pruning bound must never reject a pair that actually
+        /// reaches the threshold — for every coefficient, from either
+        /// probe direction (the kernel probes with whichever side
+        /// arrives).
+        #[test]
+        fn min_overlap_bound_is_sound_for_every_coefficient(a in arb_key(), b in arb_key()) {
+            let cfg = QGramConfig::default();
+            let sa = QGramSet::extract(&a, &cfg);
+            let sb = QGramSet::extract(&b, &cfg);
+            let inter = sa.intersection_size(&sb);
+            for coefficient in QGramCoefficient::ALL {
+                let sim = coefficient.combine(inter, sa.len(), sb.len());
+                for theta in [0.1, 0.3, 0.5, 0.8, 0.95, 1.0] {
+                    if sim >= theta {
+                        for probe_len in [sa.len(), sb.len()] {
+                            prop_assert!(
+                                inter >= coefficient.min_overlap(probe_len, theta),
+                                "{} would prune a true match: sim {} ≥ θ {} but \
+                                 inter {} < bound {}",
+                                coefficient.name(), sim, theta, inter,
+                                coefficient.min_overlap(probe_len, theta)
+                            );
+                        }
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,38 @@
+//! The paper's default parameters, defined once for the whole workspace.
+//!
+//! Every crate that needs a default join parameter references these
+//! constants instead of repeating the literal: the q-gram window width
+//! used by `linkage-text`, the similarity and outlier thresholds used by
+//! the operators and the controller, the monitor cadence, and the
+//! epoch/channel sizing of the sharded executor.  Changing a paper
+//! default is therefore a one-line, workspace-wide edit — and the
+//! unified `linkage::api` pipeline configuration is guaranteed to agree
+//! with the per-layer configs it constructs.
+
+/// Q-gram window width `q` (paper §2.2: "typically, q = 3").
+pub const Q: usize = 3;
+
+/// Similarity threshold `θ_sim` of the approximate join, calibrated so
+/// that one-edit variants of the generator's ~30-character keys match
+/// while unrelated keys do not (paper §4.2).
+pub const THETA_SIM: f64 = 0.8;
+
+/// Significance threshold `θ_out` of the binomial outlier test (§3.2).
+pub const THETA_OUT: f64 = 0.01;
+
+/// Monitor cadence: assess once per this many consumed child tuples.
+pub const CHECK_EVERY: u64 = 16;
+
+/// Minimum Bernoulli trials before the outlier test is meaningful.
+pub const MIN_TRIALS: u64 = 16;
+
+/// Consecutive outlier verdicts required before the switch triggers
+/// (the assessor's hysteresis guard).
+pub const CONSECUTIVE_ALARMS: u32 = 2;
+
+/// Input tuples pulled per epoch by the sharded executor's lock-step
+/// protocol.
+pub const EPOCH_BATCH_SIZE: usize = 64;
+
+/// Bounded depth of each shard worker's command channel.
+pub const CHANNEL_CAPACITY: usize = 2;

@@ -11,7 +11,11 @@ pub type Result<T> = std::result::Result<T, LinkageError>;
 /// which the problem occurred plus a human-readable message, which is enough
 /// for the experiment harness and the examples to report failures usefully
 /// without dragging a heavyweight error-handling dependency into every crate.
+///
+/// The enum is `#[non_exhaustive]`: future execution backends may add
+/// variants, so downstream matches must carry a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LinkageError {
     /// A schema was malformed or a field lookup failed.
     Schema(String),

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod defaults;
 pub mod error;
 pub mod matchpair;
 pub mod partition;

@@ -1,12 +1,15 @@
 //! The paper's motivating scenario: linking accident reports to a location
 //! atlas even though report locations are typed by hand (and dirty), then
-//! ranking locations by accident count.
+//! ranking locations by accident count — all through the `linkage::api`
+//! builder.
 //!
 //! Run with: `cargo run --release --example accident_hotspots`
 
-use linkage::operators::{InterleavedScan, Operator, SwitchJoin, SwitchJoinConfig};
-use linkage::types::{Field, PerSide, Relation, Schema, Value, VecStream};
+use linkage::api::Pipeline;
+use linkage::types::{Field, Relation, Schema, Value};
 use std::collections::HashMap;
+
+const LOCATION_COLUMN: usize = 1;
 
 fn atlas() -> Relation {
     let mut rel = Relation::empty(
@@ -51,24 +54,25 @@ fn reports() -> Relation {
 }
 
 fn main() {
-    let atlas = atlas();
-    let reports = reports();
-    let scan = InterleavedScan::alternating(
-        VecStream::from_relation(&atlas),
-        VecStream::from_relation(&reports),
-    );
-    let mut join = SwitchJoin::new(scan, SwitchJoinConfig::new(PerSide::new(1, 1)));
-    join.open().expect("open failed");
-    // This tiny stream is too short for the statistical monitor; switch to
-    // the approximate kernel by hand to link the typo'd reports too.
-    join.switch_to_approximate().expect("switch failed");
+    // This tiny stream is too short for the statistical monitor, so run
+    // the approximate join from the start to link the typo'd reports too.
+    let outcome = Pipeline::builder()
+        .left(atlas())
+        .right(reports())
+        .key_column(LOCATION_COLUMN)
+        .approximate_from_start()
+        .collect()
+        .expect("pipeline failed");
 
     let mut per_location: HashMap<String, usize> = HashMap::new();
-    while let Some(pair) = join.next().expect("join failed") {
-        let loc = pair.left.key_str(1).expect("string key").to_string();
+    for pair in &outcome.matches {
+        let loc = pair
+            .left
+            .key_str(LOCATION_COLUMN)
+            .expect("string key")
+            .to_string();
         *per_location.entry(loc).or_insert(0) += 1;
     }
-    join.close().expect("close failed");
 
     let mut ranking: Vec<(String, usize)> = per_location.into_iter().collect();
     ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -1,18 +1,17 @@
 //! Choosing the similarity threshold under a quality budget: sweep θ_sim
-//! and report the recall/precision trade-off on a dirty workload.
+//! through the `linkage::api` builder and report the recall/precision
+//! trade-off on a dirty workload.
 //!
 //! Run with: `cargo run --release --example budgeted_linkage`
 
+use linkage::api::Pipeline;
 use linkage::datagen::{generate, DatagenConfig, GeneratedData};
-use linkage::operators::{InterleavedScan, Operator, SshJoin};
-use linkage::text::QGramConfig;
-use linkage::types::{PerSide, RecordId, VecStream};
+use linkage::types::RecordId;
 use std::collections::HashSet;
 
 fn main() {
     let data = generate(&DatagenConfig::mid_stream_dirty(400, 42)).expect("datagen failed");
     let truth: HashSet<(RecordId, RecordId)> = data.truth.iter().copied().collect();
-    let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
 
     println!(
         "θ_sim sweep on {} true matches ({} dirty):",
@@ -24,25 +23,28 @@ fn main() {
         "θ_sim", "pairs", "recall", "precision"
     );
     for theta in [0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.6] {
-        let scan = InterleavedScan::alternating(
-            VecStream::from_relation(&data.parents),
-            VecStream::from_relation(&data.children),
-        );
-        let mut join = SshJoin::new(scan, keys, QGramConfig::default(), theta);
-        let pairs = join.run_to_end().expect("join failed");
-        let correct = pairs
+        let outcome = Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+            .approximate_from_start()
+            .theta_sim(theta)
+            .collect()
+            .expect("pipeline failed");
+        let correct = outcome
+            .matches
             .iter()
             .filter(|p| truth.contains(&p.id_pair()))
             .count();
         let recall = correct as f64 / truth.len() as f64;
-        let precision = if pairs.is_empty() {
+        let precision = if outcome.matches.is_empty() {
             1.0
         } else {
-            correct as f64 / pairs.len() as f64
+            correct as f64 / outcome.matches.len() as f64
         };
         println!(
             "{theta:>6.2} {:>7} {recall:>8.3} {precision:>10.3}",
-            pairs.len()
+            outcome.matches.len()
         );
     }
     println!("\nlower thresholds buy recall with probe cost (and, eventually, precision).");

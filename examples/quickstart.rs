@@ -1,17 +1,15 @@
-//! End-to-end demo of the adaptive linkage pipeline.
+//! End-to-end demo of the adaptive linkage pipeline via `linkage::api`.
 //!
 //! Generates a parent/child dataset whose child keys turn dirty halfway
-//! through the stream, runs the exact-only baseline and the adaptive join,
-//! and prints exact-vs-approximate match counts side by side.
+//! through the stream, runs the exact-only baseline and the adaptive
+//! pipeline through the same builder, and prints exact-vs-approximate
+//! match counts side by side.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use linkage::core::{AdaptiveJoin, ControllerConfig};
+use linkage::api::{Pipeline, PipelineBuilder, RunOutcome};
 use linkage::datagen::{generate, DatagenConfig, GeneratedData};
-use linkage::operators::{
-    InterleavedScan, Operator, SwitchJoin, SwitchJoinConfig, SymmetricHashJoin,
-};
-use linkage::types::{PerSide, RecordId, VecStream};
+use linkage::types::RecordId;
 use std::collections::HashSet;
 
 fn main() {
@@ -20,13 +18,6 @@ fn main() {
     // one character edit.
     let data = generate(&DatagenConfig::mid_stream_dirty(800, 42)).expect("datagen failed");
     let truth: HashSet<(RecordId, RecordId)> = data.truth.iter().copied().collect();
-    let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
-    let scan = || {
-        InterleavedScan::alternating(
-            VecStream::from_relation(&data.parents),
-            VecStream::from_relation(&data.children),
-        )
-    };
     println!(
         "dataset: {} parents, {} children ({} dirty keys in the tail)\n",
         data.parents.len(),
@@ -34,38 +25,45 @@ fn main() {
         data.dirty_children
     );
 
-    // Baseline: exact symmetric hash join only.
-    let mut exact = SymmetricHashJoin::new(scan(), keys);
-    let exact_pairs = exact.run_to_end().expect("exact join failed");
-    let exact_correct = exact_pairs
-        .iter()
-        .filter(|p| truth.contains(&p.id_pair()))
-        .count();
+    // One declaration; the baseline and the adaptive run differ only in
+    // their switch policy.
+    let declare = || -> PipelineBuilder {
+        Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+            .serial()
+    };
+    let correct = |outcome: &RunOutcome| {
+        outcome
+            .matches
+            .iter()
+            .filter(|p| truth.contains(&p.id_pair()))
+            .count()
+    };
+
+    // Baseline: the exact join only, never switching.
+    let exact = declare().never_switch().collect().expect("exact failed");
+    let exact_correct = correct(&exact);
     println!(
         "exact-only : {:>4} pairs ({} correct) — misses every dirty key",
-        exact_pairs.len(),
+        exact.matches.len(),
         exact_correct
     );
 
     // The adaptive pipeline: exact join monitored by the binomial outlier
     // test, switched to the approximate SSH join when dirt is detected.
-    let join = SwitchJoin::new(scan(), SwitchJoinConfig::new(keys));
-    let mut adaptive = AdaptiveJoin::new(join, ControllerConfig::new(data.parents.len() as u64));
-    let pairs = adaptive.run_to_end().expect("adaptive join failed");
-    let report = adaptive.report();
-    let correct = pairs
-        .iter()
-        .filter(|p| truth.contains(&p.id_pair()))
-        .count();
-
+    let adaptive = declare().collect().expect("adaptive failed");
+    let adaptive_correct = correct(&adaptive);
     println!(
         "adaptive   : {:>4} pairs ({} correct) — {} exact + {} approximate",
-        pairs.len(),
-        correct,
-        report.emitted.exact,
-        report.emitted.approximate
+        adaptive.matches.len(),
+        adaptive_correct,
+        adaptive.report.emitted.exact,
+        adaptive.report.emitted.approximate
     );
-    match report.switch {
+
+    match adaptive.report.switch {
         Some(event) => println!(
             "\nswitched after {} input tuples (σ = {:.2e}), recovering {} matches from resident state",
             event.after_tuples, event.sigma, event.recovered
@@ -75,6 +73,6 @@ fn main() {
     println!(
         "recall: exact-only {:.3} → adaptive {:.3}",
         exact_correct as f64 / truth.len() as f64,
-        correct as f64 / truth.len() as f64
+        adaptive_correct as f64 / truth.len() as f64
     );
 }

@@ -1,37 +1,38 @@
-//! Near-duplicate detection inside a single stream: the SSH join applied
-//! as a self-join, reporting record pairs whose keys are similar but not
-//! byte-identical.
+//! Near-duplicate detection: the approximate similarity join applied from
+//! the first tuple, reporting record pairs whose keys are similar but not
+//! byte-identical — all through the `linkage::api` builder.
 //!
 //! Run with: `cargo run --release --example streaming_dedup`
 
-use linkage::datagen::{generate, DatagenConfig};
-use linkage::operators::{InterleavedScan, Operator, SshJoin};
-use linkage::text::QGramConfig;
-use linkage::types::{InterleavePolicy, PerSide, VecStream};
+use linkage::api::{MatchEvent, Pipeline};
+use linkage::datagen::{generate, DatagenConfig, GeneratedData};
 
 fn main() {
     // A relation with injected near-duplicates: the dirty children are
     // 1-edit variants of parent keys, so parents ⋈ children under a
     // similarity threshold is exactly a near-duplicate report.
-    let data = generate(&DatagenConfig {
-        parents: 300,
-        clean_prefix: 0.0,
-        dirty_fraction: 0.3,
-        ..DatagenConfig::default()
-    })
+    let data = generate(
+        &DatagenConfig::mid_stream_dirty(300, 42)
+            .with_clean_prefix(0.0)
+            .with_dirty_fraction(0.3),
+    )
     .expect("datagen failed");
 
-    let scan = InterleavedScan::new(
-        VecStream::from_relation(&data.parents),
-        VecStream::from_relation(&data.children),
-        InterleavePolicy::Alternate,
-    );
-    let mut join = SshJoin::new(scan, PerSide::new(1, 1), QGramConfig::default(), 0.8);
+    let stream = Pipeline::builder()
+        .left(&data.parents)
+        .right(&data.children)
+        .key_column(GeneratedData::KEY_COLUMN)
+        .approximate_from_start()
+        .run()
+        .expect("pipeline failed");
 
     let mut near_duplicates = 0usize;
     let mut exact_duplicates = 0usize;
-    join.open().expect("open failed");
-    while let Some(pair) = join.next().expect("join failed") {
+    for event in stream {
+        let pair = match event.expect("join failed") {
+            MatchEvent::Match(pair) => pair,
+            _ => continue,
+        };
         if pair.kind.is_exact() {
             exact_duplicates += 1;
         } else {
@@ -40,12 +41,11 @@ fn main() {
                 println!(
                     "near-duplicate (sim {:.3}):\n    {}\n    {}",
                     pair.kind.similarity(),
-                    pair.left.key_str(1).expect("key"),
-                    pair.right.key_str(1).expect("key"),
+                    pair.left.key_str(GeneratedData::KEY_COLUMN).expect("key"),
+                    pair.right.key_str(GeneratedData::KEY_COLUMN).expect("key"),
                 );
             }
         }
     }
-    join.close().expect("close failed");
     println!("\n{exact_duplicates} exact duplicates, {near_duplicates} near-duplicates found");
 }

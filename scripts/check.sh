@@ -16,6 +16,12 @@ cargo build --examples
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> cargo test --doc"
+cargo test --doc -q
+
+echo "==> public API snapshot"
+scripts/public_api.sh
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

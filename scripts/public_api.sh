@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Public-API snapshot check: derive the workspace's documented item
+# surface from rustdoc's generated file tree (one HTML file per public
+# item) and diff it against the checked-in snapshot, so API-surface
+# changes are always visible — and reviewed — in the diff.
+#
+# Usage:
+#   scripts/public_api.sh           # check against docs/public_api.txt
+#   scripts/public_api.sh --bless   # regenerate the snapshot
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CRATES=(linkage linkage-types linkage-text linkage-stats linkage-operators
+        linkage-core linkage-exec linkage-datagen linkage-experiments)
+
+# A dedicated target dir keeps stale docs out of the surface: wipe only
+# the rendered docs so compiled dependency artifacts stay cached.
+TARGET_DIR="${CARGO_TARGET_DIR:-target}/public-api"
+rm -rf "$TARGET_DIR/doc"
+args=()
+for crate in "${CRATES[@]}"; do args+=(-p "$crate"); done
+CARGO_TARGET_DIR="$TARGET_DIR" cargo doc --no-deps --quiet "${args[@]}"
+
+SNAPSHOT=docs/public_api.txt
+CURRENT="$(mktemp)"
+trap 'rm -f "$CURRENT"' EXIT
+(
+  cd "$TARGET_DIR/doc"
+  # One line per public item: rustdoc emits `<kind>.<Name>.html` per item.
+  # Filtering to the known item kinds keeps incidental pages a future
+  # rustdoc might add (redirects, indexes) out of the tracked surface, so
+  # only genuine item additions/removals/renames show up in the diff.
+  find linkage linkage_* -type f -regextype posix-extended -regex \
+    '.*/(struct|enum|trait|fn|constant|static|type|union|macro|attr|derive)\.[^/]+\.html' |
+    LC_ALL=C sort
+) > "$CURRENT"
+
+if [[ "${1:-}" == "--bless" ]]; then
+  mkdir -p "$(dirname "$SNAPSHOT")"
+  cp "$CURRENT" "$SNAPSHOT"
+  echo "public_api: snapshot blessed ($(wc -l < "$SNAPSHOT") items)"
+  exit 0
+fi
+
+if [[ ! -f "$SNAPSHOT" ]]; then
+  echo "public_api: missing $SNAPSHOT — run scripts/public_api.sh --bless" >&2
+  exit 1
+fi
+if ! diff -u "$SNAPSHOT" "$CURRENT"; then
+  echo
+  echo "public_api: the documented API surface changed (diff above)." >&2
+  echo "If the change is intended, run scripts/public_api.sh --bless" >&2
+  exit 1
+fi
+echo "public_api: surface matches snapshot ($(wc -l < "$SNAPSHOT") items)"

@@ -1,0 +1,160 @@
+//! The engine-agnostic execution contract.
+
+use std::time::Duration;
+
+use linkage_core::{AdaptiveJoin, SwitchEvent};
+use linkage_exec::{ParallelJoin, ShardStats};
+use linkage_operators::{JoinPhase, Operator, PerKind};
+use linkage_types::{MatchPair, PerSide, Result, SidedRecord};
+
+/// A join backend the pipeline can drive.
+///
+/// Both shipped engines — the serial [`AdaptiveJoin`] and the sharded
+/// [`ParallelJoin`] — implement this trait, and the facade only ever
+/// holds a `Box<dyn JoinEngine>`, so a future backend (async, multi-node)
+/// is a drop-in: implement the trait, add an
+/// [`ExecutionMode`](crate::api::ExecutionMode) variant, done.
+pub trait JoinEngine {
+    /// Stable engine name for reports (`"serial"`, `"sharded"`).
+    fn engine_name(&self) -> &'static str;
+
+    /// Prepare the engine (open inputs, spawn workers).
+    fn open(&mut self) -> Result<()>;
+
+    /// Produce the next match pair, or `Ok(None)` when exhausted.
+    fn next_match(&mut self) -> Result<Option<MatchPair>>;
+
+    /// Release resources (close inputs, join workers); idempotent.
+    fn close(&mut self) -> Result<()>;
+
+    /// The phase currently driving output.
+    fn phase(&self) -> JoinPhase;
+
+    /// The switch decision, if one was made.
+    fn switch_event(&self) -> Option<SwitchEvent>;
+
+    /// Summarise the run so far as the unified report.
+    fn report(&self) -> RunReport;
+}
+
+/// The unified run summary — one type for every engine, merging the
+/// serial `AdaptiveReport` and the sharded `ParallelReport`.
+///
+/// `#[non_exhaustive]`: future engines may add fields.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RunReport {
+    /// Which engine produced this report.
+    pub engine: &'static str,
+    /// Worker shards the engine ran (1 for the serial engine).
+    pub shards: usize,
+    /// Phase the join ended in.
+    pub phase: JoinPhase,
+    /// Input tuples consumed per side.
+    pub consumed: PerSide<u64>,
+    /// Distinct pairs emitted, by kind.
+    pub emitted: PerKind,
+    /// The switch, if it happened.
+    pub switch: Option<SwitchEvent>,
+    /// Wall-clock duration of the §3.3 handover, if it ran.
+    pub switch_latency: Option<Duration>,
+    /// Per-shard statistics (sharded engine only, populated once the run
+    /// finishes; empty for the serial engine).
+    pub shard_stats: Vec<ShardStats>,
+}
+
+impl RunReport {
+    /// Total input tuples consumed.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed.left + self.consumed.right
+    }
+
+    /// Total estimated resident-state bytes across shards (0 until the
+    /// sharded engine finishes; the serial engine does not report it).
+    pub fn state_bytes(&self) -> usize {
+        self.shard_stats
+            .iter()
+            .map(|s| s.state_bytes.left + s.state_bytes.right)
+            .sum()
+    }
+}
+
+impl<I: Operator<Item = SidedRecord>> JoinEngine for AdaptiveJoin<I> {
+    fn engine_name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        Operator::open(self)
+    }
+
+    fn next_match(&mut self) -> Result<Option<MatchPair>> {
+        Operator::next(self)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        Operator::close(self)
+    }
+
+    fn phase(&self) -> JoinPhase {
+        AdaptiveJoin::phase(self)
+    }
+
+    fn switch_event(&self) -> Option<SwitchEvent> {
+        AdaptiveJoin::switch_event(self)
+    }
+
+    fn report(&self) -> RunReport {
+        let report = AdaptiveJoin::report(self);
+        RunReport {
+            engine: self.engine_name(),
+            shards: 1,
+            phase: report.phase,
+            consumed: report.consumed,
+            emitted: report.emitted,
+            switch: report.switch,
+            switch_latency: report.switch_latency,
+            shard_stats: Vec::new(),
+        }
+    }
+}
+
+impl<I: Operator<Item = SidedRecord>> JoinEngine for ParallelJoin<I> {
+    fn engine_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        Operator::open(self)
+    }
+
+    fn next_match(&mut self) -> Result<Option<MatchPair>> {
+        Operator::next(self)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        Operator::close(self)
+    }
+
+    fn phase(&self) -> JoinPhase {
+        ParallelJoin::phase(self)
+    }
+
+    fn switch_event(&self) -> Option<SwitchEvent> {
+        ParallelJoin::switch_event(self)
+    }
+
+    fn report(&self) -> RunReport {
+        let report = ParallelJoin::report(self);
+        RunReport {
+            engine: self.engine_name(),
+            shards: self.shard_count(),
+            phase: report.phase,
+            consumed: report.consumed,
+            emitted: report.emitted,
+            switch: report.switch,
+            switch_latency: report.switch_latency,
+            shard_stats: report.shards,
+        }
+    }
+}

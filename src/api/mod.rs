@@ -1,0 +1,94 @@
+//! The unified pipeline facade: declare a linkage job, pick an engine,
+//! stream the results.
+//!
+//! PR 1 and PR 2 grew three disjoint entry points — the serial
+//! [`AdaptiveJoin`](crate::core::AdaptiveJoin), the sharded
+//! [`ParallelJoin`](crate::exec::ParallelJoin), and per-crate configs
+//! with duplicated defaults.  This module is the single, stable surface
+//! in front of all of them:
+//!
+//! * [`Pipeline::builder`] — a fluent builder where you declare **sources**
+//!   (in-memory relations, record iterators, or a datagen workload), key
+//!   columns, a pluggable **similarity choice** ([`QGramCoefficient`]),
+//!   thresholds, a **switch policy**, and an execution mode —
+//!   [`serial`](PipelineBuilder::serial) or
+//!   [`sharded`](PipelineBuilder::sharded);
+//! * [`PipelineConfig`] — the ONE configuration type.  The per-layer
+//!   configs (`SwitchJoinConfig`, `ControllerConfig`,
+//!   `ParallelJoinConfig`) become thin internals constructed from it;
+//! * [`JoinEngine`] — the trait both engines implement, making every
+//!   future backend (async, multi-node) a drop-in replacement;
+//! * [`MatchStream`] — `run()` returns an iterator of [`MatchEvent`]s:
+//!   each [`MatchEvent::Match`], the mid-stream
+//!   [`MatchEvent::Switched`] notification, and a final
+//!   [`MatchEvent::Finished`] carrying the unified [`RunReport`].
+//!
+//! # Serial quickstart
+//!
+//! ```
+//! use linkage::api::Pipeline;
+//! use linkage::datagen::{generate, DatagenConfig, GeneratedData};
+//!
+//! let data = generate(&DatagenConfig::mid_stream_dirty(300, 42))?;
+//! let outcome = Pipeline::builder()
+//!     .left(&data.parents)
+//!     .right(&data.children)
+//!     .key_column(GeneratedData::KEY_COLUMN)
+//!     .serial()
+//!     .collect()?;
+//!
+//! assert!(outcome.report.switch.is_some(), "dirty tail must trigger");
+//! assert_eq!(outcome.matches.len() as u64, outcome.report.emitted.total());
+//! # Ok::<(), linkage::types::LinkageError>(())
+//! ```
+//!
+//! # Sharded execution and streaming events
+//!
+//! Switching engines is one builder call — the declaration does not
+//! change, and the emitted match-pair set is identical:
+//!
+//! ```
+//! use linkage::api::{MatchEvent, Pipeline};
+//! use linkage::datagen::{generate, DatagenConfig, GeneratedData};
+//!
+//! let data = generate(&DatagenConfig::mid_stream_dirty(200, 7))?;
+//! let mut matches = 0u64;
+//! for event in Pipeline::builder()
+//!     .left(&data.parents)
+//!     .right(&data.children)
+//!     .key_column(GeneratedData::KEY_COLUMN)
+//!     .sharded(2)
+//!     .run()?
+//! {
+//!     match event? {
+//!         MatchEvent::Match(_) => matches += 1,
+//!         MatchEvent::Switched(event) => assert!(event.after_tuples > 0),
+//!         MatchEvent::Finished(report) => assert_eq!(report.emitted.total(), matches),
+//!         _ => {}
+//!     }
+//! }
+//! # Ok::<(), linkage::types::LinkageError>(())
+//! ```
+
+mod builder;
+mod config;
+mod engine;
+mod source;
+mod stream;
+
+pub use builder::{Pipeline, PipelineBuilder};
+pub use config::{ExecutionMode, PipelineConfig};
+pub use engine::{JoinEngine, RunReport};
+pub use source::Source;
+pub use stream::{MatchEvent, MatchStream, RunOutcome};
+
+// The vocabulary the builder takes and the events carry, re-exported so
+// callers can stay on `linkage::api` alone.
+pub use linkage_core::{SwitchEvent, SwitchPolicy};
+pub use linkage_exec::ShardStats;
+pub use linkage_operators::{JoinPhase, PerKind};
+pub use linkage_text::{QGramCoefficient, QGramConfig};
+pub use linkage_types::{
+    defaults, InterleavePolicy, LinkageError, MatchKind, MatchPair, PerSide, Record, RecordId,
+    Relation, Result, Schema,
+};

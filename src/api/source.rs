@@ -1,0 +1,89 @@
+//! Pipeline input declarations.
+
+use linkage_types::{Record, Relation, Schema, VecStream};
+
+/// One pipeline input: a schema plus the records to stream, however the
+/// caller obtained them — an in-memory [`Relation`], a generated
+/// workload, or any iterator of [`Record`]s.
+#[derive(Debug, Clone)]
+pub struct Source {
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Source {
+    /// Declare a source from an in-memory relation (records are cloned;
+    /// the relation stays usable, e.g. for scoring against ground truth).
+    pub fn relation(relation: &Relation) -> Self {
+        Self {
+            schema: relation.schema().clone(),
+            records: relation.records().to_vec(),
+        }
+    }
+
+    /// Declare a source from a record iterator under an explicit schema.
+    pub fn records(schema: Schema, records: impl IntoIterator<Item = Record>) -> Self {
+        Self {
+            schema,
+            records: records.into_iter().collect(),
+        }
+    }
+
+    /// The declared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records this source will stream.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Turn the declaration into the leaf stream the engines consume.
+    pub(crate) fn into_stream(self) -> VecStream {
+        VecStream::new(self.schema, self.records)
+    }
+}
+
+impl From<&Relation> for Source {
+    fn from(relation: &Relation) -> Self {
+        Source::relation(relation)
+    }
+}
+
+impl From<Relation> for Source {
+    fn from(relation: Relation) -> Self {
+        let schema = relation.schema().clone();
+        Source::records(schema, relation.into_records())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkage_types::{Field, Value};
+
+    fn relation() -> Relation {
+        let mut rel = Relation::empty("r", Schema::of(vec![Field::string("k")]));
+        rel.push_values(vec![Value::string("a")]).unwrap();
+        rel.push_values(vec![Value::string("b")]).unwrap();
+        rel
+    }
+
+    #[test]
+    fn relation_and_record_sources_agree() {
+        let rel = relation();
+        let by_ref = Source::relation(&rel);
+        let by_iter = Source::records(rel.schema().clone(), rel.records().to_vec());
+        assert_eq!(by_ref.len(), 2);
+        assert!(!by_ref.is_empty());
+        assert_eq!(by_ref.schema(), by_iter.schema());
+        let owned: Source = rel.into();
+        assert_eq!(owned.len(), 2);
+    }
+}

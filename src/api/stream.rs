@@ -1,0 +1,140 @@
+//! The streaming result API.
+
+use linkage_core::SwitchEvent;
+use linkage_types::{MatchPair, Result};
+
+use crate::api::engine::{JoinEngine, RunReport};
+
+/// One event in a pipeline's output stream.
+///
+/// `#[non_exhaustive]`: future engines may add events (checkpoints,
+/// progress heartbeats); consumers must carry a wildcard arm.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum MatchEvent {
+    /// One emitted match pair.
+    Match(MatchPair),
+    /// The exact → approximate switch happened; recovered matches follow
+    /// in the stream as ordinary [`MatchEvent::Match`] events.
+    Switched(SwitchEvent),
+    /// The run completed; always the last event of a successful stream.
+    Finished(RunReport),
+}
+
+/// The event iterator returned by
+/// [`Pipeline::run`](crate::api::Pipeline::run).
+///
+/// Yields `Result<MatchEvent>`: every match pair as it is produced, a
+/// [`MatchEvent::Switched`] notification when the engine performs the
+/// mid-stream handover, and one final [`MatchEvent::Finished`] carrying
+/// the [`RunReport`].  After an `Err` or the `Finished` event the
+/// iterator is fused (returns `None`).  The engine is closed before the
+/// final event is yielded, so shard statistics are complete.
+pub struct MatchStream {
+    engine: Box<dyn JoinEngine>,
+    /// A pair pulled by the very call that performed the switch, held
+    /// back so the `Switched` notification precedes it in the stream.
+    stashed: Option<MatchPair>,
+    switch_emitted: bool,
+    done: bool,
+}
+
+impl MatchStream {
+    pub(crate) fn new(engine: Box<dyn JoinEngine>) -> Self {
+        Self {
+            engine,
+            stashed: None,
+            switch_emitted: false,
+            done: false,
+        }
+    }
+
+    /// Drain the stream into a materialised [`RunOutcome`], failing on
+    /// the first error.
+    pub fn into_outcome(self) -> Result<RunOutcome> {
+        let mut matches = Vec::new();
+        let mut report = None;
+        for event in self {
+            match event? {
+                MatchEvent::Match(pair) => matches.push(pair),
+                MatchEvent::Finished(r) => report = Some(r),
+                _ => {}
+            }
+        }
+        // The iterator yields `Finished` on every successful drain; this
+        // is unreachable unless a future engine breaks that contract.
+        let report = report.expect("stream ended without a Finished event");
+        Ok(RunOutcome { matches, report })
+    }
+
+    /// Pending switch notification, if the engine switched and the event
+    /// was not yielded yet.
+    fn pending_switch(&mut self) -> Option<SwitchEvent> {
+        if self.switch_emitted {
+            return None;
+        }
+        let event = self.engine.switch_event()?;
+        self.switch_emitted = true;
+        Some(event)
+    }
+}
+
+impl Iterator for MatchStream {
+    type Item = Result<MatchEvent>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        // Surface the switch as soon as the engine records it, before the
+        // recovered matches that follow from it.
+        if let Some(event) = self.pending_switch() {
+            return Some(Ok(MatchEvent::Switched(event)));
+        }
+        if let Some(pair) = self.stashed.take() {
+            return Some(Ok(MatchEvent::Match(pair)));
+        }
+        match self.engine.next_match() {
+            Ok(Some(pair)) => {
+                // The pull itself may have performed the switch, in which
+                // case this pair is already a recovered (post-switch)
+                // match: hold it back so `Switched` goes out first.
+                if let Some(event) = self.pending_switch() {
+                    self.stashed = Some(pair);
+                    return Some(Ok(MatchEvent::Switched(event)));
+                }
+                Some(Ok(MatchEvent::Match(pair)))
+            }
+            Ok(None) => {
+                // The switch can land on the very last tuple: notify
+                // before finishing.
+                if let Some(event) = self.pending_switch() {
+                    return Some(Ok(MatchEvent::Switched(event)));
+                }
+                self.done = true;
+                match self.engine.close() {
+                    Ok(()) => Some(Ok(MatchEvent::Finished(self.engine.report()))),
+                    Err(e) => Some(Err(e)),
+                }
+            }
+            Err(e) => {
+                self.done = true;
+                let _ = self.engine.close();
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// A fully drained run: every match pair plus the final report.
+///
+/// `#[non_exhaustive]`: future fields (e.g. per-event timings) may be
+/// added.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RunOutcome {
+    /// Every emitted match pair, in stream order.
+    pub matches: Vec<MatchPair>,
+    /// The final unified report.
+    pub report: RunReport,
+}

@@ -17,6 +17,10 @@
 //!   including across a mid-stream exact → approximate switch
 //!   (property-based over workload, shard count, epoch size and switch
 //!   point);
+//! * `api_parity` — a `linkage::api` builder declaration produces the
+//!   same match-pair set and equivalent `RunReport` counters whether it
+//!   executes `.serial()` or `.sharded(n)` (property-based), and every
+//!   pluggable similarity coefficient agrees with its nested-loop oracle;
 //! * `protocol` — the operator lifecycle is enforced across the stack.
 
 #![forbid(unsafe_code)]
@@ -92,10 +96,7 @@ mod exact_equivalence {
 
     #[test]
     fn duplicate_key_workload() {
-        assert_matches_oracle(&DatagenConfig {
-            children_per_parent: 3,
-            ..DatagenConfig::clean(60, 2)
-        });
+        assert_matches_oracle(&DatagenConfig::clean(60, 2).with_children_per_parent(3));
     }
 
     #[test]
@@ -237,7 +238,9 @@ mod parallel_equivalence {
     ) -> Vec<MatchPair> {
         let mut config =
             ParallelJoinConfig::new(shards, KEYS, data.parents.len() as u64).with_batch_size(batch);
-        config.force_switch_after = force_switch_after;
+        if let Some(after) = force_switch_after {
+            config = config.with_forced_switch_after(after);
+        }
         let mut join = ParallelJoin::new(scan(data), config);
         let pairs = join.run_to_end().expect("parallel join failed");
         if force_switch_after.is_some() {
@@ -330,6 +333,220 @@ mod parallel_equivalence {
             let pairs = parallel_pairs(&data, shards, batch, None);
             assert_no_duplicates(&pairs);
             prop_assert_eq!(&id_set(&pairs), &exact_oracle(&data));
+        }
+    }
+}
+
+#[cfg(test)]
+mod api_parity {
+    use super::common::*;
+    use linkage::api::{MatchEvent, Pipeline, PipelineBuilder, QGramCoefficient, RunOutcome};
+    use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+    use linkage_operators::oracle;
+    use proptest::prelude::*;
+
+    fn declare(data: &GeneratedData) -> PipelineBuilder {
+        Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+    }
+
+    /// The two engines must agree on the match-pair set and on the
+    /// counters of the unified report.
+    fn assert_equivalent(serial: &RunOutcome, sharded: &RunOutcome) {
+        assert_no_duplicates(&serial.matches);
+        assert_no_duplicates(&sharded.matches);
+        assert_eq!(id_set(&serial.matches), id_set(&sharded.matches));
+        assert_eq!(serial.report.engine, "serial");
+        assert_eq!(sharded.report.engine, "sharded");
+        assert_eq!(serial.report.consumed, sharded.report.consumed);
+        assert_eq!(serial.report.emitted, sharded.report.emitted);
+        assert_eq!(serial.report.phase, sharded.report.phase);
+        assert_eq!(
+            serial.report.switch.is_some(),
+            sharded.report.switch.is_some()
+        );
+    }
+
+    #[test]
+    fn adaptive_serial_and_sharded_pipelines_agree() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(150, 41)).expect("datagen failed");
+        let serial = declare(&data).serial().collect().expect("serial failed");
+        assert!(serial.report.switch.is_some(), "workload must switch");
+        for shards in [1, 2, 4] {
+            let sharded = declare(&data)
+                .sharded(shards)
+                .collect()
+                .expect("sharded failed");
+            assert_eq!(sharded.report.shards, shards);
+            assert_eq!(sharded.report.shard_stats.len(), shards);
+            assert_equivalent(&serial, &sharded);
+        }
+    }
+
+    #[test]
+    fn event_stream_orders_switch_before_recovered_matches_and_finishes() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(120, 43)).expect("datagen failed");
+        for (engine, stream) in [
+            ("serial", declare(&data).serial().run().expect("run failed")),
+            (
+                "sharded",
+                // A small epoch so the triggering epoch buffers exact
+                // pairs alongside the recovered ones.
+                declare(&data)
+                    .sharded(3)
+                    .batch_size(16)
+                    .run()
+                    .expect("run failed"),
+            ),
+        ] {
+            let mut switched_at: Option<usize> = None;
+            let mut recovered = 0u64;
+            let mut first_after_switch_checked = false;
+            let mut matches = 0usize;
+            let mut finished = false;
+            for (i, event) in stream.enumerate() {
+                assert!(!finished, "{engine}: no events after Finished");
+                match event.expect("event failed") {
+                    MatchEvent::Match(pair) => {
+                        // Both exact phases emit only exact-kind pairs:
+                        // an approximate match before `Switched` would be
+                        // a recovered pair leaking ahead of its
+                        // notification.
+                        if switched_at.is_none() {
+                            assert!(
+                                pair.kind.is_exact(),
+                                "{engine}: approximate match at event {i} \
+                                 precedes Switched"
+                            );
+                        } else if !first_after_switch_checked {
+                            // …and the recovered pairs (all approximate on
+                            // this workload) come right after `Switched`:
+                            // an exact-kind pair here would be a displaced
+                            // pre-switch pair.
+                            first_after_switch_checked = true;
+                            if recovered > 0 {
+                                assert!(
+                                    pair.kind.is_approximate(),
+                                    "{engine}: pre-switch pair at event {i} \
+                                     follows Switched"
+                                );
+                            }
+                        }
+                        matches += 1;
+                    }
+                    MatchEvent::Switched(event) => {
+                        assert!(switched_at.is_none(), "{engine}: at most one switch");
+                        assert!(event.after_tuples > 0);
+                        recovered = event.recovered;
+                        switched_at = Some(i);
+                    }
+                    MatchEvent::Finished(report) => {
+                        assert_eq!(report.emitted.total() as usize, matches);
+                        finished = true;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(finished, "{engine}: stream must end with Finished");
+            assert!(
+                switched_at.is_some(),
+                "{engine}: dirty workload must switch"
+            );
+            assert!(
+                recovered > 0,
+                "{engine}: this workload must recover matches"
+            );
+        }
+    }
+
+    #[test]
+    fn mixing_datagen_with_explicit_sources_is_a_config_error() {
+        let data = generate(&DatagenConfig::clean(20, 45)).expect("datagen failed");
+        let err = Pipeline::builder()
+            .datagen(DatagenConfig::clean(20, 45))
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, linkage_types::LinkageError::Config(ref m) if m.contains("datagen")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn every_similarity_coefficient_matches_its_oracle_on_both_engines() {
+        // One dirty workload, each pluggable coefficient: the kernel
+        // (with its per-coefficient pruning bound) must agree with the
+        // quadratic oracle using the corresponding StringSimilarity, on
+        // the serial and the sharded engine alike.
+        let data = generate(&DatagenConfig::mid_stream_dirty(60, 44)).expect("datagen failed");
+        for coefficient in QGramCoefficient::ALL {
+            let sim = coefficient.with_config(Default::default());
+            let expected = id_set(
+                &oracle::nested_loop_similarity(
+                    &data.parents,
+                    &data.children,
+                    KEYS,
+                    &Default::default(),
+                    sim.as_ref(),
+                    0.8,
+                )
+                .expect("oracle failed"),
+            );
+            for builder in [
+                declare(&data).approximate_from_start().serial(),
+                declare(&data).approximate_from_start().sharded(3),
+            ] {
+                let outcome = builder
+                    .similarity(coefficient)
+                    .collect()
+                    .expect("pipeline failed");
+                assert_no_duplicates(&outcome.matches);
+                assert_eq!(
+                    id_set(&outcome.matches),
+                    expected,
+                    "{} disagrees with its oracle",
+                    coefficient.name()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn serial_and_sharded_builder_runs_are_equivalent(
+            parents in 24usize..56,
+            seed in 0u64..10_000,
+            shards in 2usize..5,
+            batch in 8usize..40,
+            switch_percent in 0u64..100,
+        ) {
+            let data = generate(&DatagenConfig::mid_stream_dirty(parents, seed))
+                .expect("datagen failed");
+            let total = (data.parents.len() + data.children.len()) as u64;
+            // Pin the switch to a fixed stream position so both engines
+            // flip at a comparable point (the sharded engine rounds up to
+            // its next epoch boundary; the match-pair set and the kind
+            // split are invariant to that rounding).
+            let force = 1 + switch_percent * (total - 1) / 100;
+
+            let serial = declare(&data)
+                .force_switch_at(force)
+                .serial()
+                .collect()
+                .expect("serial failed");
+            let sharded = declare(&data)
+                .force_switch_at(force)
+                .sharded(shards)
+                .batch_size(batch)
+                .collect()
+                .expect("sharded failed");
+            assert_equivalent(&serial, &sharded);
+            prop_assert!(serial.report.switch.is_some());
         }
     }
 }
