@@ -2,8 +2,8 @@
 
 use linkage_bench::{bench, black_box};
 use linkage_text::{
-    jaro_winkler_similarity, levenshtein_distance, QGramConfig, QGramJaccard, QGramSet,
-    StringSimilarity,
+    jaro_winkler_similarity, levenshtein_distance, GramInterner, QGramConfig, QGramJaccard,
+    QGramSet, StringGramSet, StringSimilarity,
 };
 
 const A: &str = "TAA BZ SANTA CRISTINA VALGARDENA";
@@ -11,12 +11,19 @@ const B: &str = "TAA BZ SANTA CRISTINx VALGARDENA";
 
 fn main() {
     let config = QGramConfig::default();
-    bench("qgram/extract (32 chars)", 10_000, || {
-        black_box(QGramSet::extract(black_box(A), &config).len());
+    let mut interner = GramInterner::new();
+    bench("qgram/extract interned (32 chars)", 10_000, || {
+        black_box(QGramSet::extract(black_box(A), &config, &mut interner).len());
+    });
+    bench("qgram/extract string-keyed (32 chars)", 10_000, || {
+        black_box(StringGramSet::extract(black_box(A), &config).len());
     });
 
-    let (sa, sb) = (QGramSet::extract(A, &config), QGramSet::extract(B, &config));
-    bench("qgram/jaccard of pre-extracted sets", 100_000, || {
+    let (sa, sb) = (
+        QGramSet::extract(A, &config, &mut interner),
+        QGramSet::extract(B, &config, &mut interner),
+    );
+    bench("qgram/jaccard of pre-extracted id sets", 100_000, || {
         black_box(sa.jaccard(black_box(&sb)));
     });
 

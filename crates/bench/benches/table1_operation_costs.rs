@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use linkage_bench::{bench, black_box, workload};
 use linkage_operators::KeyTable;
-use linkage_text::{QGramConfig, QGramSet};
+use linkage_text::{GramInterner, QGramConfig, QGramSet, StringGramSet};
 
 fn main() {
     let data = workload(500);
@@ -14,8 +14,16 @@ fn main() {
         .expect("string column");
     let config = QGramConfig::default();
 
-    bench("tokenise one key (|jA|+q-1 grams)", 10_000, || {
-        black_box(QGramSet::extract(black_box(keys[0]), &config).len());
+    let mut interner = GramInterner::new();
+    bench(
+        "tokenise one key, interned (|jA|+q-1 grams)",
+        10_000,
+        || {
+            black_box(QGramSet::extract(black_box(keys[0]), &config, &mut interner).len());
+        },
+    );
+    bench("tokenise one key, string-keyed reference", 10_000, || {
+        black_box(StringGramSet::extract(black_box(keys[0]), &config).len());
     });
 
     let mut table = KeyTable::new();
@@ -42,16 +50,30 @@ fn main() {
     });
 
     // The inverted-index probe is exercised through the SshJoinCore in
-    // `operators_micro`; here we only measure the pure set arithmetic.
+    // `operators_micro`; here we only measure the pure set arithmetic of
+    // both representations (dense-id merge vs string merge).
     let sets: Vec<QGramSet> = keys
         .iter()
         .take(64)
-        .map(|k| QGramSet::extract(k, &config))
+        .map(|k| QGramSet::extract(k, &config, &mut interner))
         .collect();
-    bench("jaccard over 64 candidate sets", 10_000, || {
+    bench("jaccard over 64 candidate sets (gram ids)", 10_000, || {
         let probe = &sets[0];
         let mut best = 0.0f64;
         for s in &sets {
+            best = best.max(probe.jaccard(s));
+        }
+        black_box(best);
+    });
+    let string_sets: Vec<StringGramSet> = keys
+        .iter()
+        .take(64)
+        .map(|k| StringGramSet::extract(k, &config))
+        .collect();
+    bench("jaccard over 64 candidate sets (strings)", 10_000, || {
+        let probe = &string_sets[0];
+        let mut best = 0.0f64;
+        for s in &string_sets {
             best = best.max(probe.jaccard(s));
         }
         black_box(best);

@@ -32,7 +32,7 @@ pub mod parallel;
 mod shard;
 
 pub use config::ParallelJoinConfig;
-pub use messages::{PreparedTuple, ShardStats};
+pub use messages::{PreparedBatch, ShardStats};
 pub use parallel::{ParallelJoin, ParallelReport};
 
 #[cfg(test)]
@@ -245,20 +245,47 @@ mod tests {
     }
 
     #[test]
-    fn prepared_tuples_share_the_router_allocation() {
-        // Routing metadata is Arc-shared, not copied per shard.
+    fn prepared_batches_are_shared_not_copied() {
+        // One prepared batch is broadcast behind an Arc: cloning the
+        // handle (what each channel send does) shares the allocation.
         let rec = SidedRecord::new(
             linkage_types::Side::Left,
             Record::new(1u64, vec![Value::string("LOC ABC DEF")]),
         );
-        let prep = PreparedTuple {
-            sided: rec.clone(),
-            key: Arc::from("loc abc def"),
-            grams: linkage_text::QGramSet::extract_default("LOC ABC DEF"),
-            home: linkage_types::ShardId(0),
-        };
-        let clone = prep.clone();
-        assert!(Arc::ptr_eq(&prep.key, &clone.key));
-        assert_eq!(prep.home, clone.home);
+        let mut interner = linkage_text::GramInterner::new();
+        let grams = linkage_text::QGramSet::extract(
+            "LOC ABC DEF",
+            &linkage_text::QGramConfig::default(),
+            &mut interner,
+        );
+        let key: Arc<str> = Arc::from("loc abc def");
+        let mut batch = PreparedBatch::with_capacity(1);
+        assert!(batch.is_empty());
+        batch.push(rec, Arc::clone(&key), grams, linkage_types::ShardId(0));
+        assert_eq!(batch.len(), 1);
+
+        // Broadcast to 4 "shards" exactly as the coordinator does: one
+        // ShardCmd per shard, each holding an Arc clone of the same
+        // batch.  The batch allocation is shared (strong count tracks
+        // the handles) and the tuple payload inside was never deep-
+        // copied: the key text still has exactly the two holders it had
+        // before the broadcast (ours and the batch's).
+        let shared = Arc::new(batch);
+        let cmds: Vec<crate::messages::ShardCmd> = (0..4)
+            .map(|_| crate::messages::ShardCmd::ApproxBatch(Arc::clone(&shared)))
+            .collect();
+        assert_eq!(Arc::strong_count(&shared), 1 + cmds.len());
+        assert_eq!(
+            Arc::strong_count(&key),
+            2,
+            "broadcast must not deep-copy batch contents"
+        );
+        for cmd in &cmds {
+            let crate::messages::ShardCmd::ApproxBatch(b) = cmd else {
+                panic!("expected an ApproxBatch");
+            };
+            assert!(Arc::ptr_eq(b, &shared));
+            assert_eq!(b.homes[0], linkage_types::ShardId(0));
+        }
     }
 }

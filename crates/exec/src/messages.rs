@@ -1,10 +1,14 @@
 //! The coordinator ⇄ shard wire protocol.
 //!
 //! Commands flow down a bounded channel per shard, replies flow back up
-//! one.  The protocol is strictly request/reply in epoch lock-step: the
-//! coordinator sends one command to every shard, then collects exactly one
-//! reply from every shard in shard order — which is what makes the merged
-//! output deterministic for a given shard count.
+//! one.  The protocol is request/reply in epoch order: the coordinator
+//! sends one command to every shard, then collects exactly one reply from
+//! every shard in shard order — which is what makes the merged output
+//! deterministic for a given shard count.  Tuples always travel in
+//! **batches** (one message per epoch per shard, never per tuple), and in
+//! the approximate phase the whole prepared batch is a single
+//! `Arc`-shared structure-of-arrays, so broadcasting to N shards costs N
+//! channel sends and zero per-tuple clones.
 
 use std::sync::Arc;
 
@@ -12,22 +16,54 @@ use linkage_operators::{PerKind, SshStored};
 use linkage_text::QGramSet;
 use linkage_types::{MatchPair, PerSide, Result, ShardId, Side, SidedRecord};
 
-/// One input tuple with its routing work pre-done by the coordinator.
+/// One epoch's input tuples with their routing work pre-done by the
+/// coordinator, laid out as a structure of arrays.
 ///
-/// In the approximate phase every shard receives every tuple (to probe its
-/// slice of the resident state), so the key is normalised and tokenised
-/// **once** here and shared; `home` names the single shard that also
-/// stores the tuple.
-#[derive(Debug, Clone)]
-pub struct PreparedTuple {
-    /// The tuple, tagged with its input side.
-    pub sided: SidedRecord,
-    /// The normalised join key.
-    pub key: Arc<str>,
-    /// The q-gram set of the key.
-    pub grams: QGramSet,
-    /// The shard that stores this tuple.
-    pub home: ShardId,
+/// In the approximate phase every shard receives every tuple (to probe
+/// its slice of the resident state), so each key is normalised, tokenised
+/// and **interned** once here — the gram sets are dense-id
+/// [`QGramSet`]s every worker can index its flat postings with directly —
+/// and `homes[i]` names the single shard that also stores tuple `i`.
+#[derive(Debug, Default)]
+pub struct PreparedBatch {
+    /// The tuples, tagged with their input side, in stream order.
+    pub sided: Vec<SidedRecord>,
+    /// The normalised join key of each tuple.
+    pub keys: Vec<Arc<str>>,
+    /// The interned q-gram set of each key.
+    pub grams: Vec<QGramSet>,
+    /// The shard that stores each tuple.
+    pub homes: Vec<ShardId>,
+}
+
+impl PreparedBatch {
+    /// An empty batch with room for `capacity` tuples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            sided: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            grams: Vec::with_capacity(capacity),
+            homes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append one prepared tuple.
+    pub fn push(&mut self, sided: SidedRecord, key: Arc<str>, grams: QGramSet, home: ShardId) {
+        self.sided.push(sided);
+        self.keys.push(key);
+        self.grams.push(grams);
+        self.homes.push(home);
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.sided.len()
+    }
+
+    /// Whether the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.sided.is_empty()
+    }
 }
 
 /// A command from the coordinator to one shard.
@@ -36,7 +72,8 @@ pub enum ShardCmd {
     /// Exact phase: process these hash-routed tuples (key pre-normalised).
     ExactBatch(Vec<(SidedRecord, Arc<str>)>),
     /// Approximate phase: probe every tuple, store the ones homed here.
-    ApproxBatch(Arc<Vec<PreparedTuple>>),
+    /// The batch is shared — one allocation broadcast to every shard.
+    ApproxBatch(Arc<PreparedBatch>),
     /// Perform the local exact → approximate handover (paper §3.3) and
     /// reply with the recovered pairs plus a snapshot of the residents.
     Switch,
@@ -81,6 +118,13 @@ pub struct ShardStats {
     pub emitted: PerKind,
     /// Tuples resident per side at the end of the run.
     pub resident: PerSide<usize>,
-    /// Estimated resident-state bytes per side at the end of the run.
+    /// Estimated resident-state bytes per side at the end of the run
+    /// (flat postings + tuples + keys; gram text excluded — see
+    /// `interner_bytes`).
     pub state_bytes: PerSide<usize>,
+    /// Estimated bytes of the **shared** gram-interner table.  Every
+    /// shard reports the same value because every worker holds a handle
+    /// to the same table: account for it once per join, never summed
+    /// over shards.
+    pub interner_bytes: usize,
 }

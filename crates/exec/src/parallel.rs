@@ -36,13 +36,13 @@ use std::time::{Duration, Instant};
 
 use linkage_core::{Assessment, GlobalController, SwitchEvent, SwitchPolicy};
 use linkage_operators::{JoinPhase, Operator, OperatorState, PerKind, SshJoinCore, SshStored};
-use linkage_text::normalize;
+use linkage_text::{normalize, SharedInterner};
 use linkage_types::{
     LinkageError, MatchKind, MatchPair, Partitioner, PerSide, Result, ShardId, Side, SidedRecord,
 };
 
 use crate::config::ParallelJoinConfig;
-use crate::messages::{PreparedTuple, ShardCmd, ShardReply, ShardStats};
+use crate::messages::{PreparedBatch, ShardCmd, ShardReply, ShardStats};
 use crate::shard::ShardWorker;
 
 /// One spawned worker: its command channel, reply channel and thread.
@@ -95,8 +95,12 @@ pub struct ParallelJoin<I> {
     input: I,
     config: ParallelJoinConfig,
     partitioner: Partitioner,
-    /// Zero-state kernel used only for its `prepare` (normalise + tokenise)
-    /// so the router shares the workers' exact configuration.
+    /// The join-wide gram table: the router's prepare kernel interns into
+    /// it, every worker holds a clone, so gram ids are one id space.
+    interner: SharedInterner,
+    /// Zero-state kernel used only for its `prepare` (normalise, tokenise,
+    /// intern) so the router shares the workers' exact configuration and
+    /// interner.
     prep: SshJoinCore,
     controller: GlobalController,
     workers: Vec<WorkerHandle>,
@@ -105,7 +109,11 @@ pub struct ParallelJoin<I> {
     out: VecDeque<MatchPair>,
     /// The next approximate-phase epoch, tokenised while the workers were
     /// busy probing the previous one.
-    prepared_ahead: Option<Arc<Vec<PreparedTuple>>>,
+    prepared_ahead: Option<Arc<PreparedBatch>>,
+    /// Approximate-phase epochs dispatched to the workers whose replies
+    /// have not been collected yet (bounded send-ahead; see
+    /// [`Self::approx_epoch`]).
+    approx_in_flight: usize,
     consumed: PerSide<u64>,
     emitted: PerKind,
     switch: Option<SwitchEvent>,
@@ -125,12 +133,14 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
     /// Build over a sided input.
     pub fn new(input: I, config: ParallelJoinConfig) -> Self {
         let partitioner = Partitioner::new(config.shards);
-        let prep = config.join.ssh_core();
+        let interner = SharedInterner::new();
+        let prep = config.join.ssh_core_with(interner.clone());
         let controller = GlobalController::new(config.controller.clone());
         Self {
             input,
             config,
             partitioner,
+            interner,
             prep,
             controller,
             workers: Vec::new(),
@@ -138,6 +148,7 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
             phase: JoinPhase::Exact,
             out: VecDeque::new(),
             prepared_ahead: None,
+            approx_in_flight: 0,
             consumed: PerSide::default(),
             emitted: PerKind::default(),
             switch: None,
@@ -213,7 +224,7 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
         for id in self.partitioner.shard_ids() {
             let (cmd_tx, cmd_rx) = sync_channel::<ShardCmd>(cmd_depth);
             let (reply_tx, reply_rx) = sync_channel::<ShardReply>(reply_depth);
-            let worker = ShardWorker::new(id, self.config.join.clone());
+            let worker = ShardWorker::new(id, self.config.join.clone(), self.interner.clone());
             let thread = std::thread::Builder::new()
                 .name(format!("linkage-{id}"))
                 .spawn(move || worker.run(cmd_rx, reply_tx))?;
@@ -273,49 +284,66 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
         self.collect_batch_replies()
     }
 
-    /// Approximate phase: broadcast a prepared batch, store at the home
-    /// shard — then tokenise the *next* epoch while the workers probe this
-    /// one, so the router's normalise + q-gram work (the dominant
-    /// per-tuple cost of the approximate phase's critical path when
-    /// posting lists are short) overlaps with shard work instead of
-    /// serialising in front of it.
-    fn approx_epoch(&mut self) -> Result<()> {
-        let shared = match self.prepared_ahead.take() {
-            Some(prepared) => prepared,
-            None => {
-                let batch = self.pull_batch()?;
-                if batch.is_empty() {
-                    self.exhausted = true;
-                    return Ok(());
-                }
-                self.prepare_batch(batch)?
-            }
-        };
-        for worker in &self.workers {
-            worker.send(ShardCmd::ApproxBatch(Arc::clone(&shared)))?;
-        }
-        let next = self.pull_batch()?;
-        if !next.is_empty() {
-            self.prepared_ahead = Some(self.prepare_batch(next)?);
-        }
-        self.collect_batch_replies()
+    /// How many approximate-phase epochs may be dispatched before the
+    /// oldest one's replies are collected.  Bounded by the command
+    /// channel depth so a send can never block on a busy worker.
+    fn approx_pipeline_depth(&self) -> usize {
+        self.config.channel_capacity.clamp(1, 2)
     }
 
-    /// Normalise, tokenise and home-assign one epoch's tuples.  Counts the
-    /// tuples as consumed: the router has irrevocably taken them from the
-    /// input, even if the matching barrier happens next epoch.
-    fn prepare_batch(&mut self, batch: Vec<SidedRecord>) -> Result<Arc<Vec<PreparedTuple>>> {
-        let mut prepared = Vec::with_capacity(batch.len());
+    /// Approximate phase: broadcast prepared batches, store at the home
+    /// shard — with a bounded **send-ahead pipeline**.  Up to
+    /// [`Self::approx_pipeline_depth`] epochs are dispatched before the
+    /// oldest one's barrier is collected, and the next epoch is tokenised
+    /// while the workers probe, so the router's normalise + q-gram +
+    /// intern work and its reply merging overlap with shard work instead
+    /// of serialising in front of it.  No control decision happens in
+    /// this phase (the switch is behind us), so the deeper dispatch
+    /// cannot reorder anything: replies are still collected one epoch at
+    /// a time, in shard order.
+    fn approx_epoch(&mut self) -> Result<()> {
+        while self.approx_in_flight < self.approx_pipeline_depth() {
+            let shared = match self.prepared_ahead.take() {
+                Some(prepared) => Some(prepared),
+                None => {
+                    let batch = self.pull_batch()?;
+                    if batch.is_empty() {
+                        None
+                    } else {
+                        Some(self.prepare_batch(batch)?)
+                    }
+                }
+            };
+            let Some(shared) = shared else { break };
+            for worker in &self.workers {
+                worker.send(ShardCmd::ApproxBatch(Arc::clone(&shared)))?;
+            }
+            self.approx_in_flight += 1;
+            let next = self.pull_batch()?;
+            if !next.is_empty() {
+                self.prepared_ahead = Some(self.prepare_batch(next)?);
+            }
+        }
+        if self.approx_in_flight == 0 {
+            self.exhausted = true;
+            return Ok(());
+        }
+        self.collect_batch_replies()?;
+        self.approx_in_flight -= 1;
+        Ok(())
+    }
+
+    /// Normalise, tokenise, intern and home-assign one epoch's tuples
+    /// into one shared structure-of-arrays batch.  Counts the tuples as
+    /// consumed: the router has irrevocably taken them from the input,
+    /// even if the matching barrier happens epochs later.
+    fn prepare_batch(&mut self, batch: Vec<SidedRecord>) -> Result<Arc<PreparedBatch>> {
+        let mut prepared = PreparedBatch::with_capacity(batch.len());
         for sided in batch {
             let (key, grams) = self.prep.prepare(&sided)?;
             let home = self.partitioner.shard_of(&key);
             self.consumed[sided.side] += 1;
-            prepared.push(PreparedTuple {
-                sided,
-                key,
-                grams,
-                home,
-            });
+            prepared.push(sided, key, grams, home);
         }
         Ok(Arc::new(prepared))
     }

@@ -6,12 +6,20 @@
 //! operator, and obeys the coordinator's *global* switch decision instead
 //! of deciding locally.
 //!
+//! Every worker holds a clone of the join's [`SharedInterner`], so the
+//! approximate kernel it builds at the handover lives in the same gram-id
+//! space as the coordinator's router and every sibling shard: broadcast
+//! tuples arrive pre-interned and resident snapshots shipped for
+//! cross-shard recovery carry ids this worker's flat postings understand
+//! directly.  Steady-state probing never touches the interner lock.
+//!
 //! [`SwitchJoin`]: linkage_operators::SwitchJoin
 
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, SyncSender};
 
 use linkage_operators::{ExactJoinCore, PerKind, SshJoinCore, SwitchJoinConfig};
+use linkage_text::SharedInterner;
 use linkage_types::{LinkageError, MatchKind, MatchPair, PerSide, ShardId};
 
 use crate::messages::{ShardCmd, ShardReply, ShardStats};
@@ -27,6 +35,8 @@ enum Core {
 pub(crate) struct ShardWorker {
     id: ShardId,
     config: SwitchJoinConfig,
+    /// Handle to the join-wide gram table (see module docs).
+    interner: SharedInterner,
     core: Core,
     out: VecDeque<MatchPair>,
     stored_tuples: u64,
@@ -35,11 +45,12 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
-    pub(crate) fn new(id: ShardId, config: SwitchJoinConfig) -> Self {
+    pub(crate) fn new(id: ShardId, config: SwitchJoinConfig, interner: SharedInterner) -> Self {
         let exact = config.exact_core();
         Self {
             id,
             config,
+            interner,
             core: Core::Exact(exact),
             out: VecDeque::new(),
             stored_tuples: 0,
@@ -78,16 +89,16 @@ impl ShardWorker {
                 let Core::Approx(ssh) = &mut self.core else {
                     return Self::protocol_error("ApproxBatch outside the approximate phase");
                 };
-                for tuple in batch.iter() {
-                    let store = tuple.home == self.id;
+                for i in 0..batch.len() {
+                    let store = batch.homes[i] == self.id;
                     self.probes += 1;
                     if store {
                         self.stored_tuples += 1;
                     }
                     if let Err(e) = ssh.process_prepared(
-                        &tuple.sided,
-                        &tuple.key,
-                        &tuple.grams,
+                        &batch.sided[i],
+                        &batch.keys[i],
+                        &batch.grams[i],
                         store,
                         &mut self.out,
                     ) {
@@ -100,7 +111,7 @@ impl ShardWorker {
                 Core::Exact(exact) => {
                     let (ssh, _) = self
                         .config
-                        .ssh_core()
+                        .ssh_core_with(self.interner.clone())
                         .with_exact_state(exact.into_tables(), &mut self.out);
                     let residents = ssh.residents();
                     self.core = Core::Approx(ssh);
@@ -153,6 +164,7 @@ impl ShardWorker {
             emitted: self.emitted,
             resident,
             state_bytes,
+            interner_bytes: self.interner.state_bytes(),
         }
     }
 

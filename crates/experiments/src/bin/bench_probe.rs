@@ -1,0 +1,89 @@
+//! Probe-kernel microbench → machine-readable JSON.
+//!
+//! ```text
+//! bench_probe [--smoke|--full] [--out PATH] [--sha SHA]
+//! ```
+//!
+//! Runs the insert-only and probe-only loops of
+//! [`linkage_experiments::run_probe_bench`] over the datagen workload and
+//! writes the JSON document to `--out` (default: stdout).  The scaling
+//! bench embeds the same two metrics into `BENCH_*.json` (where CI gates
+//! `probe_ns_per_tuple` against the baseline); this binary exists for
+//! quick standalone kernel measurements while iterating on the probe
+//! path.
+
+use std::process::ExitCode;
+
+use linkage_experiments::{run_probe_bench, ProbeBenchConfig};
+
+struct Args {
+    mode: &'static str,
+    out: Option<String>,
+    sha: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: "smoke",
+        out: None,
+        sha: std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".into()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--smoke" => args.mode = "smoke",
+            "--full" => args.mode = "full",
+            "--out" => args.out = Some(value("--out")?),
+            "--sha" => args.sha = value("--sha")?,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench_probe: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match args.mode {
+        "full" => ProbeBenchConfig::full(),
+        _ => ProbeBenchConfig::smoke(),
+    };
+    eprintln!(
+        "bench_probe: {} run, {} parents, θ_sim {}",
+        args.mode, config.parents, config.theta
+    );
+    let result = match run_probe_bench(&config) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("bench_probe: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "bench_probe: insert {:.0} ns/tuple, probe {:.0} ns/tuple over {} residents \
+         ({} pairs, {} distinct grams)",
+        result.insert_ns_per_tuple,
+        result.probe_ns_per_tuple,
+        result.inserted,
+        result.pairs,
+        result.distinct_grams
+    );
+    let report = result.render(args.mode, &args.sha);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("bench_probe: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench_probe: wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -8,11 +8,13 @@
 //!               [--min-speedup FACTOR]
 //! ```
 //!
-//! Runs the 1/2/4/8-shard sweep over the mid-stream-dirt workload, writes
-//! the JSON report to `--out` (default: stdout only), and — when
+//! Runs the 1/2/4/8-shard sweep over the mid-stream-dirt workload (plus
+//! the probe-kernel microbench feeding `probe_ns_per_tuple`), writes the
+//! JSON report to `--out` (default: stdout only), and — when
 //! `--baseline` is given — compares `headline_throughput_tuples_per_s`
-//! against the baseline document, exiting non-zero if throughput dropped
-//! by more than `--max-regression` (default 0.20, the CI gate).
+//! **and** `probe_ns_per_tuple` against the baseline document, exiting
+//! non-zero if throughput dropped, or the probe path slowed, by more
+//! than `--max-regression` (default 0.20, the CI gate).
 //!
 //! The absolute-throughput gate is only meaningful against a baseline
 //! from comparable hardware, so `--min-speedup` adds a hardware-
@@ -99,6 +101,10 @@ fn main() -> ExitCode {
             point.shards, point.throughput, point.pairs, point.switch_after
         );
     }
+    eprintln!(
+        "  probe kernel: {:.0} ns/probe, {:.0} ns/insert",
+        run.probe.probe_ns_per_tuple, run.probe.insert_ns_per_tuple
+    );
 
     let report = scaling_report(&run, args.mode, &args.sha).render();
     match &args.out {
@@ -135,6 +141,30 @@ fn main() -> ExitCode {
         if current < floor {
             eprintln!("bench_scaling: REGRESSION — throughput below the gate");
             return ExitCode::FAILURE;
+        }
+
+        // The probe-kernel gate (lower is better): fail when the probe
+        // path slowed down by more than the allowed fraction.  Skipped
+        // with a note against baselines that predate the metric.
+        match extract_number(&baseline_text, "probe_ns_per_tuple") {
+            Some(baseline_probe) => {
+                let current_probe = run.probe.probe_ns_per_tuple;
+                let ceiling = baseline_probe * (1.0 + args.max_regression);
+                eprintln!(
+                    "bench_scaling: probe {current_probe:.0} ns/tuple vs baseline \
+                     {baseline_probe:.0} (ceiling {ceiling:.0})"
+                );
+                if current_probe > ceiling {
+                    eprintln!("bench_scaling: REGRESSION — probe kernel above the gate");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                eprintln!(
+                    "bench_scaling: baseline {path} has no probe_ns_per_tuple; \
+                     probe gate skipped"
+                );
+            }
         }
     }
 

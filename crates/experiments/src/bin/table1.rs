@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
 use linkage_operators::{ExactJoinCore, SshJoinCore};
-use linkage_text::{NormalizeConfig, QGramConfig, QGramSet};
+use linkage_text::{GramInterner, NormalizeConfig, QGramConfig, QGramSet};
 use linkage_types::{PerSide, Side, SidedRecord};
 
 fn main() {
@@ -16,10 +16,11 @@ fn main() {
 
     // Q-gram extraction.
     let qgram = QGramConfig::default();
+    let mut interner = GramInterner::new();
     let start = Instant::now();
     let mut grams = 0usize;
     for key in &locations {
-        grams += QGramSet::extract(key, &qgram).len();
+        grams += QGramSet::extract(key, &qgram, &mut interner).len();
     }
     let per_extract = start.elapsed().as_nanos() as f64 / locations.len() as f64;
 

@@ -22,18 +22,23 @@
 //! | `fig8_cost_breakdown` | where the adaptive join spends its time |
 //! | `table1` | per-operation micro costs |
 //! | `bench_scaling` | shard-count scaling sweep → `BENCH_*.json` |
+//! | `bench_probe` | interned probe-kernel insert/probe ns per tuple |
 //!
-//! [`scaling`] runs the sharded executor across a shard-count curve and
-//! [`json`] renders the machine-readable trajectory document that
-//! `scripts/bench.sh` writes and CI gates against `bench/baseline.json`.
+//! [`scaling`] runs the sharded executor across a shard-count curve,
+//! [`probe`] isolates the interned probe kernel's insert/probe ns-per-
+//! tuple, and [`json`] renders the machine-readable trajectory document
+//! that `scripts/bench.sh` writes and CI gates against
+//! `bench/baseline.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod json;
+pub mod probe;
 pub mod scaling;
 
 pub use harness::{header, run, ExperimentConfig, ExperimentResult, JoinMode};
 pub use json::{extract_number, JsonValue};
+pub use probe::{run_probe_bench, ProbeBenchConfig, ProbeBenchResult};
 pub use scaling::{run_scaling, scaling_report, ScalingConfig, ScalingPoint, ScalingRun};

@@ -1,0 +1,230 @@
+//! Probe-kernel microbenchmark: insert-only and probe-only ns/tuple.
+//!
+//! The scaling sweep's headline throughput mixes everything — scans,
+//! routing, channels, the switch.  This module isolates the two
+//! operations the interned-gram kernel exists to make fast:
+//!
+//! * **insert-only** — feed every parent tuple into one side of a fresh
+//!   [`SshJoinCore`] (the opposite index is empty, so probing is a no-op
+//!   and the loop measures tokenise + intern + posting appends);
+//! * **probe-only** — pre-prepare every child tuple (tokenisation off the
+//!   clock, exactly like the sharded router does), then probe them
+//!   against the fully built parent index with `store = false`, measuring
+//!   the pure epoch-counter probe path.
+//!
+//! [`run_probe_bench`] feeds the `probe_ns_per_tuple` /
+//! `insert_ns_per_tuple` fields of the `BENCH_*.json` trajectory
+//! documents (see [`crate::scaling`]), which CI gates against
+//! `bench/baseline.json`; the standalone `bench_probe` binary prints the
+//! same measurement as its own JSON document.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+use linkage_operators::SshJoinCore;
+use linkage_text::{QGramConfig, QGramSet};
+use linkage_types::{defaults, PerSide, Result, Side, SidedRecord};
+
+use crate::json::JsonValue;
+
+/// Configuration of one probe microbench run.
+///
+/// `#[non_exhaustive]`: construct via [`ProbeBenchConfig::smoke`],
+/// [`ProbeBenchConfig::full`] or [`Default`] and adjust the fields.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ProbeBenchConfig {
+    /// Parent-relation size of the generated workload (the resident
+    /// index the probe loop runs against).
+    pub parents: usize,
+    /// Child records per parent (the probe side).
+    pub children_per_parent: usize,
+    /// Fraction of the child stream guaranteed clean (dirt follows) —
+    /// kept in lock-step with the scaling sweep's workload so the gated
+    /// `probe_ns_per_tuple` measures the same dirt profile.
+    pub clean_prefix: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Similarity threshold `θ_sim` the kernel prunes against.
+    pub theta: f64,
+}
+
+impl Default for ProbeBenchConfig {
+    fn default() -> Self {
+        Self::smoke()
+    }
+}
+
+impl ProbeBenchConfig {
+    /// The CI smoke run: the scaling sweep's workload shape.
+    pub fn smoke() -> Self {
+        Self {
+            parents: 4000,
+            children_per_parent: 1,
+            clean_prefix: 0.3,
+            seed: 42,
+            theta: defaults::THETA_SIM,
+        }
+    }
+
+    /// The larger local run.
+    pub fn full() -> Self {
+        Self {
+            parents: 20_000,
+            ..Self::smoke()
+        }
+    }
+}
+
+/// One probe microbench measurement.
+#[derive(Debug, Clone)]
+pub struct ProbeBenchResult {
+    /// Tuples inserted (the resident index size, per side of the feed).
+    pub inserted: u64,
+    /// Tuples probed.
+    pub probed: u64,
+    /// Nanoseconds per insert-only tuple (tokenise + intern + postings).
+    pub insert_ns_per_tuple: f64,
+    /// Nanoseconds per probe-only tuple (epoch-counter probe of the full
+    /// resident index; tokenisation pre-done, as at the sharded router).
+    pub probe_ns_per_tuple: f64,
+    /// Pairs the probe loop emitted (sanity: the workload must match).
+    pub pairs: u64,
+    /// Distinct grams interned over the whole run.
+    pub distinct_grams: usize,
+}
+
+impl ProbeBenchResult {
+    /// Render as a standalone JSON document (the `bench_probe` binary's
+    /// output format).
+    pub fn render(&self, mode: &str, git_sha: &str) -> String {
+        JsonValue::object(vec![
+            ("schema_version", JsonValue::num(1)),
+            ("bench", JsonValue::str("probe-kernel")),
+            ("mode", JsonValue::str(mode)),
+            ("git_sha", JsonValue::str(git_sha)),
+            ("inserted", JsonValue::num(self.inserted as f64)),
+            ("probed", JsonValue::num(self.probed as f64)),
+            (
+                "insert_ns_per_tuple",
+                JsonValue::num(self.insert_ns_per_tuple),
+            ),
+            (
+                "probe_ns_per_tuple",
+                JsonValue::num(self.probe_ns_per_tuple),
+            ),
+            ("pairs", JsonValue::num(self.pairs as f64)),
+            ("distinct_grams", JsonValue::num(self.distinct_grams as f64)),
+        ])
+        .render()
+    }
+}
+
+/// Run the insert-only and probe-only loops over a generated workload.
+pub fn run_probe_bench(config: &ProbeBenchConfig) -> Result<ProbeBenchResult> {
+    let data = generate(
+        &DatagenConfig::mid_stream_dirty(config.parents, config.seed)
+            .with_children_per_parent(config.children_per_parent)
+            .with_clean_prefix(config.clean_prefix),
+    )?;
+    let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
+    let mut core = SshJoinCore::new(keys, QGramConfig::default(), config.theta);
+    let mut out = VecDeque::new();
+
+    // Insert-only: every parent goes into the left index; the right index
+    // is empty throughout, so each step is tokenise + intern + append.
+    let start = Instant::now();
+    let mut inserted = 0u64;
+    for record in data.parents.records() {
+        let sided = SidedRecord::new(Side::Left, record.clone());
+        core.process(sided, &mut out)?;
+        inserted += 1;
+    }
+    let insert_ns = start.elapsed().as_nanos() as f64 / (inserted.max(1)) as f64;
+    debug_assert!(out.is_empty(), "insert-only loop must emit nothing");
+
+    // Pre-prepare the probe side off the clock (the sharded router does
+    // this once per tuple and broadcasts the ids).
+    let prepared: Vec<(SidedRecord, Arc<str>, QGramSet)> = data
+        .children
+        .records()
+        .iter()
+        .map(|record| {
+            let sided = SidedRecord::new(Side::Right, record.clone());
+            let (key, grams) = core.prepare(&sided)?;
+            Ok((sided, key, grams))
+        })
+        .collect::<Result<_>>()?;
+
+    // Probe-only: store = false keeps the right index empty, so every
+    // iteration pays exactly one probe of the full parent index.
+    let start = Instant::now();
+    let mut pairs = 0u64;
+    for (sided, key, grams) in &prepared {
+        core.process_prepared(sided, key, grams, false, &mut out)?;
+        pairs += out.len() as u64;
+        out.clear();
+    }
+    let probed = prepared.len() as u64;
+    let probe_ns = start.elapsed().as_nanos() as f64 / (probed.max(1)) as f64;
+
+    Ok(ProbeBenchResult {
+        inserted,
+        probed,
+        insert_ns_per_tuple: insert_ns,
+        probe_ns_per_tuple: probe_ns,
+        pairs,
+        distinct_grams: core.interner().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::extract_number;
+
+    fn tiny() -> ProbeBenchConfig {
+        ProbeBenchConfig {
+            parents: 60,
+            seed: 7,
+            ..ProbeBenchConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn microbench_measures_both_loops() {
+        let result = run_probe_bench(&tiny()).unwrap();
+        assert_eq!(result.inserted, 60);
+        assert_eq!(result.probed, 60);
+        assert!(result.insert_ns_per_tuple > 0.0);
+        assert!(result.probe_ns_per_tuple > 0.0);
+        assert!(result.pairs > 0, "children must match their parents");
+        assert!(result.distinct_grams > 0);
+    }
+
+    #[test]
+    fn render_round_trips_through_the_extractor() {
+        let result = run_probe_bench(&tiny()).unwrap();
+        let text = result.render("smoke", "deadbeef");
+        assert_eq!(
+            extract_number(&text, "probe_ns_per_tuple"),
+            Some(result.probe_ns_per_tuple)
+        );
+        assert_eq!(
+            extract_number(&text, "insert_ns_per_tuple"),
+            Some(result.insert_ns_per_tuple)
+        );
+        assert!(text.contains("\"bench\": \"probe-kernel\""));
+        assert!(text.contains("\"git_sha\": \"deadbeef\""));
+    }
+
+    #[test]
+    fn presets_share_the_shape() {
+        let smoke = ProbeBenchConfig::smoke();
+        let full = ProbeBenchConfig::full();
+        assert!(full.parents > smoke.parents);
+        assert_eq!(smoke.theta, full.theta);
+    }
+}

@@ -21,6 +21,7 @@ use linkage_datagen::{generate, DatagenConfig, GeneratedData};
 use linkage_types::Result;
 
 use crate::json::JsonValue;
+use crate::probe::{run_probe_bench, ProbeBenchConfig, ProbeBenchResult};
 
 /// Configuration of one scaling sweep.
 ///
@@ -76,6 +77,19 @@ impl ScalingConfig {
         (self.parents + self.parents * self.children_per_parent) as u64
     }
 
+    /// The probe-microbench configuration matching this sweep's workload
+    /// — same size, dirt profile and seed, so the gated
+    /// `probe_ns_per_tuple` measures the same data the `shards[]` points
+    /// ran over.
+    pub fn probe_config(&self) -> ProbeBenchConfig {
+        let mut probe = ProbeBenchConfig::smoke();
+        probe.parents = self.parents;
+        probe.children_per_parent = self.children_per_parent;
+        probe.clean_prefix = self.clean_prefix;
+        probe.seed = self.seed;
+        probe
+    }
+
     fn datagen(&self) -> DatagenConfig {
         DatagenConfig::mid_stream_dirty(self.parents, self.seed)
             .with_children_per_parent(self.children_per_parent)
@@ -100,8 +114,12 @@ pub struct ScalingPoint {
     pub switch_latency: Option<Duration>,
     /// Matches recovered during the handover.
     pub recovered: u64,
-    /// Final resident-state bytes, one entry per shard.
+    /// Final resident-state bytes (tuples, keys, flat postings — gram
+    /// text excluded), one entry per shard.
     pub state_bytes_per_shard: Vec<u64>,
+    /// Estimated bytes of the run's **shared** gram-interner table,
+    /// counted once (every shard holds a handle to the same table).
+    pub interner_bytes: u64,
 }
 
 /// A completed sweep: the workload description plus every measured point.
@@ -111,6 +129,10 @@ pub struct ScalingRun {
     pub config: ScalingConfig,
     /// Points in the order of `config.shard_counts`.
     pub points: Vec<ScalingPoint>,
+    /// The probe-kernel microbench over the same workload (the
+    /// `probe_ns_per_tuple` / `insert_ns_per_tuple` fields of the JSON
+    /// document, gated by CI alongside the headline).
+    pub probe: ProbeBenchResult,
 }
 
 impl ScalingRun {
@@ -157,11 +179,14 @@ pub fn run_scaling(config: &ScalingConfig) -> Result<ScalingRun> {
                 .iter()
                 .map(|s| (s.state_bytes.left + s.state_bytes.right) as u64)
                 .collect(),
+            interner_bytes: report.interner_bytes() as u64,
         });
     }
+    let probe = run_probe_bench(&config.probe_config())?;
     Ok(ScalingRun {
         config: config.clone(),
         points,
+        probe,
     })
 }
 
@@ -196,6 +221,7 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
                             .collect(),
                     ),
                 ),
+                ("interner_bytes", JsonValue::num(p.interner_bytes as f64)),
             ])
         })
         .collect();
@@ -244,6 +270,14 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
         (
             "headline_throughput_tuples_per_s",
             JsonValue::num(run.headline_throughput()),
+        ),
+        (
+            "probe_ns_per_tuple",
+            JsonValue::num(run.probe.probe_ns_per_tuple),
+        ),
+        (
+            "insert_ns_per_tuple",
+            JsonValue::num(run.probe.insert_ns_per_tuple),
         ),
         ("speedups", JsonValue::Array(speedups)),
         ("shards", JsonValue::Array(points)),
@@ -296,9 +330,29 @@ mod tests {
             extract_number(&text, "total_tuples"),
             Some(tiny().total_tuples() as f64)
         );
+        assert_eq!(
+            extract_number(&text, "probe_ns_per_tuple"),
+            Some(run.probe.probe_ns_per_tuple)
+        );
+        assert_eq!(
+            extract_number(&text, "insert_ns_per_tuple"),
+            Some(run.probe.insert_ns_per_tuple)
+        );
         assert!(text.contains("\"git_sha\": \"deadbeef\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("state_bytes_per_shard"));
+        assert!(text.contains("interner_bytes"));
+    }
+
+    #[test]
+    fn interner_is_accounted_once_not_per_shard() {
+        let run = run_scaling(&tiny()).unwrap();
+        for point in &run.points {
+            assert!(point.interner_bytes > 0, "switched run interns grams");
+        }
+        // Same workload, same distinct grams: the shared-table size must
+        // not grow with the shard count.
+        assert_eq!(run.points[0].interner_bytes, run.points[1].interner_bytes);
     }
 
     #[test]

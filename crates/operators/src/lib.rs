@@ -19,7 +19,10 @@
 //!   mid-stream, recovering missed matches without emitting duplicates
 //!   (per-tuple matched-exactly flags);
 //! * [`oracle`] — quadratic nested-loop reference joins for tests and
-//!   benchmarks.
+//!   benchmarks;
+//! * [`mod@reference`] — the retained string-keyed probe kernel (the
+//!   pre-interning [`SshJoin`] layout), kept as the independently
+//!   implemented twin the interned fast path is property-tested against.
 //!
 //! The control loop that decides *when* to switch lives in `linkage-core`;
 //! this crate only provides the machinery.
@@ -30,6 +33,7 @@
 pub mod exact;
 pub mod iterator;
 pub mod oracle;
+pub mod reference;
 pub mod scan;
 pub mod ssh;
 pub mod state;
@@ -37,6 +41,7 @@ pub mod switch;
 
 pub use exact::{ExactJoinCore, SymmetricHashJoin};
 pub use iterator::{Operator, OperatorState};
+pub use reference::{ReferenceSshCore, ReferenceStored};
 pub use scan::{InterleavedScan, Scan};
 pub use ssh::{GramIndex, SshJoin, SshJoinCore, SshStored};
 pub use state::{KeyTable, StoredTuple};

@@ -1,0 +1,323 @@
+//! The retained string-keyed reference probe.
+//!
+//! This is the approximate join kernel exactly as it existed *before*
+//! gram interning: posting lists keyed by gram text in a `HashMap`
+//! (SipHash per gram per probe), per-probe overlap counting in a freshly
+//! allocated `HashMap<usize, usize>` sorted into arrival order.  Quadratic
+//! in neither sense — it is the same inverted-index algorithm — but
+//! deliberately slow-path and independent of the interned fast path in
+//! [`crate::ssh`]:
+//!
+//! * the property suites run randomized workloads (all four
+//!   [`QGramCoefficient`]s, including the §3.3 mid-stream handover)
+//!   through both kernels and require bit-identical match streams;
+//! * it shares **no** tokenisation state with the fast path — it builds
+//!   [`StringGramSet`]s, the interned kernel builds id sets — so a bug in
+//!   the interner cannot cancel out of the comparison.
+//!
+//! Like [`crate::oracle`], not for production use.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use linkage_text::{normalize, Gram, QGramCoefficient, QGramConfig, StringGramSet};
+use linkage_types::{MatchPair, PerSide, Record, Result, Side, SidedRecord};
+
+use crate::exact::orient;
+use crate::state::KeyTable;
+
+/// One tuple resident in the reference probe, with its string gram set.
+#[derive(Debug, Clone)]
+pub struct ReferenceStored {
+    /// The tuple itself.
+    pub record: Record,
+    /// The normalised join key.
+    pub key: Arc<str>,
+    /// The string-keyed q-gram set of the key.
+    pub grams: StringGramSet,
+    /// Carried-over matched-exactly flag.
+    pub matched_exactly: bool,
+}
+
+/// One side's string-keyed inverted index (the pre-interning layout).
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceIndex {
+    tuples: Vec<ReferenceStored>,
+    postings: HashMap<Gram, Vec<usize>>,
+}
+
+impl ReferenceIndex {
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the index holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The indexed tuples, in arrival order.
+    pub fn tuples(&self) -> &[ReferenceStored] {
+        &self.tuples
+    }
+
+    fn insert(&mut self, stored: ReferenceStored) -> usize {
+        let idx = self.tuples.len();
+        for gram in stored.grams.iter() {
+            self.postings.entry(Arc::clone(gram)).or_default().push(idx);
+        }
+        self.tuples.push(stored);
+        idx
+    }
+
+    /// Count, per candidate tuple, the grams shared with `probe`; sorted
+    /// by arrival position so the output order matches the interned
+    /// kernel's.
+    fn overlap_counts(&self, probe: &StringGramSet) -> Vec<(usize, usize)> {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for gram in probe.iter() {
+            if let Some(postings) = self.postings.get(gram.as_ref()) {
+                for &idx in postings {
+                    *counts.entry(idx).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ordered: Vec<(usize, usize)> = counts.into_iter().collect();
+        ordered.sort_unstable_by_key(|&(idx, _)| idx);
+        ordered
+    }
+}
+
+/// The string-keyed reference twin of [`SshJoinCore`]: same probe-then-
+/// insert protocol, same §3.3 handover, pre-interning data structures.
+///
+/// [`SshJoinCore`]: crate::ssh::SshJoinCore
+#[derive(Debug, Clone)]
+pub struct ReferenceSshCore {
+    keys: PerSide<usize>,
+    config: QGramConfig,
+    coefficient: QGramCoefficient,
+    theta: f64,
+    sides: PerSide<ReferenceIndex>,
+    emitted_exact: u64,
+    emitted_approx: u64,
+}
+
+impl ReferenceSshCore {
+    /// Build a reference core joining on `keys` with threshold `theta`
+    /// over q-gram sets extracted under `config`.
+    pub fn new(keys: PerSide<usize>, config: QGramConfig, theta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&theta),
+            "similarity threshold must be in [0, 1], got {theta}"
+        );
+        Self {
+            keys,
+            config,
+            coefficient: QGramCoefficient::default(),
+            theta,
+            sides: PerSide::default(),
+            emitted_exact: 0,
+            emitted_approx: 0,
+        }
+    }
+
+    /// Score candidates with a different q-gram set coefficient.
+    #[must_use]
+    pub fn with_coefficient(mut self, coefficient: QGramCoefficient) -> Self {
+        self.coefficient = coefficient;
+        self
+    }
+
+    /// The §3.3 handover from the exact join's tables: rebuild both
+    /// string-keyed indexes and recover missed matches into `out`,
+    /// mirroring [`SshJoinCore::with_exact_state`] decision for
+    /// decision.  Returns the core and the recovered-pair count.
+    ///
+    /// [`SshJoinCore::with_exact_state`]: crate::ssh::SshJoinCore::with_exact_state
+    pub fn with_exact_state(
+        mut self,
+        tables: PerSide<KeyTable>,
+        out: &mut VecDeque<MatchPair>,
+    ) -> (Self, u64) {
+        assert!(
+            self.sides.left.is_empty() && self.sides.right.is_empty(),
+            "with_exact_state requires a freshly built core"
+        );
+        for side in Side::BOTH {
+            for stored in tables[side].tuples() {
+                let grams = StringGramSet::extract(&stored.key, &self.config);
+                self.sides[side].insert(ReferenceStored {
+                    record: stored.record.clone(),
+                    key: Arc::clone(&stored.key),
+                    grams,
+                    matched_exactly: stored.matched_exactly,
+                });
+            }
+        }
+
+        let mut recovered = 0u64;
+        let (left_index, right_index) = (&self.sides.left, &self.sides.right);
+        let mut pairs: Vec<MatchPair> = Vec::new();
+        let mut recovered_exact = 0u64;
+        let mut recovered_approx = 0u64;
+        for l in left_index.tuples() {
+            let bound = self.coefficient.min_overlap(l.grams.len(), self.theta);
+            for (r_idx, shared) in right_index.overlap_counts(&l.grams) {
+                if shared < bound {
+                    continue;
+                }
+                let r = &right_index.tuples()[r_idx];
+                if l.key == r.key {
+                    if l.matched_exactly && r.matched_exactly {
+                        continue;
+                    }
+                    pairs.push(MatchPair::exact(l.record.clone(), r.record.clone()));
+                    recovered_exact += 1;
+                    recovered += 1;
+                    continue;
+                }
+                let sim = self
+                    .coefficient
+                    .from_overlap(l.grams.len(), r.grams.len(), shared);
+                if sim >= self.theta {
+                    pairs.push(MatchPair::approximate(
+                        l.record.clone(),
+                        r.record.clone(),
+                        sim,
+                    ));
+                    recovered_approx += 1;
+                    recovered += 1;
+                }
+            }
+        }
+        out.extend(pairs);
+        self.emitted_exact += recovered_exact;
+        self.emitted_approx += recovered_approx;
+        (self, recovered)
+    }
+
+    /// Process one arriving tuple: probe the opposite index, emit pairs
+    /// at or above the threshold into `out`, insert into the own index.
+    /// Returns the number of pairs emitted.
+    pub fn process(&mut self, sided: SidedRecord, out: &mut VecDeque<MatchPair>) -> Result<usize> {
+        let raw = sided.record.key_str(self.keys[sided.side])?;
+        let key: Arc<str> = Arc::from(normalize(raw, &self.config.normalize).as_str());
+        let grams = StringGramSet::extract(raw, &self.config);
+
+        let bound = self.coefficient.min_overlap(grams.len(), self.theta);
+        let coefficient = self.coefficient;
+        let (own, opposite) = self.sides.own_and_opposite_mut(sided.side);
+        let mut emitted = 0usize;
+        let mut matched_exactly = false;
+        let mut exact_partners: Vec<usize> = Vec::new();
+        for (idx, shared) in opposite.overlap_counts(&grams) {
+            if shared < bound {
+                continue;
+            }
+            let partner = &opposite.tuples[idx];
+            let pair = if partner.key == key {
+                matched_exactly = true;
+                exact_partners.push(idx);
+                let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
+                MatchPair::exact(l, r)
+            } else {
+                let sim = coefficient.from_overlap(grams.len(), partner.grams.len(), shared);
+                if sim < self.theta {
+                    continue;
+                }
+                let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
+                MatchPair::approximate(l, r, sim)
+            };
+            if pair.kind.is_exact() {
+                self.emitted_exact += 1;
+            } else {
+                self.emitted_approx += 1;
+            }
+            out.push_back(pair);
+            emitted += 1;
+        }
+        for idx in exact_partners {
+            opposite.tuples[idx].matched_exactly = true;
+        }
+        own.insert(ReferenceStored {
+            record: sided.record.clone(),
+            key,
+            grams,
+            matched_exactly,
+        });
+        Ok(emitted)
+    }
+
+    /// Pairs emitted with identical keys.
+    pub fn emitted_exact(&self) -> u64 {
+        self.emitted_exact
+    }
+
+    /// Pairs emitted by similarity only.
+    pub fn emitted_approx(&self) -> u64 {
+        self.emitted_approx
+    }
+
+    /// Number of tuples indexed per side.
+    pub fn stored(&self) -> PerSide<usize> {
+        self.sides.map(ReferenceIndex::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssh::SshJoinCore;
+    use linkage_types::Value;
+
+    fn sided(side: Side, id: u64, key: &str) -> SidedRecord {
+        SidedRecord::new(side, Record::new(id, vec![Value::string(key)]))
+    }
+
+    const A: &str = "TAA BZ SANTA CRISTINA VALGARDENA";
+    const A_TYPO: &str = "TAA BZ SANTA CRISTINx VALGARDENA";
+    const B: &str = "LIG GE GENOVA NERVI";
+
+    #[test]
+    fn reference_and_interned_kernels_emit_identical_streams() {
+        let feed = [
+            sided(Side::Left, 0, A),
+            sided(Side::Right, 0, A_TYPO),
+            sided(Side::Right, 1, B),
+            sided(Side::Left, 1, B),
+            sided(Side::Left, 2, A_TYPO),
+        ];
+        for coefficient in QGramCoefficient::ALL {
+            let mut fast = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+                .with_coefficient(coefficient);
+            let mut reference =
+                ReferenceSshCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+                    .with_coefficient(coefficient);
+            let (mut out_fast, mut out_ref) = (VecDeque::new(), VecDeque::new());
+            for t in &feed {
+                fast.process(t.clone(), &mut out_fast).unwrap();
+                reference.process(t.clone(), &mut out_ref).unwrap();
+            }
+            let view = |q: &VecDeque<MatchPair>| {
+                q.iter().map(|p| (p.id_pair(), p.kind)).collect::<Vec<_>>()
+            };
+            assert_eq!(
+                view(&out_fast),
+                view(&out_ref),
+                "{} kernels disagree",
+                coefficient.name()
+            );
+            assert_eq!(fast.stored(), reference.stored());
+            assert_eq!(fast.emitted_exact(), reference.emitted_exact());
+            assert_eq!(fast.emitted_approx(), reference.emitted_approx());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_out_of_range_threshold() {
+        ReferenceSshCore::new(PerSide::new(0, 0), QGramConfig::default(), -0.1);
+    }
+}

@@ -7,17 +7,38 @@
 //! is computed in O(1) (`c / (|A| + |B| − c)`).  Candidates that cannot
 //! reach the threshold are pruned early with the `|A ∩ B| ≥ θ·|A|` bound.
 //!
+//! # The interned probe kernel
+//!
+//! Grams are interned to dense [`GramId`]s at tokenisation time (see
+//! `linkage_text::intern`), so the probe path is pure integer work:
+//!
+//! * posting lists live in a **flat** `Vec<Vec<u32>>` indexed directly by
+//!   gram id — no hashing at probe time at all;
+//! * per-candidate overlap counting uses an **epoch-stamped dense counter
+//!   array** indexed by tuple position (O(1) logical reset per probe — no
+//!   per-probe `HashMap` allocation, no rehashing);
+//! * a **length filter** drops a candidate at first touch when its
+//!   gram-set size makes the configured coefficient's threshold
+//!   unreachable even at maximum possible overlap `min(|A|, |B|)` — a
+//!   sound pre-count companion to the per-coefficient
+//!   [`QGramCoefficient::min_overlap`] bound applied after counting.
+//!
+//! Candidates are emitted in arrival order (their tuple position), which
+//! keeps the output stream deterministic and bit-identical to the
+//! retained string-keyed reference kernel in [`crate::reference`].
+//!
 //! The join kernel lives in [`SshJoinCore`]; [`SshJoinCore::from_exact`]
 //! implements the paper's §3.3 state handover: it rebuilds the inverted
-//! index from the exact join's hash tables and re-probes the accumulated
+//! index from the exact join's hash tables (interning every resident key
+//! exactly once) and re-probes the accumulated
 //! tuples against each other to *recover* approximate matches the exact
-//! operator missed, using the per-tuple matched-exactly flags to skip pairs
-//! the exact operator already emitted.
+//! operator missed, using the per-tuple matched-exactly flags to skip
+//! pairs the exact operator already emitted.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use linkage_text::{normalize, Gram, QGramCoefficient, QGramConfig, QGramSet};
+use linkage_text::{normalize, GramId, QGramCoefficient, QGramConfig, QGramSet, SharedInterner};
 use linkage_types::{MatchPair, PerSide, Record, Result, Side, SidedRecord};
 
 use crate::exact::orient;
@@ -31,17 +52,62 @@ pub struct SshStored {
     pub record: Record,
     /// The normalised join key.
     pub key: Arc<str>,
-    /// The q-gram set of the key.
+    /// The interned q-gram set of the key.
     pub grams: QGramSet,
     /// Carried-over matched-exactly flag (see [`crate::state::StoredTuple`]).
     pub matched_exactly: bool,
 }
 
-/// One side's inverted q-gram index.
+/// Reusable probe state: one epoch-stamped counter slot per resident
+/// tuple position, plus the candidate list of the current probe.
+///
+/// Bumping `epoch` logically resets every counter in O(1); a slot's count
+/// is only meaningful while its stamp equals the current epoch.  The
+/// buffers are owned by the [`SshJoinCore`] (not the index) so a single
+/// scratch serves both sides, and probing needs no allocation at all
+/// once the buffers have grown to the resident-state size.
+#[derive(Debug, Clone, Default)]
+struct ProbeScratch {
+    epoch: u32,
+    /// `(epoch stamp, shared-gram count)` per tuple position.
+    slots: Vec<(u32, u32)>,
+    /// Positions touched by the current probe that passed the length
+    /// filter, sorted ascending (arrival order) after the count phase.
+    candidates: Vec<u32>,
+}
+
+impl ProbeScratch {
+    /// Start a new probe over an index holding `tuples` residents.
+    fn begin(&mut self, tuples: usize) {
+        if self.slots.len() < tuples {
+            self.slots.resize(tuples, (0, 0));
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One real reset every 2³² probes keeps stale stamps from a
+            // previous epoch cycle from aliasing the new epoch.
+            self.slots.fill((0, 0));
+            self.epoch = 1;
+        }
+        self.candidates.clear();
+    }
+}
+
+/// One side's inverted q-gram index: flat posting lists indexed directly
+/// by [`GramId`].
 #[derive(Debug, Clone, Default)]
 pub struct GramIndex {
     tuples: Vec<SshStored>,
-    postings: HashMap<Arc<str>, Vec<usize>>,
+    /// `postings[gram id] =` positions (arrival order) of the tuples
+    /// whose gram set contains that gram.  Indexed by the *shared* id
+    /// space, so the vector's length tracks the highest id this side has
+    /// seen, not its own distinct-gram count.
+    postings: Vec<Vec<u32>>,
+    /// Distinct-gram count per tuple position — the `|B|` the length
+    /// filter and the similarity arithmetic read, kept flat so the probe
+    /// loop never touches the (much larger) tuple entries.
+    lens: Vec<u32>,
+    posting_entries: usize,
 }
 
 impl GramIndex {
@@ -57,12 +123,12 @@ impl GramIndex {
 
     /// Number of distinct grams with at least one posting.
     pub fn distinct_grams(&self) -> usize {
-        self.postings.len()
+        self.postings.iter().filter(|p| !p.is_empty()).count()
     }
 
     /// Total posting-list entries (the paper's §2.3 space metric).
     pub fn posting_entries(&self) -> usize {
-        self.postings.values().map(Vec::len).sum()
+        self.posting_entries
     }
 
     /// The indexed tuples, in arrival order.
@@ -72,47 +138,86 @@ impl GramIndex {
 
     /// Estimated resident-state size in bytes.
     ///
-    /// Counts the tuple entries, key text, per-tuple gram pointers and the
-    /// inverted index (posting headers, gram text once per distinct gram,
-    /// posting entries).  Same estimate-not-measurement caveat as
+    /// Counts the tuple entries, key text, per-tuple gram-id columns and
+    /// the flat inverted index (posting-list headers, posting entries,
+    /// per-tuple length column).  Gram *text* is intentionally **not**
+    /// counted here: it is stored once in the join's shared
+    /// [`SharedInterner`] (see [`SshJoinCore::interner_bytes`]), not per
+    /// side and not per posting.  Same estimate-not-measurement caveat as
     /// [`crate::state::KeyTable::state_bytes`].
     pub fn state_bytes(&self) -> usize {
         let tuples = self.tuples.len() * std::mem::size_of::<SshStored>();
         let keys: usize = self.tuples.iter().map(|t| t.key.len()).sum();
-        let gram_ptrs: usize = self
+        let gram_ids: usize = self
             .tuples
             .iter()
-            .map(|t| t.grams.len() * std::mem::size_of::<Gram>())
+            .map(|t| t.grams.len() * std::mem::size_of::<GramId>())
             .sum();
-        let postings = self.postings.len() * std::mem::size_of::<(Gram, Vec<usize>)>()
-            + self.postings.keys().map(|g| g.len()).sum::<usize>()
-            + self.posting_entries() * std::mem::size_of::<usize>();
-        tuples + keys + gram_ptrs + postings
+        let postings = self.postings.len() * std::mem::size_of::<Vec<u32>>()
+            + self.posting_entries * std::mem::size_of::<u32>();
+        let lens = self.lens.len() * std::mem::size_of::<u32>();
+        tuples + keys + gram_ids + postings + lens
     }
 
     fn insert(&mut self, stored: SshStored) -> usize {
         let idx = self.tuples.len();
-        for gram in stored.grams.iter() {
-            self.postings.entry(Arc::clone(gram)).or_default().push(idx);
+        let pos = u32::try_from(idx).expect("more than u32::MAX resident tuples");
+        for id in stored.grams.iter() {
+            if id.as_usize() >= self.postings.len() {
+                self.postings.resize(id.as_usize() + 1, Vec::new());
+            }
+            self.postings[id.as_usize()].push(pos);
         }
+        self.posting_entries += stored.grams.len();
+        self.lens.push(stored.grams.len() as u32);
         self.tuples.push(stored);
         idx
     }
 
-    /// Count, per candidate tuple, the grams shared with `probe`; sorted by
-    /// arrival position so downstream output order is deterministic.
-    fn overlap_counts(&self, probe: &QGramSet) -> Vec<(usize, usize)> {
-        let mut counts: HashMap<usize, usize> = HashMap::new();
-        for gram in probe.iter() {
-            if let Some(postings) = self.postings.get(gram.as_ref()) {
-                for &idx in postings {
-                    *counts.entry(idx).or_insert(0) += 1;
+    /// Count, per candidate tuple, the grams shared with `probe`, into
+    /// `scratch`.  After the call `scratch.candidates` holds the touched
+    /// positions that survived the length filter, sorted by arrival
+    /// position (deterministic output order), and `scratch.slots[pos].1`
+    /// holds each one's shared-gram count.
+    ///
+    /// The length filter is sound: a candidate with `|B|` grams is
+    /// dropped only when `coefficient.from_overlap(|A|, |B|,
+    /// min(|A|, |B|))` — its best achievable similarity — is below
+    /// `theta`.  Equal-key partners always survive it (identical keys
+    /// tokenise to identical sets, whose best similarity is 1).
+    fn probe_into(
+        &self,
+        probe: &QGramSet,
+        coefficient: QGramCoefficient,
+        theta: f64,
+        scratch: &mut ProbeScratch,
+    ) {
+        scratch.begin(self.tuples.len());
+        let epoch = scratch.epoch;
+        let probe_len = probe.len();
+        for id in probe.iter() {
+            let Some(list) = self.postings.get(id.as_usize()) else {
+                continue;
+            };
+            for &pos in list {
+                let slot = &mut scratch.slots[pos as usize];
+                if slot.0 == epoch {
+                    slot.1 += 1;
+                    continue;
+                }
+                *slot = (epoch, 1);
+                let candidate_len = self.lens[pos as usize] as usize;
+                let best = coefficient.from_overlap(
+                    probe_len,
+                    candidate_len,
+                    probe_len.min(candidate_len),
+                );
+                if best >= theta {
+                    scratch.candidates.push(pos);
                 }
             }
         }
-        let mut ordered: Vec<(usize, usize)> = counts.into_iter().collect();
-        ordered.sort_unstable_by_key(|&(idx, _)| idx);
-        ordered
+        scratch.candidates.sort_unstable();
     }
 }
 
@@ -123,7 +228,9 @@ pub struct SshJoinCore {
     config: QGramConfig,
     coefficient: QGramCoefficient,
     theta: f64,
+    interner: SharedInterner,
     sides: PerSide<GramIndex>,
+    scratch: ProbeScratch,
     emitted_exact: u64,
     emitted_approx: u64,
 }
@@ -132,6 +239,8 @@ impl SshJoinCore {
     /// Build a core joining on `keys` with similarity threshold `theta`
     /// over q-gram sets extracted under `config`, scored with the paper's
     /// Jaccard coefficient (override via [`Self::with_coefficient`]).
+    /// The core owns a fresh gram interner; share one across cores with
+    /// [`Self::with_shared_interner`].
     pub fn new(keys: PerSide<usize>, config: QGramConfig, theta: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&theta),
@@ -142,7 +251,9 @@ impl SshJoinCore {
             config,
             coefficient: QGramCoefficient::default(),
             theta,
+            interner: SharedInterner::new(),
             sides: PerSide::default(),
+            scratch: ProbeScratch::default(),
             emitted_exact: 0,
             emitted_approx: 0,
         }
@@ -157,9 +268,42 @@ impl SshJoinCore {
         self
     }
 
+    /// Use a shared gram interner instead of the core's own fresh one.
+    ///
+    /// The sharded executor hands every worker (and its own router-side
+    /// prepare kernel) clones of one [`SharedInterner`], so gram ids are
+    /// globally consistent: a tuple tokenised once at the router can be
+    /// probed against every shard's flat postings, and resident snapshots
+    /// shipped between shards for §3.3 recovery carry ids every receiver
+    /// understands.  Must be called before any state exists — resident
+    /// postings are indexed by the ids of the interner they were built
+    /// with.
+    #[must_use]
+    pub fn with_shared_interner(mut self, interner: SharedInterner) -> Self {
+        assert!(
+            self.sides.left.is_empty() && self.sides.right.is_empty(),
+            "with_shared_interner requires an empty core: resident postings \
+             are indexed by the previous interner's ids"
+        );
+        self.interner = interner;
+        self
+    }
+
     /// The similarity coefficient scoring candidates.
     pub fn coefficient(&self) -> QGramCoefficient {
         self.coefficient
+    }
+
+    /// The shared gram interner handle backing this core's ids.
+    pub fn interner(&self) -> &SharedInterner {
+        &self.interner
+    }
+
+    /// Estimated size of the shared gram table in bytes.  The table is
+    /// shared by every core holding a clone of the handle (all shards of
+    /// a parallel join), so account for it **once** per join.
+    pub fn interner_bytes(&self) -> usize {
+        self.interner.state_bytes()
     }
 
     /// The §3.3 state handover with the paper's default Jaccard scoring;
@@ -178,10 +322,12 @@ impl SshJoinCore {
     /// join's tables and recover missed approximate matches among the
     /// already-seen tuples, pushing them into `out`.
     ///
-    /// Pairs whose keys are identical are skipped when both tuples carry the
-    /// matched-exactly flag — the exact operator already emitted them, and
-    /// re-emitting would duplicate output.  Returns the core and the number
-    /// of recovered pairs.  Must be called on a freshly built core (no
+    /// Every resident key is tokenised and interned exactly once (one
+    /// short-lived interner lock per key).  Pairs whose keys are
+    /// identical are skipped when both tuples carry the matched-exactly
+    /// flag — the exact operator already emitted them, and re-emitting
+    /// would duplicate output.  Returns the core and the number of
+    /// recovered pairs.  Must be called on a freshly built core (no
     /// resident state yet).
     pub fn with_exact_state(
         mut self,
@@ -201,9 +347,12 @@ impl SshJoinCore {
         // Migrate: tokenise every resident tuple and rebuild both indexes.
         // Keys stored by the exact core are already normalised, and
         // normalisation is idempotent, so extraction sees identical text.
+        // The interner lock is taken per tuple, not around the whole
+        // rebuild, so concurrent shard handovers interleave their
+        // interning instead of serialising their entire migrations.
         for side in Side::BOTH {
             for stored in tables[side].tuples() {
-                let grams = QGramSet::extract(&stored.key, &core.config);
+                let grams = QGramSet::extract(&stored.key, &core.config, &mut core.interner.lock());
                 core.sides[side].insert(SshStored {
                     record: stored.record.clone(),
                     key: Arc::clone(&stored.key),
@@ -217,14 +366,19 @@ impl SshJoinCore {
         // Iterating one side only visits every cross pair exactly once.
         let mut recovered_exact = 0u64;
         let mut recovered_approx = 0u64;
-        let (left_index, right_index) = (&core.sides[Side::Left], &core.sides[Side::Right]);
+        let coefficient = core.coefficient;
+        let theta = core.theta;
+        let (left_index, right_index) = (&core.sides.left, &core.sides.right);
+        let scratch = &mut core.scratch;
         for l in left_index.tuples() {
-            let bound = core.coefficient.min_overlap(l.grams.len(), core.theta);
-            for (r_idx, shared) in right_index.overlap_counts(&l.grams) {
+            let bound = coefficient.min_overlap(l.grams.len(), theta);
+            right_index.probe_into(&l.grams, coefficient, theta, scratch);
+            for &pos in &scratch.candidates {
+                let shared = scratch.slots[pos as usize].1 as usize;
                 if shared < bound {
                     continue;
                 }
-                let r = &right_index.tuples()[r_idx];
+                let r = &right_index.tuples()[pos as usize];
                 if l.key == r.key {
                     if l.matched_exactly && r.matched_exactly {
                         // The exact operator already emitted this pair (both
@@ -238,10 +392,8 @@ impl SshJoinCore {
                     recovered_exact += 1;
                     continue;
                 }
-                let sim = core
-                    .coefficient
-                    .from_overlap(l.grams.len(), r.grams.len(), shared);
-                if sim >= core.theta {
+                let sim = coefficient.from_overlap(l.grams.len(), r.grams.len(), shared);
+                if sim >= theta {
                     out.push_back(MatchPair::approximate(
                         l.record.clone(),
                         r.record.clone(),
@@ -265,17 +417,19 @@ impl SshJoinCore {
         self.process_prepared(&sided, &key, &grams, true, out)
     }
 
-    /// Normalise and tokenise the join key of `sided`, exactly as
+    /// Normalise, tokenise and intern the join key of `sided`, exactly as
     /// [`Self::process`] would.
     ///
     /// The sharded execution layer broadcasts each post-switch tuple to
     /// every shard; preparing once at the router and sharing the result
     /// keeps tokenisation — the per-tuple cost the paper's Table 1 prices
-    /// as `α_q · |jA|` — off the workers' critical path.
+    /// as `α_q · |jA|` — *and* interning off the workers' critical path:
+    /// the grams arrive at every shard as dense ids ready for direct
+    /// posting-array indexing.
     pub fn prepare(&self, sided: &SidedRecord) -> Result<(Arc<str>, QGramSet)> {
         let raw = sided.record.key_str(self.keys[sided.side])?;
         let key: Arc<str> = Arc::from(normalize(raw, &self.config.normalize).as_str());
-        let grams = QGramSet::extract(raw, &self.config);
+        let grams = QGramSet::extract(raw, &self.config, &mut self.interner.lock());
         Ok((key, grams))
     }
 
@@ -287,7 +441,7 @@ impl SshJoinCore {
     /// resident state, but only the tuple's home shard stores it, so each
     /// resident lives in exactly one shard and no pair is emitted twice.
     /// The caller must pass `key`/`grams` from [`Self::prepare`] for this
-    /// `sided`.
+    /// `sided` (or from a core sharing the same interner).
     pub fn process_prepared(
         &mut self,
         sided: &SidedRecord,
@@ -298,15 +452,20 @@ impl SshJoinCore {
     ) -> Result<usize> {
         let bound = self.coefficient.min_overlap(grams.len(), self.theta);
         let coefficient = self.coefficient;
+        let theta = self.theta;
 
         let (own, opposite) = self.sides.own_and_opposite_mut(sided.side);
+        let scratch = &mut self.scratch;
+        opposite.probe_into(grams, coefficient, theta, scratch);
         let mut emitted = 0usize;
         let mut matched_exactly = false;
         let mut exact_partners: Vec<usize> = Vec::new();
-        for (idx, shared) in opposite.overlap_counts(grams) {
+        for &pos in &scratch.candidates {
+            let shared = scratch.slots[pos as usize].1 as usize;
             if shared < bound {
                 continue;
             }
+            let idx = pos as usize;
             let partner = &opposite.tuples[idx];
             let pair = if partner.key == *key {
                 matched_exactly = true;
@@ -315,7 +474,7 @@ impl SshJoinCore {
                 MatchPair::exact(l, r)
             } else {
                 let sim = coefficient.from_overlap(grams.len(), partner.grams.len(), shared);
-                if sim < self.theta {
+                if sim < theta {
                     continue;
                 }
                 let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
@@ -345,9 +504,11 @@ impl SshJoinCore {
 
     /// Snapshot every resident tuple, tagged with its side.
     ///
-    /// Cheap relative to the state itself — records, keys and grams are all
-    /// `Arc`-shared — and used by the sharded switch handover to ship one
-    /// shard's residents to the others for cross-shard match recovery.
+    /// Cheap relative to the state itself — records and keys are
+    /// `Arc`-shared and gram sets are dense id arrays — and used by the
+    /// sharded switch handover to ship one shard's residents to the
+    /// others for cross-shard match recovery.  The ids are meaningful to
+    /// any core sharing this core's interner.
     pub fn residents(&self) -> Vec<(Side, SshStored)> {
         let mut out = Vec::with_capacity(self.sides.left.len() + self.sides.right.len());
         for side in Side::BOTH {
@@ -367,8 +528,9 @@ impl SshJoinCore {
     /// local [`Self::from_exact`] recovery the coordinator routes every
     /// shard's residents past the shards that came before it.  Foreign
     /// tuples are probed but never stored, and the same matched-exactly
-    /// suppression as local recovery applies.  Returns the number of
-    /// recovered pairs.
+    /// suppression as local recovery applies.  The foreign gram ids must
+    /// come from the same shared interner as this core's.  Returns the
+    /// number of recovered pairs.
     pub fn recover_foreign(
         &mut self,
         foreign: &[(Side, SshStored)],
@@ -376,14 +538,19 @@ impl SshJoinCore {
     ) -> u64 {
         let mut recovered_exact = 0u64;
         let mut recovered_approx = 0u64;
+        let coefficient = self.coefficient;
+        let theta = self.theta;
         for (side, f) in foreign {
-            let bound = self.coefficient.min_overlap(f.grams.len(), self.theta);
+            let bound = coefficient.min_overlap(f.grams.len(), theta);
+            let scratch = &mut self.scratch;
             let local = &self.sides[side.opposite()];
-            for (idx, shared) in local.overlap_counts(&f.grams) {
+            local.probe_into(&f.grams, coefficient, theta, scratch);
+            for &pos in &scratch.candidates {
+                let shared = scratch.slots[pos as usize].1 as usize;
                 if shared < bound {
                     continue;
                 }
-                let partner = &local.tuples[idx];
+                let partner = &local.tuples[pos as usize];
                 if partner.key == f.key {
                     if partner.matched_exactly && f.matched_exactly {
                         continue;
@@ -393,10 +560,8 @@ impl SshJoinCore {
                     recovered_exact += 1;
                     continue;
                 }
-                let sim = self
-                    .coefficient
-                    .from_overlap(f.grams.len(), partner.grams.len(), shared);
-                if sim >= self.theta {
+                let sim = coefficient.from_overlap(f.grams.len(), partner.grams.len(), shared);
+                if sim >= theta {
                     let (l, r) = orient(*side, f.record.clone(), partner.record.clone());
                     out.push_back(MatchPair::approximate(l, r, sim));
                     recovered_approx += 1;
@@ -433,7 +598,9 @@ impl SshJoinCore {
         &self.sides
     }
 
-    /// Estimated resident-state size in bytes, per side.
+    /// Estimated resident-state size in bytes, per side.  Gram text is
+    /// not included — it lives once in the shared interner (see
+    /// [`Self::interner_bytes`]).
     pub fn state_bytes(&self) -> PerSide<usize> {
         self.sides.map(GramIndex::state_bytes)
     }
@@ -613,6 +780,59 @@ mod tests {
     }
 
     #[test]
+    fn length_filter_drops_hopeless_candidates_before_counting() {
+        // A short key shares grams with a long one, but the Jaccard
+        // threshold is unreachable at any overlap: the candidate never
+        // enters the candidate list.
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        let probe = sided(Side::Right, 0, "TAA BZ");
+        let (key, grams) = core.prepare(&probe).unwrap();
+        assert!(!grams.is_empty());
+        let left = &core.sides[Side::Left];
+        let mut scratch = ProbeScratch::default();
+        left.probe_into(&grams, QGramCoefficient::Jaccard, 0.8, &mut scratch);
+        assert!(
+            scratch.candidates.is_empty(),
+            "length filter must reject the candidate at first touch"
+        );
+        // But under the Overlap coefficient (denominator min(|A|, |B|))
+        // the same candidate is feasible and must survive the filter.
+        left.probe_into(&grams, QGramCoefficient::Overlap, 0.8, &mut scratch);
+        assert_eq!(scratch.candidates.len(), 1);
+        // End-to-end: the probe emits nothing under Jaccard.
+        let emitted = core
+            .process_prepared(&probe, &key, &grams, false, &mut out)
+            .unwrap();
+        assert_eq!(emitted, 0);
+    }
+
+    #[test]
+    fn epoch_counters_survive_many_probes_without_reset_cost() {
+        // Many consecutive probes against the same index must stay
+        // correct — each probe logically resets the counters by epoch
+        // bump, never by clearing.
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        core.process(sided(Side::Left, 1, UNRELATED), &mut out)
+            .unwrap();
+        let probe = sided(Side::Right, 9, LONG_A_TYPO);
+        let (key, grams) = core.prepare(&probe).unwrap();
+        for _ in 0..100 {
+            out.clear();
+            let emitted = core
+                .process_prepared(&probe, &key, &grams, false, &mut out)
+                .unwrap();
+            assert_eq!(emitted, 1);
+            assert_eq!(out[0].id_pair(), (0.into(), 9.into()));
+        }
+    }
+
+    #[test]
     fn handover_recovers_missed_matches_and_skips_exact_duplicates() {
         use crate::exact::ExactJoinCore;
         use linkage_text::NormalizeConfig;
@@ -656,6 +876,16 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn rejects_out_of_range_threshold() {
         SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty core")]
+    fn shared_interner_requires_an_empty_core() {
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        let _ = core.with_shared_interner(SharedInterner::new());
     }
 
     fn sided(side: Side, id: u64, key: &str) -> SidedRecord {
@@ -715,9 +945,14 @@ mod tests {
     #[test]
     fn foreign_recovery_finds_cross_shard_pairs_once() {
         // Shard 0 accumulated the clean left tuple, shard 1 its dirty
-        // partner — the situation hash partitioning produces for typo pairs.
-        let mut shard0 = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
-        let mut shard1 = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        // partner — the situation hash partitioning produces for typo
+        // pairs.  The shards share one interner, as the executor
+        // arranges, so shipped gram ids are mutually meaningful.
+        let interner = SharedInterner::new();
+        let mut shard0 = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+            .with_shared_interner(interner.clone());
+        let mut shard1 = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+            .with_shared_interner(interner);
         let mut out = VecDeque::new();
         shard0
             .process(sided(Side::Left, 0, LONG_A), &mut out)
@@ -744,13 +979,16 @@ mod tests {
     fn foreign_recovery_respects_matched_exactly_flags() {
         // Both residents carry the flag and equal keys: the pair was already
         // emitted by the exact phase and must be suppressed.
-        let mut shard = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let interner = SharedInterner::new();
+        let mut shard = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+            .with_shared_interner(interner.clone());
         let mut out = VecDeque::new();
         shard
             .process(sided(Side::Right, 3, LONG_A), &mut out)
             .unwrap();
         let flagged: Vec<(Side, SshStored)> = {
-            let mut probe = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+            let mut probe = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+                .with_shared_interner(interner);
             probe
                 .process(sided(Side::Left, 3, LONG_A), &mut out)
                 .unwrap();
@@ -771,16 +1009,25 @@ mod tests {
     }
 
     #[test]
-    fn state_bytes_counts_index_growth() {
+    fn state_bytes_counts_index_growth_and_interner_separately() {
         let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
         let mut out = VecDeque::new();
         assert_eq!(core.state_bytes(), PerSide::new(0, 0));
+        assert_eq!(core.interner_bytes(), 0);
         core.process(sided(Side::Left, 0, LONG_A), &mut out)
             .unwrap();
         let one = core.state_bytes();
         assert!(one.left > 0 && one.right == 0);
+        let interner_one = core.interner_bytes();
+        assert!(interner_one > 0, "gram text lives in the interner");
         core.process(sided(Side::Left, 1, UNRELATED), &mut out)
             .unwrap();
         assert!(core.state_bytes().left > one.left);
+        assert!(core.interner_bytes() > interner_one);
+        // Re-inserting the same key adds postings but no new gram text.
+        let interner_two = core.interner_bytes();
+        core.process(sided(Side::Left, 2, UNRELATED), &mut out)
+            .unwrap();
+        assert_eq!(core.interner_bytes(), interner_two);
     }
 }

@@ -106,10 +106,19 @@ impl SwitchJoinConfig {
         ExactJoinCore::new(self.keys, self.normalization())
     }
 
-    /// A fresh approximate-phase kernel under this configuration.
+    /// A fresh approximate-phase kernel under this configuration, owning
+    /// its own gram interner.
     pub fn ssh_core(&self) -> SshJoinCore {
         SshJoinCore::new(self.keys, self.qgram.clone(), self.theta_sim)
             .with_coefficient(self.coefficient)
+    }
+
+    /// A fresh approximate-phase kernel sharing `interner` — what the
+    /// sharded executor hands each worker so every shard's gram ids live
+    /// in one id space (see
+    /// [`SshJoinCore::with_shared_interner`]).
+    pub fn ssh_core_with(&self, interner: linkage_text::SharedInterner) -> SshJoinCore {
+        self.ssh_core().with_shared_interner(interner)
     }
 }
 

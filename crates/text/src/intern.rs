@@ -1,0 +1,307 @@
+//! Gram interning: dense token ids for q-grams.
+//!
+//! The approximate join's probe kernel used to key its inverted index by
+//! gram *text* (`Arc<str>`), which meant every probe hashed every gram of
+//! the probing tuple through SipHash before it could even look at a
+//! posting list.  A [`GramInterner`] assigns each distinct gram a dense
+//! [`GramId`] exactly once — at tokenisation time — after which the whole
+//! probe path is integer indexing: posting lists live in a flat
+//! `Vec<Vec<u32>>` indexed directly by id, and set operations between
+//! [`QGramSet`]s are merges over sorted `u32`s.
+//!
+//! The one remaining string-keyed map (gram text → id, consulted once per
+//! *window* at tokenisation) uses [`FxHasher`], a fast non-cryptographic
+//! multiply-rotate hash; grams are tiny (q ≈ 3 characters) and the table
+//! is private to the join, so HashDoS resistance buys nothing here.
+//!
+//! [`SharedInterner`] wraps the table in `Arc<Mutex<…>>` so the sharded
+//! executor's workers can share one id space: the coordinator interns
+//! every post-switch tuple once at the router, and the workers touch the
+//! lock only during the §3.3 handover (when each rebuilds its inverted
+//! index from resident keys).  Steady-state probing never locks — it sees
+//! only pre-assigned ids, an effectively read-only snapshot.
+//!
+//! [`QGramSet`]: crate::qgram::QGramSet
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of one distinct q-gram within a [`GramInterner`].
+///
+/// Ids are assigned sequentially from 0 in first-interned order, so they
+/// double as direct indexes into flat posting arrays.  An id is only
+/// meaningful relative to the interner that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GramId(u32);
+
+impl GramId {
+    /// Wrap a raw index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index, as a `usize` for direct array indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast non-cryptographic hasher (the multiply-rotate scheme used by
+/// rustc's internal tables) for the interner's one string-keyed map.
+///
+/// Not DoS-resistant by design — the keys are q-grams of join attributes
+/// inside a private table, not attacker-controlled map keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add(u64::from_le_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = &bytes[4..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<2>() {
+            self.add(u64::from(u16::from_le_bytes(*chunk)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&byte) = bytes.first() {
+            self.add(u64::from(byte));
+        }
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The gram ⇄ id table: each distinct gram is stored once and mapped to a
+/// dense [`GramId`].
+#[derive(Debug, Clone, Default)]
+pub struct GramInterner {
+    map: HashMap<Arc<str>, GramId, FxBuildHasher>,
+    texts: Vec<Arc<str>>,
+}
+
+impl GramInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct grams interned so far (also the exclusive upper
+    /// bound of issued ids).
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether no gram has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// The id of `gram`, assigning the next dense id on first sight.
+    ///
+    /// The gram text is allocated (once, globally) only on first sight;
+    /// re-interning an already-known gram is a hash lookup with no
+    /// allocation.
+    pub fn intern(&mut self, gram: &str) -> GramId {
+        if let Some(&id) = self.map.get(gram) {
+            return id;
+        }
+        let id = GramId::new(
+            u32::try_from(self.texts.len()).expect("more than u32::MAX distinct grams"),
+        );
+        let text: Arc<str> = Arc::from(gram);
+        self.texts.push(Arc::clone(&text));
+        self.map.insert(text, id);
+        id
+    }
+
+    /// The id of `gram`, if it was interned before.
+    pub fn get(&self, gram: &str) -> Option<GramId> {
+        self.map.get(gram).copied()
+    }
+
+    /// The text behind `id`, if the id was issued by this interner.
+    pub fn resolve(&self, id: GramId) -> Option<&str> {
+        self.texts.get(id.as_usize()).map(Arc::as_ref)
+    }
+
+    /// Estimated size of the table in bytes: the gram text (stored once
+    /// per distinct gram), the id column, and the map's key/value slots.
+    /// Same estimate-not-measurement caveat as the operators' state
+    /// accounting.
+    pub fn state_bytes(&self) -> usize {
+        let text: usize = self.texts.iter().map(|t| t.len()).sum();
+        let columns = self.texts.len() * std::mem::size_of::<Arc<str>>();
+        let map = self.map.len() * std::mem::size_of::<(Arc<str>, GramId)>();
+        text + columns + map
+    }
+}
+
+/// A [`GramInterner`] shareable across threads.
+///
+/// Cloning the handle shares the table (ids stay globally consistent);
+/// the lock is uncontended everywhere except the sharded handover, where
+/// every worker interns its resident keys into the common id space.
+#[derive(Debug, Clone, Default)]
+pub struct SharedInterner {
+    inner: Arc<Mutex<GramInterner>>,
+}
+
+impl SharedInterner {
+    /// A handle to a fresh, empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lock the table for interning.  Poisoning is ignored: the table is
+    /// append-only, so a panicking holder cannot leave it inconsistent.
+    pub fn lock(&self) -> MutexGuard<'_, GramInterner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether two handles share the same table (hence the same id
+    /// space).
+    pub fn same_table(&self, other: &SharedInterner) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of distinct grams interned so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no gram has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Estimated size of the shared table in bytes (see
+    /// [`GramInterner::state_bytes`]).  Count it **once** per join, not
+    /// per shard: every worker's handle points at the same table.
+    pub fn state_bytes(&self) -> usize {
+        self.lock().state_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut interner = GramInterner::new();
+        let a = interner.intern("abc");
+        let b = interner.intern("bcd");
+        let a2 = interner.intern("abc");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.as_usize(), 0);
+        assert_eq!(b.as_usize(), 1);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), Some("abc"));
+        assert_eq!(interner.resolve(b), Some("bcd"));
+        assert_eq!(interner.resolve(GramId::new(2)), None);
+        assert_eq!(interner.get("abc"), Some(a));
+        assert_eq!(interner.get("zzz"), None);
+    }
+
+    #[test]
+    fn shared_handles_share_the_id_space() {
+        let shared = SharedInterner::new();
+        let clone = shared.clone();
+        assert!(shared.same_table(&clone));
+        assert!(!shared.same_table(&SharedInterner::new()));
+        let a = shared.lock().intern("abc");
+        let a2 = clone.lock().intern("abc");
+        assert_eq!(a, a2);
+        assert_eq!(shared.len(), 1);
+        assert!(!clone.is_empty());
+    }
+
+    #[test]
+    fn state_bytes_grow_with_distinct_grams_only() {
+        let mut interner = GramInterner::new();
+        assert_eq!(interner.state_bytes(), 0);
+        interner.intern("abc");
+        let one = interner.state_bytes();
+        assert!(one > 0);
+        interner.intern("abc");
+        assert_eq!(
+            interner.state_bytes(),
+            one,
+            "re-interning allocates nothing"
+        );
+        interner.intern("xyz");
+        assert!(interner.state_bytes() > one);
+    }
+
+    #[test]
+    fn fx_hasher_distinguishes_typical_grams() {
+        // Not a distribution test — just a sanity check that the chunked
+        // write path hashes unequal short strings unequally.
+        let hash = |s: &str| {
+            let mut h = FxHasher::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_ne!(hash("abc"), hash("abd"));
+        assert_ne!(hash("abc"), hash("ab"));
+        assert_ne!(hash(""), hash("a"));
+        assert_ne!(hash("abcdefgh"), hash("abcdefgi"), "8-byte chunk path");
+        assert_ne!(hash("abcdefghij"), hash("abcdefghik"), "tail path");
+        assert_eq!(hash("abc"), hash("abc"));
+    }
+
+    #[test]
+    fn concurrent_interning_yields_consistent_ids() {
+        let shared = SharedInterner::new();
+        let grams: Vec<String> = (0..64).map(|i| format!("g{i:02}")).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = shared.clone();
+                let grams = grams.clone();
+                std::thread::spawn(move || {
+                    grams
+                        .iter()
+                        .map(|g| shared.lock().intern(g))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<GramId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &results[1..] {
+            assert_eq!(&results[0], other, "same gram must get the same id");
+        }
+        assert_eq!(shared.len(), 64);
+    }
+}

@@ -16,7 +16,10 @@
 //! This crate provides:
 //!
 //! * [`QGramConfig`] / [`QGramSet`] — q-gram extraction with the padding
-//!   convention the paper's cost model assumes;
+//!   convention the paper's cost model assumes; grams are interned to
+//!   dense [`GramId`]s through a [`GramInterner`], so the join kernel's
+//!   probe path never hashes strings ([`StringGramSet`] retains the
+//!   string-keyed representation as the tested-against reference);
 //! * [`normalize()`] — the canonicalisation applied to join keys before
 //!   tokenisation (case folding, whitespace collapsing);
 //! * [`StringSimilarity`] and a family of implementations: the paper's
@@ -29,15 +32,17 @@
 #![warn(missing_docs)]
 
 pub mod edit;
+pub mod intern;
 pub mod jaro;
 pub mod normalize;
 pub mod qgram;
 pub mod similarity;
 
 pub use edit::{levenshtein_distance, NormalizedLevenshtein};
+pub use intern::{FxBuildHasher, FxHasher, GramId, GramInterner, SharedInterner};
 pub use jaro::{jaro_similarity, jaro_winkler_similarity, JaroWinkler};
 pub use normalize::{normalize, NormalizeConfig};
-pub use qgram::{Gram, QGramConfig, QGramSet};
+pub use qgram::{Gram, QGramConfig, QGramSet, StringGramSet};
 pub use similarity::{
     QGramCoefficient, QGramCosine, QGramDice, QGramJaccard, QGramOverlap, SimilarityFn,
     StringSimilarity,

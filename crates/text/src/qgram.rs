@@ -8,6 +8,19 @@
 //! extended with `q − 1` copies of a begin marker and `q − 1` copies of an
 //! end marker, giving `|s| + q − 1` windows, of which duplicates are removed
 //! when the *set* is taken.
+//!
+//! Two set representations share the window enumeration:
+//!
+//! * [`QGramSet`] — the production representation: each gram is interned to
+//!   a dense [`GramId`] through a [`GramInterner`], and the set is a sorted
+//!   `Vec<GramId>`.  Set operations are integer merges and the approximate
+//!   join's inverted index can use ids as direct array indexes — no string
+//!   hashing anywhere on the probe path.
+//! * [`StringGramSet`] — the retained string-keyed reference: sorted
+//!   `Arc<str>` grams, exactly the representation the kernel used before
+//!   interning.  The standalone similarity functions build on it (they
+//!   compare one pair at a time, where an interner would be pure overhead)
+//!   and the property suites probe the interned kernel against it.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -15,15 +28,16 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::{GramId, GramInterner};
 use crate::normalize::{normalize, NormalizeConfig};
 
-/// A single q-gram.
+/// A single q-gram as shared text.
 ///
-/// Grams are interned behind an `Arc<str>` because the inverted q-gram index
-/// of the approximate join stores every gram of every scanned tuple; sharing
-/// the payload keeps the memory cost at the `n · (|jA| + q − 1) · p` pointers
-/// the paper's §2.3 space analysis assumes, rather than duplicating string
-/// data per posting.
+/// Grams are shared behind an `Arc<str>` wherever they are kept as strings
+/// (the [`StringGramSet`] reference path and the interner's own table), so
+/// the memory cost stays at the `n · (|jA| + q − 1) · p` pointers the
+/// paper's §2.3 space analysis assumes rather than duplicating string data
+/// per posting.
 pub type Gram = Arc<str>;
 
 /// Configuration for q-gram extraction.
@@ -101,64 +115,79 @@ impl QGramConfig {
     }
 }
 
-/// The deduplicated set of q-grams of one string.
+/// Enumerate the sliding windows of `input` under `config`, calling `f`
+/// with each window's text.  Returns the window count (the paper's
+/// `|jA| + q − 1` with padding); both set representations share this
+/// enumeration so they tokenise bit-identically.
+fn for_each_window(input: &str, config: &QGramConfig, mut f: impl FnMut(&str)) -> usize {
+    if config.q == 0 {
+        return 0;
+    }
+    let normalized = normalize(input, &config.normalize);
+    if normalized.is_empty() {
+        return 0;
+    }
+
+    let mut chars: Vec<char> = Vec::with_capacity(normalized.len() + 2 * (config.q - 1));
+    if config.pad {
+        chars.extend(std::iter::repeat_n(config.pad_begin, config.q - 1));
+    }
+    chars.extend(normalized.chars());
+    if config.pad {
+        chars.extend(std::iter::repeat_n(config.pad_end, config.q - 1));
+    }
+
+    let mut buf = String::with_capacity(config.q * 4);
+    if chars.len() < config.q {
+        // Unpadded short string: take the whole string as one gram.
+        buf.extend(chars.iter());
+        f(&buf);
+        return 1;
+    }
+    let mut window_count = 0usize;
+    for window in chars.windows(config.q) {
+        buf.clear();
+        buf.extend(window.iter());
+        f(&buf);
+        window_count += 1;
+    }
+    window_count
+}
+
+/// The deduplicated, **interned** q-gram set of one string.
 ///
-/// Grams are kept sorted so that set operations (intersection/union sizes,
-/// hence Jaccard/Dice/overlap) are linear merges, and so that two sets built
-/// from equal strings compare equal structurally.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+/// Grams are dense [`GramId`]s kept sorted, so set operations
+/// (intersection/union sizes, hence Jaccard/Dice/overlap) are linear
+/// integer merges, and the approximate join's flat posting lists can be
+/// indexed directly by id.  Two sets are only comparable when their ids
+/// come from the **same** [`GramInterner`] (or [`SharedInterner`]
+/// handles over the same table) — which is also why this type is *not*
+/// serialisable: bare ids are meaningless outside the issuing interner,
+/// so a round-tripped set would intersect as structurally valid garbage.
+/// Serialise the self-contained [`StringGramSet`] instead.
+///
+/// [`SharedInterner`]: crate::intern::SharedInterner
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct QGramSet {
-    grams: Vec<Gram>,
+    grams: Vec<GramId>,
     /// Number of windows before deduplication (used by the cost model).
     window_count: usize,
 }
 
 impl QGramSet {
-    /// Extract the q-gram set of `input` under `config`.
-    pub fn extract(input: &str, config: &QGramConfig) -> Self {
-        if config.q == 0 {
-            return Self::default();
-        }
-        let normalized = normalize(input, &config.normalize);
-        if normalized.is_empty() {
-            return Self::default();
-        }
-
-        let mut chars: Vec<char> = Vec::with_capacity(normalized.len() + 2 * (config.q - 1));
-        if config.pad {
-            chars.extend(std::iter::repeat_n(config.pad_begin, config.q - 1));
-        }
-        chars.extend(normalized.chars());
-        if config.pad {
-            chars.extend(std::iter::repeat_n(config.pad_end, config.q - 1));
-        }
-
-        let mut set: BTreeSet<Gram> = BTreeSet::new();
-        let mut window_count = 0usize;
-        if chars.len() < config.q {
-            // Unpadded short string: take the whole string as one gram.
-            let gram: String = chars.iter().collect();
-            set.insert(Arc::from(gram.as_str()));
-            window_count = 1;
-        } else {
-            let mut buf = String::with_capacity(config.q * 4);
-            for window in chars.windows(config.q) {
-                buf.clear();
-                buf.extend(window.iter());
-                set.insert(Arc::from(buf.as_str()));
-                window_count += 1;
-            }
-        }
-
+    /// Extract the q-gram set of `input` under `config`, interning each
+    /// distinct gram through `interner`.
+    pub fn extract(input: &str, config: &QGramConfig, interner: &mut GramInterner) -> Self {
+        let mut grams: Vec<GramId> = Vec::new();
+        let window_count = for_each_window(input, config, |window| {
+            grams.push(interner.intern(window));
+        });
+        grams.sort_unstable();
+        grams.dedup();
         Self {
-            grams: set.into_iter().collect(),
+            grams,
             window_count,
         }
-    }
-
-    /// Extract with the default configuration (`q = 3`, padded).
-    pub fn extract_default(input: &str) -> Self {
-        Self::extract(input, &QGramConfig::default())
     }
 
     /// Number of **distinct** grams.
@@ -177,24 +206,23 @@ impl QGramSet {
         self.window_count
     }
 
-    /// The grams, sorted ascending.
-    pub fn grams(&self) -> &[Gram] {
+    /// The gram ids, sorted ascending.
+    pub fn gram_ids(&self) -> &[GramId] {
         &self.grams
     }
 
-    /// Whether `gram` is a member.
-    pub fn contains(&self, gram: &str) -> bool {
-        self.grams
-            .binary_search_by(|g| g.as_ref().cmp(gram))
-            .is_ok()
+    /// Whether `id` is a member.
+    pub fn contains(&self, id: GramId) -> bool {
+        self.grams.binary_search(&id).is_ok()
     }
 
-    /// Iterator over the grams.
-    pub fn iter(&self) -> impl Iterator<Item = &Gram> {
-        self.grams.iter()
+    /// Iterator over the gram ids.
+    pub fn iter(&self) -> impl Iterator<Item = GramId> + '_ {
+        self.grams.iter().copied()
     }
 
-    /// `|self ∩ other|` by sorted merge.
+    /// `|self ∩ other|` by sorted merge.  Both sets must come from the
+    /// same interner.
     pub fn intersection_size(&self, other: &QGramSet) -> usize {
         let mut i = 0;
         let mut j = 0;
@@ -213,12 +241,13 @@ impl QGramSet {
         count
     }
 
-    /// `|self ∪ other|`.
+    /// `|self ∪ other|`.  Both sets must come from the same interner.
     pub fn union_size(&self, other: &QGramSet) -> usize {
         self.len() + other.len() - self.intersection_size(other)
     }
 
     /// The Jaccard coefficient `|A ∩ B| / |A ∪ B|` (the paper's `sim`).
+    /// Both sets must come from the same interner.
     ///
     /// Two empty sets have similarity 1 (identical); an empty set against a
     /// non-empty set has similarity 0.
@@ -270,6 +299,128 @@ impl fmt::Display for QGramSet {
             if i > 0 {
                 write!(f, ", ")?;
             }
+            write!(f, "#{}", g.as_u32())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The deduplicated q-gram set of one string, as sorted shared text — the
+/// retained string-keyed reference representation.
+///
+/// This is exactly the set the probe kernel used before gram interning:
+/// the reference probe in `linkage-operators` and the oracle-vs-kernel
+/// property suites keep it alive so the interned fast path always has an
+/// independently implemented twin to be checked against.  Self-contained
+/// (no interner), hence also what the standalone [`StringSimilarity`]
+/// implementations tokenise with.
+///
+/// [`StringSimilarity`]: crate::similarity::StringSimilarity
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StringGramSet {
+    grams: Vec<Gram>,
+    /// Number of windows before deduplication (used by the cost model).
+    window_count: usize,
+}
+
+impl StringGramSet {
+    /// Extract the q-gram set of `input` under `config`.
+    pub fn extract(input: &str, config: &QGramConfig) -> Self {
+        let mut set: BTreeSet<Gram> = BTreeSet::new();
+        let window_count = for_each_window(input, config, |window| {
+            if !set.contains(window) {
+                set.insert(Arc::from(window));
+            }
+        });
+        Self {
+            grams: set.into_iter().collect(),
+            window_count,
+        }
+    }
+
+    /// Extract with the default configuration (`q = 3`, padded).
+    pub fn extract_default(input: &str) -> Self {
+        Self::extract(input, &QGramConfig::default())
+    }
+
+    /// Number of **distinct** grams.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+
+    /// Number of sliding windows before deduplication.
+    pub fn window_count(&self) -> usize {
+        self.window_count
+    }
+
+    /// The grams, sorted ascending.
+    pub fn grams(&self) -> &[Gram] {
+        &self.grams
+    }
+
+    /// Whether `gram` is a member.
+    pub fn contains(&self, gram: &str) -> bool {
+        self.grams
+            .binary_search_by(|g| g.as_ref().cmp(gram))
+            .is_ok()
+    }
+
+    /// Iterator over the grams.
+    pub fn iter(&self) -> impl Iterator<Item = &Gram> {
+        self.grams.iter()
+    }
+
+    /// `|self ∩ other|` by sorted merge.
+    pub fn intersection_size(&self, other: &StringGramSet) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < self.grams.len() && j < other.grams.len() {
+            match self.grams[i].cmp(&other.grams[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// `|self ∪ other|`.
+    pub fn union_size(&self, other: &StringGramSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// The Jaccard coefficient `|A ∩ B| / |A ∪ B|` (the paper's `sim`).
+    pub fn jaccard(&self, other: &StringGramSet) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 1.0;
+        }
+        let inter = self.intersection_size(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+impl fmt::Display for StringGramSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.grams.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
             write!(f, "{g:?}")?;
         }
         write!(f, "}}")
@@ -296,9 +447,15 @@ mod tests {
         }
     }
 
+    fn interned(input: &str, config: &QGramConfig) -> (QGramSet, GramInterner) {
+        let mut interner = GramInterner::new();
+        let set = QGramSet::extract(input, config, &mut interner);
+        (set, interner)
+    }
+
     #[test]
     fn unpadded_trigram_extraction() {
-        let set = QGramSet::extract("abcde", &unpadded_ascii(3));
+        let set = StringGramSet::extract("abcde", &unpadded_ascii(3));
         let grams: Vec<&str> = set.iter().map(|g| g.as_ref()).collect();
         assert_eq!(grams, vec!["abc", "bcd", "cde"]);
         assert_eq!(set.window_count(), 3);
@@ -306,7 +463,7 @@ mod tests {
 
     #[test]
     fn padded_trigram_extraction_counts_paper_formula() {
-        let set = QGramSet::extract("abcde", &padded_ascii(3));
+        let set = StringGramSet::extract("abcde", &padded_ascii(3));
         // |s| + q - 1 = 5 + 2 = 7 windows.
         assert_eq!(set.window_count(), 7);
         assert!(set.contains("##a"));
@@ -314,6 +471,45 @@ mod tests {
         assert!(set.contains("de$"));
         assert!(set.contains("e$$"));
         assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn interned_extraction_mirrors_string_extraction() {
+        for (input, config) in [
+            ("abcde", padded_ascii(3)),
+            ("abcde", unpadded_ascii(3)),
+            ("aaaa", unpadded_ascii(2)),
+            ("ab", unpadded_ascii(5)),
+            ("", QGramConfig::default()),
+            ("Santa  Cristina", QGramConfig::default()),
+        ] {
+            let strings = StringGramSet::extract(input, &config);
+            let (ids, interner) = interned(input, &config);
+            assert_eq!(ids.len(), strings.len(), "{input:?}");
+            assert_eq!(ids.window_count(), strings.window_count(), "{input:?}");
+            let mut resolved: Vec<&str> = ids
+                .iter()
+                .map(|id| interner.resolve(id).expect("unknown id"))
+                .collect();
+            resolved.sort_unstable();
+            let expected: Vec<&str> = strings.iter().map(|g| g.as_ref()).collect();
+            assert_eq!(resolved, expected, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn interned_sets_share_ids_across_extractions() {
+        let mut interner = GramInterner::new();
+        let cfg = unpadded_ascii(3);
+        let a = QGramSet::extract("abcdef", &cfg, &mut interner);
+        let b = QGramSet::extract("abcdef", &cfg, &mut interner);
+        let c = QGramSet::extract("uvwxyz", &cfg, &mut interner);
+        assert_eq!(a, b, "same string, same interner: identical id sets");
+        assert_eq!(a.intersection_size(&c), 0);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert_eq!(a.jaccard(&c), 0.0);
+        assert!(a.contains(interner.get("abc").unwrap()));
+        assert!(!c.contains(interner.get("abc").unwrap()));
     }
 
     #[test]
@@ -329,14 +525,20 @@ mod tests {
                     pad_end: '$',
                     ..QGramConfig::with_q(q)
                 };
-                let set = QGramSet::extract(&s, &padded);
+                let set = StringGramSet::extract(&s, &padded);
                 assert_eq!(
                     set.window_count(),
                     padded.expected_window_count(s.chars().count()),
                     "padded len={len} q={q}"
                 );
+                let (set, _) = interned(&s, &padded);
+                assert_eq!(
+                    set.window_count(),
+                    padded.expected_window_count(s.chars().count()),
+                    "interned padded len={len} q={q}"
+                );
                 let unpadded = unpadded_ascii(q);
-                let set = QGramSet::extract(&s, &unpadded);
+                let set = StringGramSet::extract(&s, &unpadded);
                 assert_eq!(
                     set.window_count(),
                     unpadded.expected_window_count(s.chars().count()),
@@ -348,45 +550,35 @@ mod tests {
 
     #[test]
     fn duplicate_windows_are_deduplicated_in_set() {
-        let set = QGramSet::extract("aaaa", &unpadded_ascii(2));
+        let (set, _) = interned("aaaa", &unpadded_ascii(2));
         assert_eq!(set.len(), 1);
         assert_eq!(set.window_count(), 3);
-        assert!(set.contains("aa"));
     }
 
     #[test]
     fn empty_and_zero_q_inputs() {
-        assert!(QGramSet::extract("", &QGramConfig::default()).is_empty());
-        assert!(QGramSet::extract("abc", &QGramConfig::with_q(0)).is_empty());
-        let short = QGramSet::extract("ab", &unpadded_ascii(5));
+        let mut interner = GramInterner::new();
+        assert!(QGramSet::extract("", &QGramConfig::default(), &mut interner).is_empty());
+        assert!(QGramSet::extract("abc", &QGramConfig::with_q(0), &mut interner).is_empty());
+        let short = QGramSet::extract("ab", &unpadded_ascii(5), &mut interner);
         assert_eq!(short.len(), 1);
-        assert!(short.contains("ab"));
+        assert!(short.contains(interner.get("ab").unwrap()));
     }
 
     #[test]
     fn normalization_is_applied_before_tokenising() {
-        let set_a = QGramSet::extract("Santa  Cristina", &QGramConfig::default());
-        let set_b = QGramSet::extract("SANTA CRISTINA", &QGramConfig::default());
+        let mut interner = GramInterner::new();
+        let set_a = QGramSet::extract("Santa  Cristina", &QGramConfig::default(), &mut interner);
+        let set_b = QGramSet::extract("SANTA CRISTINA", &QGramConfig::default(), &mut interner);
         assert_eq!(set_a, set_b);
-    }
-
-    #[test]
-    fn jaccard_identical_and_disjoint() {
-        let cfg = unpadded_ascii(3);
-        let a = QGramSet::extract("abcdef", &cfg);
-        let b = QGramSet::extract("abcdef", &cfg);
-        let c = QGramSet::extract("uvwxyz", &cfg);
-        assert_eq!(a.jaccard(&b), 1.0);
-        assert_eq!(a.jaccard(&c), 0.0);
-        assert_eq!(a.intersection_size(&c), 0);
-        assert_eq!(a.union_size(&b), a.len());
     }
 
     #[test]
     fn jaccard_of_single_edit_is_high_for_long_strings() {
         let cfg = QGramConfig::default();
-        let a = QGramSet::extract("TAA BZ SANTA CRISTINA VALGARDENA", &cfg);
-        let b = QGramSet::extract("TAA BZ SANTA CRISTINx VALGARDENA", &cfg);
+        let mut interner = GramInterner::new();
+        let a = QGramSet::extract("TAA BZ SANTA CRISTINA VALGARDENA", &cfg, &mut interner);
+        let b = QGramSet::extract("TAA BZ SANTA CRISTINx VALGARDENA", &cfg, &mut interner);
         let sim = a.jaccard(&b);
         assert!(
             sim > 0.8,
@@ -398,8 +590,9 @@ mod tests {
     #[test]
     fn jaccard_empty_set_conventions() {
         let cfg = QGramConfig::default();
-        let empty = QGramSet::extract("", &cfg);
-        let non_empty = QGramSet::extract("abc", &cfg);
+        let mut interner = GramInterner::new();
+        let empty = QGramSet::extract("", &cfg, &mut interner);
+        let non_empty = QGramSet::extract("abc", &cfg, &mut interner);
         assert_eq!(empty.jaccard(&empty), 1.0);
         assert_eq!(empty.jaccard(&non_empty), 0.0);
         assert_eq!(non_empty.jaccard(&empty), 0.0);
@@ -408,8 +601,9 @@ mod tests {
     #[test]
     fn jaccard_from_overlap_matches_direct_computation() {
         let cfg = QGramConfig::default();
-        let a = QGramSet::extract("GENOVA NERVI", &cfg);
-        let b = QGramSet::extract("GENOVA QUARTO", &cfg);
+        let mut interner = GramInterner::new();
+        let a = QGramSet::extract("GENOVA NERVI", &cfg, &mut interner);
+        let b = QGramSet::extract("GENOVA QUARTO", &cfg, &mut interner);
         let overlap = a.intersection_size(&b);
         let direct = a.jaccard(&b);
         let derived = QGramSet::jaccard_from_overlap(a.len(), b.len(), overlap);
@@ -427,8 +621,9 @@ mod tests {
     #[test]
     fn min_overlap_bound_is_sound() {
         let cfg = QGramConfig::default();
-        let a = QGramSet::extract("SANTA CRISTINA", &cfg);
-        let b = QGramSet::extract("SANTA CRISTINx", &cfg);
+        let mut interner = GramInterner::new();
+        let a = QGramSet::extract("SANTA CRISTINA", &cfg, &mut interner);
+        let b = QGramSet::extract("SANTA CRISTINx", &cfg, &mut interner);
         let theta = 0.85;
         if a.jaccard(&b) >= theta {
             assert!(a.intersection_size(&b) >= a.min_overlap_for(theta));
@@ -439,8 +634,10 @@ mod tests {
     }
 
     #[test]
-    fn display_lists_grams() {
-        let set = QGramSet::extract("ab", &unpadded_ascii(2));
+    fn display_lists_gram_ids_and_strings() {
+        let (set, _) = interned("ab", &unpadded_ascii(2));
+        assert_eq!(set.to_string(), "{#0}");
+        let set = StringGramSet::extract("ab", &unpadded_ascii(2));
         assert_eq!(set.to_string(), "{\"ab\"}");
     }
 }
@@ -459,16 +656,18 @@ mod proptests {
         #[test]
         fn jaccard_is_symmetric(a in arb_key(), b in arb_key()) {
             let cfg = QGramConfig::default();
-            let sa = QGramSet::extract(&a, &cfg);
-            let sb = QGramSet::extract(&b, &cfg);
+            let mut interner = GramInterner::new();
+            let sa = QGramSet::extract(&a, &cfg, &mut interner);
+            let sb = QGramSet::extract(&b, &cfg, &mut interner);
             prop_assert!((sa.jaccard(&sb) - sb.jaccard(&sa)).abs() < 1e-12);
         }
 
         #[test]
         fn jaccard_is_bounded_and_reflexive(a in arb_key(), b in arb_key()) {
             let cfg = QGramConfig::default();
-            let sa = QGramSet::extract(&a, &cfg);
-            let sb = QGramSet::extract(&b, &cfg);
+            let mut interner = GramInterner::new();
+            let sa = QGramSet::extract(&a, &cfg, &mut interner);
+            let sb = QGramSet::extract(&b, &cfg, &mut interner);
             let sim = sa.jaccard(&sb);
             prop_assert!((0.0..=1.0).contains(&sim));
             prop_assert_eq!(sa.jaccard(&sa), 1.0);
@@ -477,8 +676,9 @@ mod proptests {
         #[test]
         fn intersection_never_exceeds_either_set(a in arb_key(), b in arb_key()) {
             let cfg = QGramConfig::default();
-            let sa = QGramSet::extract(&a, &cfg);
-            let sb = QGramSet::extract(&b, &cfg);
+            let mut interner = GramInterner::new();
+            let sa = QGramSet::extract(&a, &cfg, &mut interner);
+            let sb = QGramSet::extract(&b, &cfg, &mut interner);
             let inter = sa.intersection_size(&sb);
             prop_assert!(inter <= sa.len());
             prop_assert!(inter <= sb.len());
@@ -488,7 +688,8 @@ mod proptests {
         #[test]
         fn padded_window_count_follows_paper_formula(a in arb_key()) {
             let cfg = QGramConfig::default();
-            let set = QGramSet::extract(&a, &cfg);
+            let mut interner = GramInterner::new();
+            let set = QGramSet::extract(&a, &cfg, &mut interner);
             let normalized = crate::normalize::normalize(&a, &cfg.normalize);
             let chars = normalized.chars().count();
             if chars > 0 {
@@ -499,8 +700,48 @@ mod proptests {
         #[test]
         fn distinct_grams_bounded_by_windows(a in arb_key(), q in 1usize..5) {
             let cfg = QGramConfig::with_q(q);
-            let set = QGramSet::extract(&a, &cfg);
+            let mut interner = GramInterner::new();
+            let set = QGramSet::extract(&a, &cfg, &mut interner);
             prop_assert!(set.len() <= set.window_count());
+        }
+
+        /// The interned set and the retained string-keyed set are the
+        /// same set: equal sizes, equal window counts, and ids resolve to
+        /// exactly the string grams — for every input and window width.
+        #[test]
+        fn interned_and_string_sets_agree(a in arb_key(), q in 1usize..5) {
+            let cfg = QGramConfig::with_q(q);
+            let strings = StringGramSet::extract(&a, &cfg);
+            let mut interner = GramInterner::new();
+            let ids = QGramSet::extract(&a, &cfg, &mut interner);
+            prop_assert_eq!(ids.len(), strings.len());
+            prop_assert_eq!(ids.window_count(), strings.window_count());
+            let mut resolved: Vec<&str> = ids
+                .iter()
+                .map(|id| interner.resolve(id).expect("unknown id"))
+                .collect();
+            resolved.sort_unstable();
+            let expected: Vec<&str> = strings.iter().map(|g| g.as_ref()).collect();
+            prop_assert_eq!(resolved, expected);
+        }
+
+        /// Pairwise set operations agree between the two representations
+        /// whenever both sets share one interner.
+        #[test]
+        fn interned_intersections_match_string_intersections(
+            a in arb_key(),
+            b in arb_key(),
+            q in 1usize..5,
+        ) {
+            let cfg = QGramConfig::with_q(q);
+            let sa = StringGramSet::extract(&a, &cfg);
+            let sb = StringGramSet::extract(&b, &cfg);
+            let mut interner = GramInterner::new();
+            let ia = QGramSet::extract(&a, &cfg, &mut interner);
+            let ib = QGramSet::extract(&b, &cfg, &mut interner);
+            prop_assert_eq!(ia.intersection_size(&ib), sa.intersection_size(&sb));
+            prop_assert_eq!(ia.union_size(&ib), sa.union_size(&sb));
+            prop_assert!((ia.jaccard(&ib) - sa.jaccard(&sb)).abs() < 1e-12);
         }
     }
 }

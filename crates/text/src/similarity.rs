@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::qgram::{QGramConfig, QGramSet};
+use crate::qgram::{QGramConfig, StringGramSet};
 
 /// A symmetric string similarity in `[0, 1]`.
 ///
@@ -171,15 +171,20 @@ macro_rules! qgram_similarity {
             }
 
             /// Similarity of two pre-extracted q-gram sets.
-            pub fn of_sets(&self, a: &QGramSet, b: &QGramSet) -> f64 {
+            ///
+            /// These one-pair-at-a-time similarity functions tokenise
+            /// into the string-keyed [`StringGramSet`] on purpose: they
+            /// are the oracle path the interned probe kernel is tested
+            /// against, so they must not share its interning machinery.
+            pub fn of_sets(&self, a: &StringGramSet, b: &StringGramSet) -> f64 {
                 $coef.combine(a.intersection_size(b), a.len(), b.len())
             }
         }
 
         impl StringSimilarity for $name {
             fn similarity(&self, a: &str, b: &str) -> f64 {
-                let sa = QGramSet::extract(a, &self.config);
-                let sb = QGramSet::extract(b, &self.config);
+                let sa = StringGramSet::extract(a, &self.config);
+                let sb = StringGramSet::extract(b, &self.config);
                 self.of_sets(&sa, &sb)
             }
 
@@ -229,8 +234,8 @@ mod tests {
     #[test]
     fn jaccard_matches_set_computation() {
         let sim = QGramJaccard::default();
-        let sa = QGramSet::extract(VARIANT_A, &sim.config);
-        let sb = QGramSet::extract(VARIANT_B, &sim.config);
+        let sa = StringGramSet::extract(VARIANT_A, &sim.config);
+        let sb = StringGramSet::extract(VARIANT_B, &sim.config);
         assert!((sim.similarity(VARIANT_A, VARIANT_B) - sa.jaccard(&sb)).abs() < 1e-12);
     }
 
@@ -311,8 +316,8 @@ mod tests {
         let config = QGramConfig::default();
         for coefficient in QGramCoefficient::ALL {
             let handle = coefficient.with_config(config.clone());
-            let sa = QGramSet::extract(VARIANT_A, &config);
-            let sb = QGramSet::extract(VARIANT_B, &config);
+            let sa = StringGramSet::extract(VARIANT_A, &config);
+            let sb = StringGramSet::extract(VARIANT_B, &config);
             let via_sets = coefficient.combine(sa.intersection_size(&sb), sa.len(), sb.len());
             let via_handle = handle.similarity(VARIANT_A, VARIANT_B);
             assert!(
@@ -417,8 +422,8 @@ mod proptests {
         #[test]
         fn min_overlap_bound_is_sound_for_every_coefficient(a in arb_key(), b in arb_key()) {
             let cfg = QGramConfig::default();
-            let sa = QGramSet::extract(&a, &cfg);
-            let sb = QGramSet::extract(&b, &cfg);
+            let sa = StringGramSet::extract(&a, &cfg);
+            let sb = StringGramSet::extract(&b, &cfg);
             let inter = sa.intersection_size(&sb);
             for coefficient in QGramCoefficient::ALL {
                 let sim = coefficient.combine(inter, sa.len(), sb.len());

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Machine-readable bench pipeline: run the shard-count scaling sweep and
-# write the next BENCH_<n>.json trajectory file.
+# Machine-readable bench pipeline: run the probe-kernel microbench and the
+# shard-count scaling sweep, and write the next BENCH_<n>.json trajectory
+# file (which embeds probe_ns_per_tuple / insert_ns_per_tuple).
 #
 # Usage: scripts/bench.sh [--smoke|--full] [--out PATH] [--baseline PATH]
 #                         [--max-regression FRACTION]
@@ -9,9 +10,10 @@
 #   --full            the order-of-magnitude-larger local sweep
 #   --out PATH        output file; default: the first unused BENCH_<n>.json
 #                     (n starts at 2 — the PR that introduced the pipeline)
-#   --baseline PATH   gate headline throughput against this report,
-#                     failing on a drop beyond --max-regression
-#   --max-regression  allowed fractional drop (default 0.20)
+#   --baseline PATH   gate headline throughput AND probe_ns_per_tuple
+#                     against this report, failing on a regression beyond
+#                     --max-regression
+#   --max-regression  allowed fractional regression (default 0.20)
 #   --min-speedup     required 4-shard/1-shard throughput ratio (skipped
 #                     automatically on hosts with fewer than 4 cores)
 set -euo pipefail
@@ -37,8 +39,13 @@ fi
 
 SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
-echo "==> cargo build --release -p linkage-experiments --bin bench_scaling"
-cargo build --release -p linkage-experiments --bin bench_scaling
+# bench_probe is built alongside the sweep for standalone probe-kernel
+# iteration (`target/release/bench_probe --smoke|--full [--out PATH]`);
+# bench_scaling runs the same measurement itself and embeds it into the
+# trajectory document as probe_ns_per_tuple / insert_ns_per_tuple, so the
+# pipeline does not run it twice.
+echo "==> cargo build --release -p linkage-experiments --bin bench_scaling --bin bench_probe"
+cargo build --release -p linkage-experiments --bin bench_scaling --bin bench_probe
 
 echo "==> bench_scaling ${MODE} -> ${OUT} (sha ${SHA})"
 target/release/bench_scaling "${MODE}" --out "${OUT}" --sha "${SHA}" ${EXTRA[@]+"${EXTRA[@]}"}

@@ -69,13 +69,34 @@ impl RunReport {
         self.consumed.left + self.consumed.right
     }
 
-    /// Total estimated resident-state bytes across shards (0 until the
-    /// sharded engine finishes; the serial engine does not report it).
+    /// Total estimated resident **index** bytes across shards: tuples,
+    /// keys and the flat gram-id postings (0 until the sharded engine
+    /// finishes; the serial engine does not report it).  Gram text is
+    /// *not* included — it lives once in the join's shared interner, see
+    /// [`Self::interner_bytes`]; summing it per shard would double-count
+    /// what is a single shared table.
     pub fn state_bytes(&self) -> usize {
         self.shard_stats
             .iter()
             .map(|s| s.state_bytes.left + s.state_bytes.right)
             .sum()
+    }
+
+    /// Estimated bytes of the join's shared gram-interner table, counted
+    /// **once** (every shard reports the same shared table; the maximum
+    /// is taken in case stats were sampled at different moments).
+    pub fn interner_bytes(&self) -> usize {
+        self.shard_stats
+            .iter()
+            .map(|s| s.interner_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total resident-state estimate: per-shard indexes plus the shared
+    /// gram table once.
+    pub fn total_state_bytes(&self) -> usize {
+        self.state_bytes() + self.interner_bytes()
     }
 }
 

@@ -21,6 +21,12 @@
 //!   same match-pair set and equivalent `RunReport` counters whether it
 //!   executes `.serial()` or `.sharded(n)` (property-based), and every
 //!   pluggable similarity coefficient agrees with its nested-loop oracle;
+//! * `probe_kernel_equivalence` — the interned-gram probe kernel (dense
+//!   ids, flat postings, epoch counters, length filter) emits the
+//!   **bit-identical** match stream of the retained string-keyed
+//!   reference probe *and* the match-pair set of the quadratic oracle,
+//!   on randomized workloads, for all four `QGramCoefficient`s,
+//!   including across the §3.3 mid-stream switch/handover;
 //! * `protocol` — the operator lifecycle is enforced across the stack.
 
 #![forbid(unsafe_code)]
@@ -547,6 +553,200 @@ mod api_parity {
                 .expect("sharded failed");
             assert_equivalent(&serial, &sharded);
             prop_assert!(serial.report.switch.is_some());
+        }
+    }
+}
+
+#[cfg(test)]
+mod probe_kernel_equivalence {
+    use super::common::*;
+    use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+    use linkage_operators::{oracle, ExactJoinCore, ReferenceSshCore, SshJoinCore};
+    use linkage_text::{NormalizeConfig, QGramCoefficient, QGramConfig};
+    use linkage_types::{MatchKind, MatchPair, Side, SidedRecord};
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    const THETA: f64 = 0.8;
+
+    /// The interleaved tuple feed both kernels consume, in stream order.
+    fn feed(data: &GeneratedData) -> Vec<SidedRecord> {
+        let mut tuples = Vec::new();
+        let (parents, children) = (data.parents.records(), data.children.records());
+        let mut i = 0;
+        while i < parents.len() || i < children.len() {
+            if let Some(p) = parents.get(i) {
+                tuples.push(SidedRecord::new(Side::Left, p.clone()));
+            }
+            if let Some(c) = children.get(i) {
+                tuples.push(SidedRecord::new(Side::Right, c.clone()));
+            }
+            i += 1;
+        }
+        tuples
+    }
+
+    /// The stream view the bit-identical comparison uses: pair identity,
+    /// kind **and** the exact similarity bits.
+    fn view(
+        pairs: &VecDeque<MatchPair>,
+    ) -> Vec<(
+        (linkage_types::RecordId, linkage_types::RecordId),
+        MatchKind,
+    )> {
+        pairs.iter().map(|p| (p.id_pair(), p.kind)).collect()
+    }
+
+    /// Run the interned kernel and the string-keyed reference over the
+    /// same feed (optionally switching from an exact phase after
+    /// `switch_at` tuples) and require bit-identical output streams;
+    /// returns the interned kernel's pairs for the oracle comparison.
+    fn run_both(
+        tuples: &[SidedRecord],
+        coefficient: QGramCoefficient,
+        switch_at: Option<usize>,
+    ) -> Vec<MatchPair> {
+        let (mut fast_out, mut ref_out) = (VecDeque::new(), VecDeque::new());
+
+        let (mut fast, mut reference) = match switch_at {
+            None => (
+                SshJoinCore::new(KEYS, QGramConfig::default(), THETA).with_coefficient(coefficient),
+                ReferenceSshCore::new(KEYS, QGramConfig::default(), THETA)
+                    .with_coefficient(coefficient),
+            ),
+            Some(at) => {
+                // Exact phase first: both kernels take over the *same*
+                // accumulated hash tables, mirroring the §3.3 handover.
+                // The exact phase's own emissions open both streams —
+                // the handover suppresses exactly those pairs, so the
+                // combined stream is the full join result.
+                let mut exact = ExactJoinCore::new(KEYS, NormalizeConfig::default());
+                let mut exact_out = VecDeque::new();
+                for sided in &tuples[..at] {
+                    exact.process(sided.clone(), &mut exact_out).unwrap();
+                }
+                fast_out.extend(exact_out.iter().cloned());
+                ref_out.extend(exact_out.iter().cloned());
+                let tables = exact.into_tables();
+                let (fast, fast_recovered) = SshJoinCore::new(KEYS, QGramConfig::default(), THETA)
+                    .with_coefficient(coefficient)
+                    .with_exact_state(tables.clone(), &mut fast_out);
+                let (reference, ref_recovered) =
+                    ReferenceSshCore::new(KEYS, QGramConfig::default(), THETA)
+                        .with_coefficient(coefficient)
+                        .with_exact_state(tables, &mut ref_out);
+                assert_eq!(
+                    fast_recovered, ref_recovered,
+                    "handover recovery counts must agree"
+                );
+                (fast, reference)
+            }
+        };
+
+        let rest = switch_at.unwrap_or(0);
+        for sided in &tuples[rest..] {
+            fast.process(sided.clone(), &mut fast_out).unwrap();
+            reference.process(sided.clone(), &mut ref_out).unwrap();
+        }
+
+        assert_eq!(
+            view(&fast_out),
+            view(&ref_out),
+            "interned kernel and string-keyed reference diverged \
+             ({}, switch_at {switch_at:?})",
+            coefficient.name()
+        );
+        assert_eq!(fast.stored(), reference.stored());
+        assert_eq!(fast.emitted_exact(), reference.emitted_exact());
+        assert_eq!(fast.emitted_approx(), reference.emitted_approx());
+        fast_out.into_iter().collect()
+    }
+
+    fn oracle_set(
+        data: &GeneratedData,
+        coefficient: QGramCoefficient,
+    ) -> std::collections::HashSet<(linkage_types::RecordId, linkage_types::RecordId)> {
+        let sim = coefficient.with_config(QGramConfig::default());
+        id_set(
+            &oracle::nested_loop_similarity(
+                &data.parents,
+                &data.children,
+                KEYS,
+                &NormalizeConfig::default(),
+                sim.as_ref(),
+                THETA,
+            )
+            .expect("oracle failed"),
+        )
+    }
+
+    #[test]
+    fn all_coefficients_agree_with_reference_and_oracle() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(70, 51)).expect("datagen failed");
+        let tuples = feed(&data);
+        for coefficient in QGramCoefficient::ALL {
+            let pairs = run_both(&tuples, coefficient, None);
+            assert_no_duplicates(&pairs);
+            assert_eq!(
+                id_set(&pairs),
+                oracle_set(&data, coefficient),
+                "{} kernel disagrees with its oracle",
+                coefficient.name()
+            );
+        }
+    }
+
+    #[test]
+    fn switch_path_agrees_with_reference_and_oracle() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(60, 52)).expect("datagen failed");
+        let tuples = feed(&data);
+        for switch_at in [0, 1, tuples.len() / 3, tuples.len() / 2, tuples.len()] {
+            let pairs = run_both(&tuples, QGramCoefficient::Jaccard, Some(switch_at));
+            assert_no_duplicates(&pairs);
+            assert_eq!(
+                id_set(&pairs),
+                oracle_set(&data, QGramCoefficient::Jaccard),
+                "switch at {switch_at} changed the match set"
+            );
+        }
+    }
+
+    proptest! {
+        /// Randomized workloads: the interned kernel is bit-identical to
+        /// the string-keyed reference and set-identical to the quadratic
+        /// oracle, for every coefficient.
+        #[test]
+        fn interned_kernel_equals_reference_and_oracle(
+            parents in 16usize..48,
+            seed in 0u64..10_000,
+            coefficient_idx in 0usize..4,
+        ) {
+            let coefficient = QGramCoefficient::ALL[coefficient_idx];
+            let data = generate(&DatagenConfig::mid_stream_dirty(parents, seed))
+                .expect("datagen failed");
+            let tuples = feed(&data);
+            let pairs = run_both(&tuples, coefficient, None);
+            assert_no_duplicates(&pairs);
+            prop_assert_eq!(id_set(&pairs), oracle_set(&data, coefficient));
+        }
+
+        /// The §3.3 mid-stream switch/handover at an arbitrary stream
+        /// position preserves all three-way agreement.
+        #[test]
+        fn switch_handover_equals_reference_and_oracle(
+            parents in 16usize..40,
+            seed in 0u64..10_000,
+            coefficient_idx in 0usize..4,
+            switch_percent in 0usize..101,
+        ) {
+            let coefficient = QGramCoefficient::ALL[coefficient_idx];
+            let data = generate(&DatagenConfig::mid_stream_dirty(parents, seed))
+                .expect("datagen failed");
+            let tuples = feed(&data);
+            let switch_at = switch_percent * tuples.len() / 100;
+            let pairs = run_both(&tuples, coefficient, Some(switch_at));
+            assert_no_duplicates(&pairs);
+            prop_assert_eq!(id_set(&pairs), oracle_set(&data, coefficient));
         }
     }
 }
