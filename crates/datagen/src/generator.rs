@@ -36,6 +36,18 @@ pub struct DatagenConfig {
     pub edits: usize,
     /// Seed making the dataset reproducible.
     pub seed: u64,
+    /// Zipf exponent of the key/gram frequency skew; `0.0` (the default)
+    /// keeps the classic uniform workload.
+    ///
+    /// When positive, parent keys draw two of their three words from a
+    /// small shared pool under a Zipf(`zipf`) rank distribution (so the
+    /// pool's frequent words — hence their q-grams — appear in a large
+    /// fraction of all keys, producing the long-posting-list regime that
+    /// set-similarity prefix filtering targets), and children pick their
+    /// parent Zipf-distributed by parent index instead of uniformly.
+    /// Every key keeps one unique word, so parent keys stay distinct and
+    /// every key retains a handful of rare grams.
+    pub zipf: f64,
 }
 
 impl Default for DatagenConfig {
@@ -47,6 +59,7 @@ impl Default for DatagenConfig {
             clean_prefix: 0.5,
             edits: 1,
             seed: 42,
+            zipf: 0.0,
         }
     }
 }
@@ -101,6 +114,14 @@ impl DatagenConfig {
         self
     }
 
+    /// Override the Zipf exponent of the key/gram frequency skew
+    /// (`0.0` = uniform, the default; `1.0` = classic Zipf).
+    #[must_use]
+    pub fn with_zipf(mut self, zipf: f64) -> Self {
+        self.zipf = zipf;
+        self
+    }
+
     /// Total number of child records this configuration produces.
     pub fn children(&self) -> usize {
         self.parents * self.children_per_parent
@@ -147,6 +168,89 @@ fn parent_key(seed: u64, i: usize) -> String {
         SplitMix64::word_of(h ^ (k + 1), 12),
         SplitMix64::word_of(h ^ (k + 2), 14)
     )
+}
+
+/// Inverse-CDF sampler for a Zipf(`s`) rank distribution over `0..n`
+/// (rank `r` drawn with probability ∝ `1 / (r + 1)^s`).
+#[derive(Debug, Clone)]
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// Number of shared words the skewed generator draws parent-key words
+/// from; small enough that the frequent ranks dominate many keys.
+const SKEW_POOL_WORDS: usize = 64;
+
+/// The skewed-key model: a shared Zipf-weighted word pool (gram
+/// frequency skew) plus a Zipf distribution over parent indexes (key
+/// frequency skew).
+#[derive(Debug, Clone)]
+struct SkewModel {
+    pool: Vec<String>,
+    word_zipf: Zipf,
+    parent_zipf: Zipf,
+    seed_hash: u64,
+}
+
+impl SkewModel {
+    fn new(config: &DatagenConfig) -> Self {
+        let seed_hash = SplitMix64::new(config.seed).next_u64();
+        let mut pool: Vec<String> = Vec::with_capacity(SKEW_POOL_WORDS);
+        let mut salt = 0u64;
+        while pool.len() < SKEW_POOL_WORDS {
+            // Distinct pool words, deterministically: re-roll a colliding
+            // word with the next salt.
+            let word = SplitMix64::word_of(seed_hash ^ 0x9E37_79B9 ^ salt, 9);
+            salt += 1;
+            if !pool.contains(&word) {
+                pool.push(word);
+            }
+        }
+        Self {
+            pool,
+            word_zipf: Zipf::new(SKEW_POOL_WORDS, config.zipf),
+            parent_zipf: Zipf::new(config.parents, config.zipf),
+            seed_hash,
+        }
+    }
+
+    /// The key of parent `i`: two Zipf-pooled words (frequent grams) plus
+    /// one unique word (rare grams keeping keys distinct).
+    fn parent_key(&self, i: usize) -> String {
+        let k = (i as u64) * 2;
+        let mut rng = SplitMix64::new(self.seed_hash ^ (k + 1));
+        let a = self.word_zipf.sample(&mut rng);
+        let b = self.word_zipf.sample(&mut rng);
+        format!(
+            "LOC {} {} {}",
+            self.pool[a],
+            self.pool[b],
+            SplitMix64::word_of(self.seed_hash ^ (k + 2), 8)
+        )
+    }
 }
 
 /// Apply one random character edit, never touching the `LOC ` prefix so
@@ -211,11 +315,20 @@ pub fn generate(config: &DatagenConfig) -> Result<GeneratedData> {
         "clean_prefix must be in [0, 1]"
     );
 
+    assert!(
+        config.zipf >= 0.0 && config.zipf.is_finite(),
+        "zipf exponent must be finite and non-negative"
+    );
+
     let mut rng = SplitMix64::new(config.seed);
+    let skew = (config.zipf > 0.0).then(|| SkewModel::new(config));
 
     let mut parents = Relation::empty("parents", schema());
     let keys: Vec<String> = (0..config.parents)
-        .map(|i| parent_key(config.seed, i))
+        .map(|i| match &skew {
+            Some(model) => model.parent_key(i),
+            None => parent_key(config.seed, i),
+        })
         .collect();
     for key in &keys {
         let id = parents.len() as i64;
@@ -229,7 +342,10 @@ pub fn generate(config: &DatagenConfig) -> Result<GeneratedData> {
     let mut truth = Vec::with_capacity(total_children);
     let mut dirty_children = 0usize;
     for c in 0..total_children {
-        let parent = rng.below(config.parents);
+        let parent = match &skew {
+            Some(model) => model.parent_zipf.sample(&mut rng),
+            None => rng.below(config.parents),
+        };
         let mut key = keys[parent].clone();
         if c >= dirty_from && rng.next_f64() < config.dirty_fraction {
             for _ in 0..config.edits.max(1) {
@@ -333,6 +449,70 @@ mod tests {
         let data = generate(&cfg).unwrap();
         assert_eq!(data.children.len(), 60);
         assert_eq!(data.truth.len(), 60);
+    }
+
+    #[test]
+    fn skewed_generation_is_deterministic_and_keeps_keys_distinct() {
+        let cfg = DatagenConfig::mid_stream_dirty(400, 11).with_zipf(1.0);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.parents, b.parents);
+        assert_eq!(a.children, b.children);
+        let keys = a.parents.column_strings("location").unwrap();
+        let distinct: HashSet<&str> = keys.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            keys.len(),
+            "unique suffix keeps keys distinct"
+        );
+        assert!(keys.iter().all(|k| k.starts_with("LOC ")));
+        // Truth still covers every child.
+        assert_eq!(a.truth.len(), a.children.len());
+    }
+
+    #[test]
+    fn zipf_knob_skews_word_and_parent_frequencies() {
+        let uniform = generate(&DatagenConfig::clean(500, 13)).unwrap();
+        let skewed = generate(&DatagenConfig::clean(500, 13).with_zipf(1.0)).unwrap();
+
+        // Word (hence gram) frequency: under Zipf the most popular
+        // non-prefix word appears in a large fraction of parent keys;
+        // uniform keys share no words at all.
+        let top_word_share = |data: &GeneratedData| {
+            let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+            let keys = data.parents.column_strings("location").unwrap();
+            for key in &keys {
+                for word in key.split(' ').skip(1) {
+                    *counts.entry(word).or_default() += 1;
+                }
+            }
+            *counts.values().max().unwrap() as f64 / keys.len() as f64
+        };
+        assert!(top_word_share(&uniform) <= 1.0 / 500.0 + f64::EPSILON);
+        assert!(
+            top_word_share(&skewed) > 0.10,
+            "got {}",
+            top_word_share(&skewed)
+        );
+
+        // Key frequency: children concentrate on low-index parents.
+        let top_parent_children = skewed.truth.iter().filter(|(p, _)| p.as_u64() == 0).count();
+        assert!(
+            top_parent_children > skewed.truth.len() / 50,
+            "rank-0 parent must be heavily referenced, got {top_parent_children}"
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let zipf = Zipf::new(64, 1.0);
+        let mut rng = SplitMix64::new(5);
+        let mut counts = [0usize; 64];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] && counts[8] > 0);
+        assert!(counts[0] > 1000, "rank 0 carries ~21% of Zipf(1) mass");
     }
 
     #[test]

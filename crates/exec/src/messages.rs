@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use linkage_operators::{PerKind, SshStored};
+use linkage_operators::{PerKind, ProbeFunnel, SshStored};
 use linkage_text::QGramSet;
 use linkage_types::{MatchPair, PerSide, Result, ShardId, Side, SidedRecord};
 
@@ -127,4 +127,12 @@ pub struct ShardStats {
     /// to the same table: account for it once per join, never summed
     /// over shards.
     pub interner_bytes: usize,
+    /// Estimated flat-posting slack bytes (both sides): headers of
+    /// never-populated gram-id slots plus unused posting capacity —
+    /// reported separately so `state_bytes` stays the payload estimate.
+    pub postings_slack_bytes: usize,
+    /// Cumulative candidate-funnel counters of this shard's probe kernel
+    /// (zero while the shard is still exact).  Sum over shards for the
+    /// join-wide funnel.
+    pub funnel: ProbeFunnel,
 }

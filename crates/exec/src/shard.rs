@@ -152,10 +152,23 @@ impl ShardWorker {
     }
 
     fn stats(&self) -> ShardStats {
-        let (resident, state_bytes) = match &self.core {
-            Core::Exact(c) => (c.stored(), c.state_bytes()),
-            Core::Approx(c) => (c.stored(), c.state_bytes()),
-            Core::Switching => (PerSide::default(), PerSide::default()),
+        let (resident, state_bytes, slack, funnel) = match &self.core {
+            Core::Exact(c) => (c.stored(), c.state_bytes(), 0, Default::default()),
+            Core::Approx(c) => {
+                let slack = c.postings_slack_bytes();
+                (
+                    c.stored(),
+                    c.state_bytes(),
+                    slack.left + slack.right,
+                    c.funnel(),
+                )
+            }
+            Core::Switching => (
+                PerSide::default(),
+                PerSide::default(),
+                0,
+                Default::default(),
+            ),
         };
         ShardStats {
             shard: self.id,
@@ -165,6 +178,8 @@ impl ShardWorker {
             resident,
             state_bytes,
             interner_bytes: self.interner.state_bytes(),
+            postings_slack_bytes: slack,
+            funnel,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Probe-kernel microbench → machine-readable JSON.
 //!
 //! ```text
-//! bench_probe [--smoke|--full] [--out PATH] [--sha SHA]
+//! bench_probe [--smoke|--full|--skewed] [--out PATH] [--sha SHA]
 //! ```
 //!
 //! Runs the insert-only and probe-only loops of
@@ -34,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--smoke" => args.mode = "smoke",
             "--full" => args.mode = "full",
+            "--skewed" => args.mode = "skewed",
             "--out" => args.out = Some(value("--out")?),
             "--sha" => args.sha = value("--sha")?,
             other => return Err(format!("unknown argument: {other}")),
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
     };
     let config = match args.mode {
         "full" => ProbeBenchConfig::full(),
+        "skewed" => ProbeBenchConfig::skewed(),
         _ => ProbeBenchConfig::smoke(),
     };
     eprintln!(

@@ -5,16 +5,23 @@
 //! ```text
 //! bench_scaling [--smoke|--full] [--out PATH] [--sha SHA]
 //!               [--baseline PATH] [--max-regression FRACTION]
-//!               [--min-speedup FACTOR]
+//!               [--min-speedup FACTOR] [--summary PATH]
 //! ```
 //!
 //! Runs the 1/2/4/8-shard sweep over the mid-stream-dirt workload (plus
-//! the probe-kernel microbench feeding `probe_ns_per_tuple`), writes the
+//! the probe-kernel microbench feeding `probe_ns_per_tuple`, and its
+//! skewed-workload twin feeding `skewed_probe_ns_per_tuple`), writes the
 //! JSON report to `--out` (default: stdout only), and — when
 //! `--baseline` is given — compares `headline_throughput_tuples_per_s`
-//! **and** `probe_ns_per_tuple` against the baseline document, exiting
-//! non-zero if throughput dropped, or the probe path slowed, by more
-//! than `--max-regression` (default 0.20, the CI gate).
+//! **and** the `probe_ns_per_tuple` / `insert_ns_per_tuple` /
+//! `skewed_probe_ns_per_tuple` microbench metrics against the baseline
+//! document, exiting non-zero if throughput dropped, or a kernel path
+//! slowed, by more than `--max-regression` (default 0.20, the CI gate).
+//!
+//! `--summary PATH` appends a Markdown candidate-funnel delta table
+//! (current vs baseline) to `PATH` — CI points it at
+//! `$GITHUB_STEP_SUMMARY` so the prefix filter's effectiveness is
+//! visible on every run.
 //!
 //! The absolute-throughput gate is only meaningful against a baseline
 //! from comparable hardware, so `--min-speedup` adds a hardware-
@@ -22,9 +29,10 @@
 //! given factor.  It is skipped (with a note) on hosts with fewer than 4
 //! cores, where no parallel speedup is physically possible.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use linkage_experiments::{extract_number, run_scaling, scaling_report, ScalingConfig};
+use linkage_experiments::{extract_number, run_scaling, scaling_report, ScalingConfig, ScalingRun};
 
 struct Args {
     mode: &'static str,
@@ -33,6 +41,7 @@ struct Args {
     baseline: Option<String>,
     max_regression: f64,
     min_speedup: Option<f64>,
+    summary: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         max_regression: 0.20,
         min_speedup: None,
+        summary: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -65,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--min-speedup: {e}"))?,
                 )
             }
+            "--summary" => args.summary = Some(value("--summary")?),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -118,15 +129,31 @@ fn main() -> ExitCode {
         None => print!("{report}"),
     }
 
-    if let Some(path) = &args.baseline {
-        let baseline_text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
+    let baseline_text = match &args.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
             Err(e) => {
                 eprintln!("bench_scaling: cannot read baseline {path}: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        let Some(baseline) = extract_number(&baseline_text, "headline_throughput_tuples_per_s")
+        },
+        None => None,
+    };
+
+    // Write the summary before any gate can fail the run: the funnel
+    // deltas are most useful exactly when a regression is about to be
+    // reported.
+    if let Some(path) = &args.summary {
+        let summary = funnel_summary(&run, baseline_text.as_deref());
+        if let Err(e) = append_to(path, &summary) {
+            eprintln!("bench_scaling: cannot append summary to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_scaling: appended candidate-funnel summary to {path}");
+    }
+
+    if let (Some(path), Some(baseline_text)) = (&args.baseline, &baseline_text) {
+        let Some(baseline) = extract_number(baseline_text, "headline_throughput_tuples_per_s")
         else {
             eprintln!("bench_scaling: baseline {path} has no headline throughput");
             return ExitCode::FAILURE;
@@ -143,31 +170,114 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
 
-        // The probe-kernel gate (lower is better): fail when the probe
-        // path slowed down by more than the allowed fraction.  Skipped
-        // with a note against baselines that predate the metric.
-        match extract_number(&baseline_text, "probe_ns_per_tuple") {
-            Some(baseline_probe) => {
-                let current_probe = run.probe.probe_ns_per_tuple;
-                let ceiling = baseline_probe * (1.0 + args.max_regression);
-                eprintln!(
-                    "bench_scaling: probe {current_probe:.0} ns/tuple vs baseline \
-                     {baseline_probe:.0} (ceiling {ceiling:.0})"
-                );
-                if current_probe > ceiling {
-                    eprintln!("bench_scaling: REGRESSION — probe kernel above the gate");
-                    return ExitCode::FAILURE;
+        // The kernel gates (lower is better): fail when a microbench
+        // path slowed down by more than the allowed fraction.  Each is
+        // skipped with a note against baselines that predate its metric.
+        let kernel_gates = [
+            ("probe_ns_per_tuple", run.probe.probe_ns_per_tuple),
+            ("insert_ns_per_tuple", run.probe.insert_ns_per_tuple),
+            (
+                "skewed_probe_ns_per_tuple",
+                run.probe_skewed.probe_ns_per_tuple,
+            ),
+        ];
+        for (key, current) in kernel_gates {
+            match extract_number(baseline_text, key) {
+                Some(baseline) => {
+                    let ceiling = baseline * (1.0 + args.max_regression);
+                    eprintln!(
+                        "bench_scaling: {key} {current:.0} vs baseline {baseline:.0} \
+                         (ceiling {ceiling:.0})"
+                    );
+                    if current > ceiling {
+                        eprintln!("bench_scaling: REGRESSION — {key} above the gate");
+                        return ExitCode::FAILURE;
+                    }
                 }
-            }
-            None => {
-                eprintln!(
-                    "bench_scaling: baseline {path} has no probe_ns_per_tuple; \
-                     probe gate skipped"
-                );
+                None => {
+                    eprintln!("bench_scaling: baseline {path} has no {key}; gate skipped");
+                }
             }
         }
     }
 
+    run_speedup_gate(&args, &run)
+}
+
+/// The Markdown candidate-funnel table for the job summary: the smoke
+/// and skewed probe metrics of this run next to the baseline's, with
+/// relative deltas where the baseline carries the field.
+fn funnel_summary(run: &ScalingRun, baseline: Option<&str>) -> String {
+    let rows = [
+        (
+            "probe ns/tuple",
+            "probe_ns_per_tuple",
+            run.probe.probe_ns_per_tuple,
+        ),
+        (
+            "candidates scanned",
+            "candidates_scanned",
+            run.probe.funnel.candidates_scanned as f64,
+        ),
+        (
+            "after length filter",
+            "candidates_after_length_filter",
+            run.probe.funnel.candidates_after_length_filter as f64,
+        ),
+        (
+            "verified",
+            "candidates_verified",
+            run.probe.funnel.candidates_verified as f64,
+        ),
+        (
+            "prefix postings skipped",
+            "prefix_postings_skipped",
+            run.probe.funnel.prefix_postings_skipped as f64,
+        ),
+        (
+            "skewed probe ns/tuple",
+            "skewed_probe_ns_per_tuple",
+            run.probe_skewed.probe_ns_per_tuple,
+        ),
+        (
+            "skewed candidates scanned",
+            "skewed_candidates_scanned",
+            run.probe_skewed.funnel.candidates_scanned as f64,
+        ),
+        (
+            "skewed prefix postings skipped",
+            "skewed_prefix_postings_skipped",
+            run.probe_skewed.funnel.prefix_postings_skipped as f64,
+        ),
+    ];
+    let mut out = String::from(
+        "### Candidate funnel vs baseline\n\n\
+         | metric | current | baseline | Δ |\n|---|---:|---:|---:|\n",
+    );
+    for (label, key, current) in rows {
+        let (base_text, delta) = match baseline.and_then(|text| extract_number(text, key)) {
+            Some(base) if base != 0.0 => (
+                format!("{base:.0}"),
+                format!("{:+.1}%", (current - base) / base * 100.0),
+            ),
+            Some(base) => (format!("{base:.0}"), "n/a".to_string()),
+            None => ("n/a".to_string(), "n/a".to_string()),
+        };
+        let _ = writeln!(out, "| {label} | {current:.0} | {base_text} | {delta} |");
+    }
+    out
+}
+
+fn append_to(path: &str, text: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(text.as_bytes())
+}
+
+fn run_speedup_gate(args: &Args, run: &ScalingRun) -> ExitCode {
     if let Some(min_speedup) = args.min_speedup {
         let cores = std::thread::available_parallelism().map_or(1, usize::from);
         if cores < 4 {

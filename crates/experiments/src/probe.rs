@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
-use linkage_operators::SshJoinCore;
+use linkage_operators::{ProbeFunnel, SshJoinCore};
 use linkage_text::{QGramConfig, QGramSet};
 use linkage_types::{defaults, PerSide, Result, Side, SidedRecord};
 
@@ -49,6 +49,10 @@ pub struct ProbeBenchConfig {
     pub seed: u64,
     /// Similarity threshold `θ_sim` the kernel prunes against.
     pub theta: f64,
+    /// Zipf exponent of the workload's key/gram frequency skew
+    /// (`0.0` = the classic uniform workload; see
+    /// [`DatagenConfig::zipf`]).
+    pub zipf: f64,
 }
 
 impl Default for ProbeBenchConfig {
@@ -66,6 +70,7 @@ impl ProbeBenchConfig {
             clean_prefix: 0.3,
             seed: 42,
             theta: defaults::THETA_SIM,
+            zipf: 0.0,
         }
     }
 
@@ -73,6 +78,16 @@ impl ProbeBenchConfig {
     pub fn full() -> Self {
         Self {
             parents: 20_000,
+            ..Self::smoke()
+        }
+    }
+
+    /// The skewed smoke run: the same size as [`Self::smoke`] but with a
+    /// Zipf(1) key/gram frequency skew — the frequent-gram, long-posting-
+    /// list regime where prefix filtering matters most.
+    pub fn skewed() -> Self {
+        Self {
+            zipf: 1.0,
             ..Self::smoke()
         }
     }
@@ -94,6 +109,10 @@ pub struct ProbeBenchResult {
     pub pairs: u64,
     /// Distinct grams interned over the whole run.
     pub distinct_grams: usize,
+    /// Candidate-funnel counters accumulated by the probe loop: posting
+    /// entries scanned vs skipped by the prefix filter, and candidates
+    /// surviving the length filter and merge verification.
+    pub funnel: ProbeFunnel,
 }
 
 impl ProbeBenchResult {
@@ -117,6 +136,22 @@ impl ProbeBenchResult {
             ),
             ("pairs", JsonValue::num(self.pairs as f64)),
             ("distinct_grams", JsonValue::num(self.distinct_grams as f64)),
+            (
+                "candidates_scanned",
+                JsonValue::num(self.funnel.candidates_scanned as f64),
+            ),
+            (
+                "candidates_after_length_filter",
+                JsonValue::num(self.funnel.candidates_after_length_filter as f64),
+            ),
+            (
+                "candidates_verified",
+                JsonValue::num(self.funnel.candidates_verified as f64),
+            ),
+            (
+                "prefix_postings_skipped",
+                JsonValue::num(self.funnel.prefix_postings_skipped as f64),
+            ),
         ])
         .render()
     }
@@ -127,7 +162,8 @@ pub fn run_probe_bench(config: &ProbeBenchConfig) -> Result<ProbeBenchResult> {
     let data = generate(
         &DatagenConfig::mid_stream_dirty(config.parents, config.seed)
             .with_children_per_parent(config.children_per_parent)
-            .with_clean_prefix(config.clean_prefix),
+            .with_clean_prefix(config.clean_prefix)
+            .with_zipf(config.zipf),
     )?;
     let keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
     let mut core = SshJoinCore::new(keys, QGramConfig::default(), config.theta);
@@ -177,6 +213,7 @@ pub fn run_probe_bench(config: &ProbeBenchConfig) -> Result<ProbeBenchResult> {
         probe_ns_per_tuple: probe_ns,
         pairs,
         distinct_grams: core.interner().len(),
+        funnel: core.funnel(),
     })
 }
 
@@ -202,6 +239,41 @@ mod tests {
         assert!(result.probe_ns_per_tuple > 0.0);
         assert!(result.pairs > 0, "children must match their parents");
         assert!(result.distinct_grams > 0);
+        // The probe loop populates the candidate funnel, and matching
+        // pairs must have been verified.
+        assert!(result.funnel.candidates_scanned > 0);
+        assert!(result.funnel.candidates_verified >= result.pairs);
+        assert!(
+            result.funnel.prefix_postings_skipped > result.funnel.candidates_scanned,
+            "at θ_sim = 0.8 the Jaccard prefix skips most postings"
+        );
+    }
+
+    #[test]
+    fn skewed_preset_exercises_the_frequent_gram_regime() {
+        let uniform = run_probe_bench(&tiny()).unwrap();
+        let skewed = run_probe_bench(&ProbeBenchConfig {
+            zipf: 1.0,
+            ..tiny()
+        })
+        .unwrap();
+        // Shared pool words mean fewer distinct grams and longer posting
+        // lists — more skipped prefix work per scanned posting.
+        assert!(skewed.distinct_grams < uniform.distinct_grams);
+        let ratio = |r: &ProbeBenchResult| {
+            r.funnel.prefix_postings_skipped as f64 / r.funnel.candidates_scanned.max(1) as f64
+        };
+        assert!(
+            ratio(&skewed) > ratio(&uniform),
+            "skew must increase the skipped/scanned ratio ({} vs {})",
+            ratio(&skewed),
+            ratio(&uniform)
+        );
+        assert_eq!(ProbeBenchConfig::skewed().zipf, 1.0);
+        assert_eq!(
+            ProbeBenchConfig::skewed().parents,
+            ProbeBenchConfig::smoke().parents
+        );
     }
 
     #[test]
@@ -218,6 +290,22 @@ mod tests {
         );
         assert!(text.contains("\"bench\": \"probe-kernel\""));
         assert!(text.contains("\"git_sha\": \"deadbeef\""));
+        assert_eq!(
+            extract_number(&text, "candidates_scanned"),
+            Some(result.funnel.candidates_scanned as f64)
+        );
+        assert_eq!(
+            extract_number(&text, "candidates_after_length_filter"),
+            Some(result.funnel.candidates_after_length_filter as f64)
+        );
+        assert_eq!(
+            extract_number(&text, "candidates_verified"),
+            Some(result.funnel.candidates_verified as f64)
+        );
+        assert_eq!(
+            extract_number(&text, "prefix_postings_skipped"),
+            Some(result.funnel.prefix_postings_skipped as f64)
+        );
     }
 
     #[test]

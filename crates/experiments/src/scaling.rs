@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use linkage::api::Pipeline;
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+use linkage_operators::ProbeFunnel;
 use linkage_types::Result;
 
 use crate::json::JsonValue;
@@ -90,6 +91,16 @@ impl ScalingConfig {
         probe
     }
 
+    /// The **skewed** probe point: the same shape as
+    /// [`Self::probe_config`] under a Zipf(1) key/gram frequency skew —
+    /// the long-posting-list regime prefix filtering targets.  Feeds the
+    /// gated `skewed_probe_ns_per_tuple` field.
+    pub fn skewed_probe_config(&self) -> ProbeBenchConfig {
+        let mut probe = self.probe_config();
+        probe.zipf = ProbeBenchConfig::skewed().zipf;
+        probe
+    }
+
     fn datagen(&self) -> DatagenConfig {
         DatagenConfig::mid_stream_dirty(self.parents, self.seed)
             .with_children_per_parent(self.children_per_parent)
@@ -120,6 +131,14 @@ pub struct ScalingPoint {
     /// Estimated bytes of the run's **shared** gram-interner table,
     /// counted once (every shard holds a handle to the same table).
     pub interner_bytes: u64,
+    /// Flat-posting slack bytes summed over shards (empty slot headers
+    /// plus unused posting capacity), reported separately from
+    /// `state_bytes_per_shard` so payload and layout overhead stay
+    /// distinguishable.
+    pub postings_slack_bytes: u64,
+    /// The join-wide candidate funnel of this point's run (all shards
+    /// folded together).
+    pub funnel: ProbeFunnel,
 }
 
 /// A completed sweep: the workload description plus every measured point.
@@ -133,6 +152,9 @@ pub struct ScalingRun {
     /// `probe_ns_per_tuple` / `insert_ns_per_tuple` fields of the JSON
     /// document, gated by CI alongside the headline).
     pub probe: ProbeBenchResult,
+    /// The probe-kernel microbench over the **skewed** (Zipf) workload
+    /// (the `skewed_probe_ns_per_tuple` field, also gated).
+    pub probe_skewed: ProbeBenchResult,
 }
 
 impl ScalingRun {
@@ -180,14 +202,38 @@ pub fn run_scaling(config: &ScalingConfig) -> Result<ScalingRun> {
                 .map(|s| (s.state_bytes.left + s.state_bytes.right) as u64)
                 .collect(),
             interner_bytes: report.interner_bytes() as u64,
+            postings_slack_bytes: report.postings_slack_bytes() as u64,
+            funnel: report.probe_funnel(),
         });
     }
     let probe = run_probe_bench(&config.probe_config())?;
+    let probe_skewed = run_probe_bench(&config.skewed_probe_config())?;
     Ok(ScalingRun {
         config: config.clone(),
         points,
         probe,
+        probe_skewed,
     })
+}
+
+/// Render a candidate funnel as a JSON object (per-point embedding; the
+/// top-level gated fields use flat, uniquely named keys instead).
+fn funnel_json(funnel: &ProbeFunnel) -> JsonValue {
+    JsonValue::object(vec![
+        ("scanned", JsonValue::num(funnel.candidates_scanned as f64)),
+        (
+            "after_length_filter",
+            JsonValue::num(funnel.candidates_after_length_filter as f64),
+        ),
+        (
+            "verified",
+            JsonValue::num(funnel.candidates_verified as f64),
+        ),
+        (
+            "prefix_skipped",
+            JsonValue::num(funnel.prefix_postings_skipped as f64),
+        ),
+    ])
 }
 
 /// Render a sweep as the `BENCH_*.json` document.
@@ -222,6 +268,11 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
                     ),
                 ),
                 ("interner_bytes", JsonValue::num(p.interner_bytes as f64)),
+                (
+                    "postings_slack_bytes",
+                    JsonValue::num(p.postings_slack_bytes as f64),
+                ),
+                ("funnel", funnel_json(&p.funnel)),
             ])
         })
         .collect();
@@ -278,6 +329,46 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
         (
             "insert_ns_per_tuple",
             JsonValue::num(run.probe.insert_ns_per_tuple),
+        ),
+        (
+            "candidates_scanned",
+            JsonValue::num(run.probe.funnel.candidates_scanned as f64),
+        ),
+        (
+            "candidates_after_length_filter",
+            JsonValue::num(run.probe.funnel.candidates_after_length_filter as f64),
+        ),
+        (
+            "candidates_verified",
+            JsonValue::num(run.probe.funnel.candidates_verified as f64),
+        ),
+        (
+            "prefix_postings_skipped",
+            JsonValue::num(run.probe.funnel.prefix_postings_skipped as f64),
+        ),
+        (
+            "skewed_probe_ns_per_tuple",
+            JsonValue::num(run.probe_skewed.probe_ns_per_tuple),
+        ),
+        (
+            "skewed_insert_ns_per_tuple",
+            JsonValue::num(run.probe_skewed.insert_ns_per_tuple),
+        ),
+        (
+            "skewed_candidates_scanned",
+            JsonValue::num(run.probe_skewed.funnel.candidates_scanned as f64),
+        ),
+        (
+            "skewed_candidates_after_length_filter",
+            JsonValue::num(run.probe_skewed.funnel.candidates_after_length_filter as f64),
+        ),
+        (
+            "skewed_candidates_verified",
+            JsonValue::num(run.probe_skewed.funnel.candidates_verified as f64),
+        ),
+        (
+            "skewed_prefix_postings_skipped",
+            JsonValue::num(run.probe_skewed.funnel.prefix_postings_skipped as f64),
         ),
         ("speedups", JsonValue::Array(speedups)),
         ("shards", JsonValue::Array(points)),
@@ -338,10 +429,37 @@ mod tests {
             extract_number(&text, "insert_ns_per_tuple"),
             Some(run.probe.insert_ns_per_tuple)
         );
+        assert_eq!(
+            extract_number(&text, "skewed_probe_ns_per_tuple"),
+            Some(run.probe_skewed.probe_ns_per_tuple)
+        );
+        assert_eq!(
+            extract_number(&text, "candidates_scanned"),
+            Some(run.probe.funnel.candidates_scanned as f64)
+        );
+        assert_eq!(
+            extract_number(&text, "skewed_prefix_postings_skipped"),
+            Some(run.probe_skewed.funnel.prefix_postings_skipped as f64)
+        );
         assert!(text.contains("\"git_sha\": \"deadbeef\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("state_bytes_per_shard"));
         assert!(text.contains("interner_bytes"));
+        assert!(text.contains("postings_slack_bytes"));
+        assert!(text.contains("\"funnel\""));
+    }
+
+    #[test]
+    fn points_report_slack_and_funnel_from_shard_stats() {
+        let run = run_scaling(&tiny()).unwrap();
+        for point in &run.points {
+            // This workload switches, so every point probed through the
+            // prefix kernel and its flat postings carry empty-slot slack.
+            assert!(point.funnel.candidates_scanned > 0, "funnel populated");
+            assert!(point.funnel.candidates_verified > 0);
+            assert!(point.postings_slack_bytes > 0, "empty slots accounted");
+        }
+        assert!(run.probe_skewed.probe_ns_per_tuple > 0.0);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub use exact::{ExactJoinCore, SymmetricHashJoin};
 pub use iterator::{Operator, OperatorState};
 pub use reference::{ReferenceSshCore, ReferenceStored};
 pub use scan::{InterleavedScan, Scan};
-pub use ssh::{GramIndex, SshJoin, SshJoinCore, SshStored};
+pub use ssh::{GramIndex, ProbeFunnel, SshJoin, SshJoinCore, SshStored};
 pub use state::{KeyTable, StoredTuple};
 pub use switch::{JoinPhase, PerKind, SwitchJoin, SwitchJoinConfig};

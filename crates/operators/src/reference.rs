@@ -130,6 +130,15 @@ impl ReferenceSshCore {
         self
     }
 
+    /// Change the scoring coefficient mid-stream, mirroring
+    /// [`SshJoinCore::set_coefficient`] so the equivalence suites can
+    /// drive both kernels through the same coefficient schedule.
+    ///
+    /// [`SshJoinCore::set_coefficient`]: crate::ssh::SshJoinCore::set_coefficient
+    pub fn set_coefficient(&mut self, coefficient: QGramCoefficient) {
+        self.coefficient = coefficient;
+    }
+
     /// The §3.3 handover from the exact join's tables: rebuild both
     /// string-keyed indexes and recover missed matches into `out`,
     /// mirroring [`SshJoinCore::with_exact_state`] decision for

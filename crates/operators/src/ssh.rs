@@ -7,25 +7,37 @@
 //! is computed in O(1) (`c / (|A| + |B| − c)`).  Candidates that cannot
 //! reach the threshold are pruned early with the `|A ∩ B| ≥ θ·|A|` bound.
 //!
-//! # The interned probe kernel
+//! # The prefix-filtered probe kernel
 //!
 //! Grams are interned to dense [`GramId`]s at tokenisation time (see
 //! `linkage_text::intern`), so the probe path is pure integer work:
 //!
 //! * posting lists live in a **flat** `Vec<Vec<u32>>` indexed directly by
 //!   gram id — no hashing at probe time at all;
-//! * per-candidate overlap counting uses an **epoch-stamped dense counter
-//!   array** indexed by tuple position (O(1) logical reset per probe — no
-//!   per-probe `HashMap` allocation, no rehashing);
-//! * a **length filter** drops a candidate at first touch when its
-//!   gram-set size makes the configured coefficient's threshold
-//!   unreachable even at maximum possible overlap `min(|A|, |B|)` — a
-//!   sound pre-count companion to the per-coefficient
-//!   [`QGramCoefficient::min_overlap`] bound applied after counting.
+//! * candidate generation is **prefix-filtered** (classic set-similarity
+//!   prefix filtering): with `t = coefficient.min_overlap(|A|, θ)`, only
+//!   the first `|A| − t + 1` posting lists of the probe set are scanned,
+//!   traversed in the **rare-first** order snapshotted by
+//!   `QGramSet::probe_order` — by pigeonhole every candidate that can
+//!   still reach θ shares a gram with that prefix (see
+//!   [`QGramCoefficient::prefix_len`]), and the rare-first order makes
+//!   the scanned lists the shortest ones;
+//! * candidate dedup uses an **epoch-stamped array** indexed by tuple
+//!   position (O(1) logical reset per probe — no per-probe `HashMap`
+//!   allocation), and a **length filter** drops a candidate at first
+//!   touch when its gram-set size makes the threshold unreachable even
+//!   at maximum possible overlap `min(|A|, |B|)`;
+//! * surviving candidates are scored by **merge-based verification**: an
+//!   early-exit sorted-id merge (galloping for lopsided sizes, see
+//!   `linkage_text::overlap_at_least`) against the candidate's stored
+//!   gram column computes the *exact* overlap, so the emitted similarity
+//!   is identical to a full posting-list count.
 //!
 //! Candidates are emitted in arrival order (their tuple position), which
 //! keeps the output stream deterministic and bit-identical to the
-//! retained string-keyed reference kernel in [`crate::reference`].
+//! retained string-keyed reference kernel in [`crate::reference`].  The
+//! [`ProbeFunnel`] counters expose how many posting entries were scanned
+//! or skipped and how many candidates survived each stage.
 //!
 //! The join kernel lives in [`SshJoinCore`]; [`SshJoinCore::from_exact`]
 //! implements the paper's §3.3 state handover: it rebuilds the inverted
@@ -34,11 +46,15 @@
 //! tuples against each other to *recover* approximate matches the exact
 //! operator missed, using the per-tuple matched-exactly flags to skip
 //! pairs the exact operator already emitted.
+//!
+//! [`GramId`]: linkage_text::GramId
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use linkage_text::{normalize, GramId, QGramCoefficient, QGramConfig, QGramSet, SharedInterner};
+use linkage_text::{
+    normalize, overlap_at_least, QGramCoefficient, QGramConfig, QGramSet, SharedInterner,
+};
 use linkage_types::{MatchPair, PerSide, Record, Result, Side, SidedRecord};
 
 use crate::exact::orient;
@@ -58,35 +74,71 @@ pub struct SshStored {
     pub matched_exactly: bool,
 }
 
-/// Reusable probe state: one epoch-stamped counter slot per resident
-/// tuple position, plus the candidate list of the current probe.
+/// Cumulative candidate-funnel counters of one probe kernel: how much
+/// work the prefix filter admitted at each stage, and how much it
+/// skipped.  Monotone over a core's lifetime; aggregate across shards
+/// with [`ProbeFunnel::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeFunnel {
+    /// Posting entries visited by prefix scans (re-touches included).
+    pub candidates_scanned: u64,
+    /// Distinct candidates that survived the first-touch length filter
+    /// and entered a candidate list.
+    pub candidates_after_length_filter: u64,
+    /// Candidates whose merge-verified exact overlap reached the
+    /// coefficient's `min_overlap` bound (and were therefore scored
+    /// against θ).
+    pub candidates_verified: u64,
+    /// Posting entries in the non-prefix gram lists that were never
+    /// scanned — the work the prefix filter saved outright.
+    pub prefix_postings_skipped: u64,
+}
+
+impl ProbeFunnel {
+    /// Fold another funnel into this one (shard aggregation).
+    pub fn absorb(&mut self, other: ProbeFunnel) {
+        self.candidates_scanned += other.candidates_scanned;
+        self.candidates_after_length_filter += other.candidates_after_length_filter;
+        self.candidates_verified += other.candidates_verified;
+        self.prefix_postings_skipped += other.prefix_postings_skipped;
+    }
+}
+
+/// Reusable probe state: one epoch stamp per resident tuple position for
+/// candidate dedup, the candidate list of the current probe, and the
+/// cumulative funnel counters.
 ///
-/// Bumping `epoch` logically resets every counter in O(1); a slot's count
-/// is only meaningful while its stamp equals the current epoch.  The
-/// buffers are owned by the [`SshJoinCore`] (not the index) so a single
-/// scratch serves both sides, and probing needs no allocation at all
-/// once the buffers have grown to the resident-state size.
+/// Bumping `epoch` logically resets every stamp in O(1); a position has
+/// been touched by the current probe exactly when its stamp equals the
+/// current epoch.  The buffers are owned by the [`SshJoinCore`] (not the
+/// index) so a single scratch serves both sides, and probing needs no
+/// allocation at all once the buffers have grown to the resident-state
+/// size.  (Pre-prefix-filtering the slots also carried per-candidate
+/// overlap counts; exact overlap now comes from merge verification, so a
+/// bare stamp suffices.)
 #[derive(Debug, Clone, Default)]
 struct ProbeScratch {
     epoch: u32,
-    /// `(epoch stamp, shared-gram count)` per tuple position.
-    slots: Vec<(u32, u32)>,
+    /// Epoch stamp per tuple position.
+    stamps: Vec<u32>,
     /// Positions touched by the current probe that passed the length
-    /// filter, sorted ascending (arrival order) after the count phase.
+    /// filter, sorted ascending (arrival order) after the scan phase.
     candidates: Vec<u32>,
+    /// Cumulative candidate-funnel counters.
+    funnel: ProbeFunnel,
 }
 
 impl ProbeScratch {
     /// Start a new probe over an index holding `tuples` residents.
     fn begin(&mut self, tuples: usize) {
-        if self.slots.len() < tuples {
-            self.slots.resize(tuples, (0, 0));
+        if self.stamps.len() < tuples {
+            self.stamps.resize(tuples, 0);
         }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // One real reset every 2³² probes keeps stale stamps from a
             // previous epoch cycle from aliasing the new epoch.
-            self.slots.fill((0, 0));
+            self.stamps.fill(0);
             self.epoch = 1;
         }
         self.candidates.clear();
@@ -94,7 +146,7 @@ impl ProbeScratch {
 }
 
 /// One side's inverted q-gram index: flat posting lists indexed directly
-/// by [`GramId`].
+/// by [`GramId`](linkage_text::GramId).
 #[derive(Debug, Clone, Default)]
 pub struct GramIndex {
     tuples: Vec<SshStored>,
@@ -136,27 +188,55 @@ impl GramIndex {
         &self.tuples
     }
 
-    /// Estimated resident-state size in bytes.
+    /// Estimated resident-state size in bytes — the bytes doing useful
+    /// work.
     ///
-    /// Counts the tuple entries, key text, per-tuple gram-id columns and
-    /// the flat inverted index (posting-list headers, posting entries,
-    /// per-tuple length column).  Gram *text* is intentionally **not**
-    /// counted here: it is stored once in the join's shared
-    /// [`SharedInterner`] (see [`SshJoinCore::interner_bytes`]), not per
-    /// side and not per posting.  Same estimate-not-measurement caveat as
-    /// [`crate::state::KeyTable::state_bytes`].
+    /// Counts the tuple entries, key text, per-tuple gram-id columns
+    /// (sorted **and** rare-first permutation) and the flat inverted
+    /// index (headers of *populated* posting lists, posting entries,
+    /// per-tuple length column).  Two things are deliberately **not**
+    /// counted here: gram *text*, stored once in the join's shared
+    /// [`SharedInterner`] (see [`SshJoinCore::interner_bytes`]); and the
+    /// slack of the flat posting layout — never-populated slot headers
+    /// and unused posting capacity — reported separately by
+    /// [`Self::postings_slack_bytes`].  Same estimate-not-measurement
+    /// caveat as [`crate::state::KeyTable::state_bytes`].
     pub fn state_bytes(&self) -> usize {
         let tuples = self.tuples.len() * std::mem::size_of::<SshStored>();
         let keys: usize = self.tuples.iter().map(|t| t.key.len()).sum();
-        let gram_ids: usize = self
-            .tuples
-            .iter()
-            .map(|t| t.grams.len() * std::mem::size_of::<GramId>())
-            .sum();
-        let postings = self.postings.len() * std::mem::size_of::<Vec<u32>>()
+        let gram_ids: usize = self.tuples.iter().map(|t| t.grams.ids_bytes()).sum();
+        let postings = self.postings.iter().filter(|p| !p.is_empty()).count()
+            * std::mem::size_of::<Vec<u32>>()
             + self.posting_entries * std::mem::size_of::<u32>();
         let lens = self.lens.len() * std::mem::size_of::<u32>();
         tuples + keys + gram_ids + postings + lens
+    }
+
+    /// Estimated bytes the flat posting layout holds **beyond** its
+    /// payload: the `Vec` headers of never-populated gram-id slots (the
+    /// price of O(1) direct indexing into a shared id space) plus the
+    /// unused capacity push-growth left in populated lists.  The latter
+    /// drops to ~0 after the internal `shrink_postings` pass run at the
+    /// §3.3 switch/handover.
+    pub fn postings_slack_bytes(&self) -> usize {
+        let empty_headers =
+            self.postings.iter().filter(|p| p.is_empty()).count() * std::mem::size_of::<Vec<u32>>();
+        let excess: usize = self
+            .postings
+            .iter()
+            .map(|p| (p.capacity() - p.len()) * std::mem::size_of::<u32>())
+            .sum();
+        empty_headers + excess
+    }
+
+    /// Release the unused capacity of every posting list.  Called at the
+    /// switch/handover, where the freshly migrated lists still carry
+    /// push-growth slack and the join is about to live with them for the
+    /// rest of the stream.
+    fn shrink_postings(&mut self) {
+        for list in &mut self.postings {
+            list.shrink_to_fit();
+        }
     }
 
     fn insert(&mut self, stored: SshStored) -> usize {
@@ -174,11 +254,23 @@ impl GramIndex {
         idx
     }
 
-    /// Count, per candidate tuple, the grams shared with `probe`, into
-    /// `scratch`.  After the call `scratch.candidates` holds the touched
-    /// positions that survived the length filter, sorted by arrival
-    /// position (deterministic output order), and `scratch.slots[pos].1`
-    /// holds each one's shared-gram count.
+    /// Generate the candidates of `probe` into `scratch` by scanning only
+    /// the **rare-first prefix** of its posting lists.  After the call
+    /// `scratch.candidates` holds the touched positions that survived
+    /// the first-touch length filter, sorted by arrival position
+    /// (deterministic output order).  Exact per-candidate overlap is
+    /// *not* counted here — callers verify survivors with a sorted-id
+    /// merge against the stored gram column.
+    ///
+    /// With `t = coefficient.min_overlap(|A|, θ)` (recomputed on every
+    /// probe, so a mid-stream coefficient or θ change takes effect
+    /// immediately), only the first `|A| − t + 1` gram ids in the probe's
+    /// rare-first [`QGramSet::probe_order`] are scanned: a candidate
+    /// reaching θ shares ≥ t grams with the probe, and at most
+    /// `|A| − t` probe grams lie outside the intersection, so every such
+    /// candidate appears in at least one scanned list — under any
+    /// traversal order ([`QGramCoefficient::prefix_len`]).  Rare-first
+    /// makes the scanned lists the shortest ones.
     ///
     /// The length filter is sound: a candidate with `|B|` grams is
     /// dropped only when `coefficient.from_overlap(|A|, |B|,
@@ -195,17 +287,19 @@ impl GramIndex {
         scratch.begin(self.tuples.len());
         let epoch = scratch.epoch;
         let probe_len = probe.len();
-        for id in probe.iter() {
+        let order = probe.probe_order();
+        let prefix = coefficient.prefix_len(probe_len, theta);
+        for id in &order[..prefix] {
             let Some(list) = self.postings.get(id.as_usize()) else {
                 continue;
             };
+            scratch.funnel.candidates_scanned += list.len() as u64;
             for &pos in list {
-                let slot = &mut scratch.slots[pos as usize];
-                if slot.0 == epoch {
-                    slot.1 += 1;
+                let stamp = &mut scratch.stamps[pos as usize];
+                if *stamp == epoch {
                     continue;
                 }
-                *slot = (epoch, 1);
+                *stamp = epoch;
                 let candidate_len = self.lens[pos as usize] as usize;
                 let best = coefficient.from_overlap(
                     probe_len,
@@ -217,6 +311,12 @@ impl GramIndex {
                 }
             }
         }
+        for id in &order[prefix..] {
+            if let Some(list) = self.postings.get(id.as_usize()) {
+                scratch.funnel.prefix_postings_skipped += list.len() as u64;
+            }
+        }
+        scratch.funnel.candidates_after_length_filter += scratch.candidates.len() as u64;
         scratch.candidates.sort_unstable();
     }
 }
@@ -294,6 +394,17 @@ impl SshJoinCore {
         self.coefficient
     }
 
+    /// Change the scoring coefficient **mid-stream**.
+    ///
+    /// Takes effect on the next probe: the `min_overlap` bound and the
+    /// prefix length `|A| − t + 1` are recomputed from the current
+    /// coefficient on every probe, and the resident state needs no
+    /// rebuild — the inverted index and the stored gram columns are
+    /// coefficient-agnostic.
+    pub fn set_coefficient(&mut self, coefficient: QGramCoefficient) {
+        self.coefficient = coefficient;
+    }
+
     /// The shared gram interner handle backing this core's ids.
     pub fn interner(&self) -> &SharedInterner {
         &self.interner
@@ -360,6 +471,9 @@ impl SshJoinCore {
                     matched_exactly: stored.matched_exactly,
                 });
             }
+            // The migrated lists are long-lived from here on: return the
+            // push-growth slack before the join settles into them.
+            core.sides[side].shrink_postings();
         }
 
         // Recover: probe each pre-switch left tuple against the right index.
@@ -373,12 +487,14 @@ impl SshJoinCore {
         for l in left_index.tuples() {
             let bound = coefficient.min_overlap(l.grams.len(), theta);
             right_index.probe_into(&l.grams, coefficient, theta, scratch);
+            let mut verified = 0u64;
             for &pos in &scratch.candidates {
-                let shared = scratch.slots[pos as usize].1 as usize;
-                if shared < bound {
-                    continue;
-                }
                 let r = &right_index.tuples()[pos as usize];
+                let Some(shared) = overlap_at_least(l.grams.gram_ids(), r.grams.gram_ids(), bound)
+                else {
+                    continue;
+                };
+                verified += 1;
                 if l.key == r.key {
                     if l.matched_exactly && r.matched_exactly {
                         // The exact operator already emitted this pair (both
@@ -402,6 +518,7 @@ impl SshJoinCore {
                     recovered_approx += 1;
                 }
             }
+            scratch.funnel.candidates_verified += verified;
         }
         core.emitted_exact += recovered_exact;
         core.emitted_approx += recovered_approx;
@@ -458,15 +575,17 @@ impl SshJoinCore {
         let scratch = &mut self.scratch;
         opposite.probe_into(grams, coefficient, theta, scratch);
         let mut emitted = 0usize;
+        let mut verified = 0u64;
         let mut matched_exactly = false;
         let mut exact_partners: Vec<usize> = Vec::new();
         for &pos in &scratch.candidates {
-            let shared = scratch.slots[pos as usize].1 as usize;
-            if shared < bound {
-                continue;
-            }
             let idx = pos as usize;
             let partner = &opposite.tuples[idx];
+            let Some(shared) = overlap_at_least(grams.gram_ids(), partner.grams.gram_ids(), bound)
+            else {
+                continue;
+            };
+            verified += 1;
             let pair = if partner.key == *key {
                 matched_exactly = true;
                 exact_partners.push(idx);
@@ -488,6 +607,7 @@ impl SshJoinCore {
             out.push_back(pair);
             emitted += 1;
         }
+        scratch.funnel.candidates_verified += verified;
         for idx in exact_partners {
             opposite.tuples[idx].matched_exactly = true;
         }
@@ -545,12 +665,15 @@ impl SshJoinCore {
             let scratch = &mut self.scratch;
             let local = &self.sides[side.opposite()];
             local.probe_into(&f.grams, coefficient, theta, scratch);
+            let mut verified = 0u64;
             for &pos in &scratch.candidates {
-                let shared = scratch.slots[pos as usize].1 as usize;
-                if shared < bound {
-                    continue;
-                }
                 let partner = &local.tuples[pos as usize];
+                let Some(shared) =
+                    overlap_at_least(f.grams.gram_ids(), partner.grams.gram_ids(), bound)
+                else {
+                    continue;
+                };
+                verified += 1;
                 if partner.key == f.key {
                     if partner.matched_exactly && f.matched_exactly {
                         continue;
@@ -567,6 +690,7 @@ impl SshJoinCore {
                     recovered_approx += 1;
                 }
             }
+            self.scratch.funnel.candidates_verified += verified;
         }
         self.emitted_exact += recovered_exact;
         self.emitted_approx += recovered_approx;
@@ -600,9 +724,23 @@ impl SshJoinCore {
 
     /// Estimated resident-state size in bytes, per side.  Gram text is
     /// not included — it lives once in the shared interner (see
-    /// [`Self::interner_bytes`]).
+    /// [`Self::interner_bytes`]) — and neither is flat-posting slack,
+    /// reported by [`Self::postings_slack_bytes`].
     pub fn state_bytes(&self) -> PerSide<usize> {
         self.sides.map(GramIndex::state_bytes)
+    }
+
+    /// Estimated flat-posting slack bytes, per side (empty slot headers
+    /// plus unused posting capacity; see
+    /// [`GramIndex::postings_slack_bytes`]).
+    pub fn postings_slack_bytes(&self) -> PerSide<usize> {
+        self.sides.map(GramIndex::postings_slack_bytes)
+    }
+
+    /// Cumulative candidate-funnel counters over every probe this core
+    /// ran (steady-state, handover recovery and foreign recovery alike).
+    pub fn funnel(&self) -> ProbeFunnel {
+        self.scratch.funnel
     }
 }
 
@@ -1006,6 +1144,138 @@ mod tests {
         out.clear();
         assert_eq!(shard.recover_foreign(&flagged, &mut out), 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn funnel_counts_prefix_scans_skips_and_verifications() {
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        core.process(sided(Side::Left, 1, UNRELATED), &mut out)
+            .unwrap();
+        let before = core.funnel();
+        core.process(sided(Side::Right, 2, LONG_A_TYPO), &mut out)
+            .unwrap();
+        let after = core.funnel();
+        // Under Jaccard θ=0.8 the prefix is ~1/5 of the probe set: some
+        // postings were scanned, and the non-prefix lists were skipped.
+        assert!(after.candidates_scanned > before.candidates_scanned);
+        assert!(after.prefix_postings_skipped > before.prefix_postings_skipped);
+        // Exactly one candidate survives the length filter (the typo
+        // partner; UNRELATED shares no grams) and verifies successfully.
+        assert_eq!(
+            after.candidates_after_length_filter,
+            before.candidates_after_length_filter + 1
+        );
+        assert_eq!(after.candidates_verified, before.candidates_verified + 1);
+    }
+
+    #[test]
+    fn coefficient_change_recomputes_prefix_lengths_mid_stream() {
+        // The same probe against the same resident state scans a short
+        // prefix under Jaccard (θ·|A| bound) but the full gram set under
+        // Overlap (min_overlap = 1 ⇒ prefix = |A|): the per-probe funnel
+        // deltas expose the recomputation.
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        let probe = sided(Side::Right, 1, LONG_A);
+        let (key, grams) = core.prepare(&probe).unwrap();
+
+        let before = core.funnel();
+        core.process_prepared(&probe, &key, &grams, false, &mut out)
+            .unwrap();
+        let jaccard = core.funnel();
+        assert!(
+            jaccard.prefix_postings_skipped > before.prefix_postings_skipped,
+            "Jaccard at θ=0.8 must skip non-prefix postings"
+        );
+
+        core.set_coefficient(QGramCoefficient::Overlap);
+        assert_eq!(core.coefficient(), QGramCoefficient::Overlap);
+        core.process_prepared(&probe, &key, &grams, false, &mut out)
+            .unwrap();
+        let overlap = core.funnel();
+        assert_eq!(
+            overlap.prefix_postings_skipped, jaccard.prefix_postings_skipped,
+            "Overlap's prefix is the whole probe set: nothing newly skipped"
+        );
+        assert!(
+            overlap.candidates_scanned - jaccard.candidates_scanned
+                > jaccard.candidates_scanned - before.candidates_scanned,
+            "the full-set scan must touch more postings than the prefix scan"
+        );
+        // Both probes found the equal-key partner.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|p| p.kind.is_exact()));
+    }
+
+    #[test]
+    fn postings_slack_is_separate_and_shrinks_at_handover() {
+        use crate::exact::ExactJoinCore;
+        use linkage_text::NormalizeConfig;
+
+        // Steady-state inserts leave push-growth capacity and (with a
+        // shared id space) empty slots behind.
+        let interner = SharedInterner::new();
+        // Intern foreign grams first so this core's posting array has
+        // leading never-populated slots.
+        {
+            let mut lock = interner.lock();
+            for g in ["zz1", "zz2", "zz3"] {
+                lock.intern(g);
+            }
+        }
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+            .with_shared_interner(interner);
+        let mut out = VecDeque::new();
+        for i in 0..8 {
+            core.process(sided(Side::Left, i, LONG_A), &mut out)
+                .unwrap();
+        }
+        let slack = core.postings_slack_bytes();
+        assert!(
+            slack.left >= 3 * std::mem::size_of::<Vec<u32>>(),
+            "empty slots of foreign ids must be accounted as slack"
+        );
+        // state_bytes counts payload only: inserting the same key again
+        // adds postings but the slack decreases or stays (capacity gets
+        // used), never double-counted.
+        let state = core.state_bytes().left;
+        assert!(state > 0);
+
+        // The handover shrinks the freshly migrated lists: slack is then
+        // only the empty headers, not unused capacity.
+        let mut exact = ExactJoinCore::new(PerSide::new(0, 0), NormalizeConfig::default());
+        for i in 0..8 {
+            exact
+                .process(sided(Side::Left, i, LONG_A), &mut out)
+                .unwrap();
+            exact
+                .process(sided(Side::Right, 100 + i, UNRELATED), &mut out)
+                .unwrap();
+        }
+        out.clear();
+        let (switched, _) = SshJoinCore::from_exact(
+            PerSide::new(0, 0),
+            QGramConfig::default(),
+            0.8,
+            exact.into_tables(),
+            &mut out,
+        );
+        let slack = switched.postings_slack_bytes();
+        let empty_left = switched.sides[Side::Left]
+            .postings
+            .iter()
+            .filter(|p| p.is_empty())
+            .count();
+        assert_eq!(
+            slack.left,
+            empty_left * std::mem::size_of::<Vec<u32>>(),
+            "after shrink_postings the only slack is empty slot headers"
+        );
     }
 
     #[test]

@@ -104,10 +104,20 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// The gram ⇄ id table: each distinct gram is stored once and mapped to a
 /// dense [`GramId`].
+///
+/// Besides the id mapping, the table keeps a per-gram **document
+/// frequency** sidecar: how many extracted gram *sets* contained the gram
+/// (bumped once per set by `QGramSet::extract`, never per window).  The
+/// frequencies order the probe prefix of the set-similarity prefix filter
+/// rare-first, so the shortest posting lists are scanned first; they are
+/// a heuristic for posting-list length, not a correctness input — the
+/// prefix bound is sound under *any* traversal order.
 #[derive(Debug, Clone, Default)]
 pub struct GramInterner {
     map: HashMap<Arc<str>, GramId, FxBuildHasher>,
     texts: Vec<Arc<str>>,
+    /// `doc_freq[id]` = number of noted gram sets containing `id`.
+    doc_freq: Vec<u32>,
 }
 
 impl GramInterner {
@@ -141,8 +151,41 @@ impl GramInterner {
         );
         let text: Arc<str> = Arc::from(gram);
         self.texts.push(Arc::clone(&text));
+        self.doc_freq.push(0);
         self.map.insert(text, id);
         id
+    }
+
+    /// Record that one extracted gram set contained each id in `ids`
+    /// (called once per set, with the set's *distinct* ids).
+    pub fn note_document(&mut self, ids: &[GramId]) {
+        for id in ids {
+            self.doc_freq[id.as_usize()] = self.doc_freq[id.as_usize()].saturating_add(1);
+        }
+    }
+
+    /// Number of noted gram sets that contained `id` (0 for unknown ids).
+    pub fn doc_freq(&self, id: GramId) -> u32 {
+        self.doc_freq.get(id.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// `ids` permuted into the **rare-first** rank order: ascending
+    /// document frequency, ties broken by id (first-interned first) so
+    /// the order is a total one.  This is the traversal order the probe
+    /// prefix uses; it is recomputed per extraction, so it reflects the
+    /// frequencies at that moment — a later snapshot may order the same
+    /// ids differently, which is harmless (the prefix bound does not
+    /// depend on the order).
+    pub fn rank_order(&self, ids: &[GramId]) -> Vec<GramId> {
+        // Pack (frequency, id) into one u64 per element up front so the
+        // sort compares plain integers instead of re-deriving the key —
+        // this runs once per extracted set, on the insert path.
+        let mut keyed: Vec<u64> = ids
+            .iter()
+            .map(|&id| (u64::from(self.doc_freq(id)) << 32) | u64::from(id.as_u32()))
+            .collect();
+        keyed.sort_unstable();
+        keyed.into_iter().map(|k| GramId::new(k as u32)).collect()
     }
 
     /// The id of `gram`, if it was interned before.
@@ -161,7 +204,8 @@ impl GramInterner {
     /// accounting.
     pub fn state_bytes(&self) -> usize {
         let text: usize = self.texts.iter().map(|t| t.len()).sum();
-        let columns = self.texts.len() * std::mem::size_of::<Arc<str>>();
+        let columns = self.texts.len() * std::mem::size_of::<Arc<str>>()
+            + self.doc_freq.len() * std::mem::size_of::<u32>();
         let map = self.map.len() * std::mem::size_of::<(Arc<str>, GramId)>();
         text + columns + map
     }
@@ -263,6 +307,37 @@ mod tests {
         );
         interner.intern("xyz");
         assert!(interner.state_bytes() > one);
+    }
+
+    #[test]
+    fn doc_frequencies_count_noted_sets_and_order_rare_first() {
+        let mut interner = GramInterner::new();
+        let common = interner.intern("abc");
+        let rare = interner.intern("xyz");
+        let unseen = interner.intern("qqq");
+        assert_eq!(
+            interner.doc_freq(common),
+            0,
+            "interning alone counts nothing"
+        );
+        interner.note_document(&[common, rare]);
+        interner.note_document(&[common]);
+        interner.note_document(&[common]);
+        assert_eq!(interner.doc_freq(common), 3);
+        assert_eq!(interner.doc_freq(rare), 1);
+        assert_eq!(interner.doc_freq(unseen), 0);
+        assert_eq!(interner.doc_freq(GramId::new(99)), 0, "unknown id");
+        // Rare-first total order, ties broken by id.
+        assert_eq!(
+            interner.rank_order(&[common, rare, unseen]),
+            vec![unseen, rare, common]
+        );
+        let tied = interner.intern("ttt");
+        assert_eq!(
+            interner.rank_order(&[tied, unseen]),
+            vec![unseen, tied],
+            "equal frequencies fall back to id order"
+        );
     }
 
     #[test]

@@ -167,16 +167,37 @@ fn for_each_window(input: &str, config: &QGramConfig, mut f: impl FnMut(&str)) -
 /// Serialise the self-contained [`StringGramSet`] instead.
 ///
 /// [`SharedInterner`]: crate::intern::SharedInterner
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct QGramSet {
     grams: Vec<GramId>,
+    /// The same ids permuted **rare-first** (ascending document frequency
+    /// at extraction time, ties by id) — the traversal order of the probe
+    /// prefix.  A snapshot: later extractions of the same string may rank
+    /// differently as frequencies evolve, which is why equality ignores
+    /// this field.
+    probe_order: Vec<GramId>,
     /// Number of windows before deduplication (used by the cost model).
     window_count: usize,
 }
 
+/// Two sets are equal when they contain the same ids (and saw the same
+/// window count) — the rare-first [`QGramSet::probe_order`] is a
+/// frequency *snapshot*, not part of the set's identity.
+impl PartialEq for QGramSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.grams == other.grams && self.window_count == other.window_count
+    }
+}
+
+impl Eq for QGramSet {}
+
 impl QGramSet {
     /// Extract the q-gram set of `input` under `config`, interning each
     /// distinct gram through `interner`.
+    ///
+    /// Extraction also **notes the set** in the interner's document-
+    /// frequency sidecar (once per distinct gram) and snapshots the
+    /// rare-first [`Self::probe_order`] from the updated frequencies.
     pub fn extract(input: &str, config: &QGramConfig, interner: &mut GramInterner) -> Self {
         let mut grams: Vec<GramId> = Vec::new();
         let window_count = for_each_window(input, config, |window| {
@@ -184,8 +205,11 @@ impl QGramSet {
         });
         grams.sort_unstable();
         grams.dedup();
+        interner.note_document(&grams);
+        let probe_order = interner.rank_order(&grams);
         Self {
             grams,
+            probe_order,
             window_count,
         }
     }
@@ -211,6 +235,21 @@ impl QGramSet {
         &self.grams
     }
 
+    /// The gram ids in rare-first rank order (ascending document
+    /// frequency at extraction time) — the order the prefix filter scans
+    /// posting lists in.  Same distinct ids as [`Self::gram_ids`],
+    /// permuted.
+    pub fn probe_order(&self) -> &[GramId] {
+        &self.probe_order
+    }
+
+    /// Estimated heap bytes of the id storage (both the sorted column
+    /// and the rare-first permutation) — what the operators' state
+    /// accounting charges per resident tuple.
+    pub fn ids_bytes(&self) -> usize {
+        (self.grams.len() + self.probe_order.len()) * std::mem::size_of::<GramId>()
+    }
+
     /// Whether `id` is a member.
     pub fn contains(&self, id: GramId) -> bool {
         self.grams.binary_search(&id).is_ok()
@@ -224,21 +263,7 @@ impl QGramSet {
     /// `|self ∩ other|` by sorted merge.  Both sets must come from the
     /// same interner.
     pub fn intersection_size(&self, other: &QGramSet) -> usize {
-        let mut i = 0;
-        let mut j = 0;
-        let mut count = 0;
-        while i < self.grams.len() && j < other.grams.len() {
-            match self.grams[i].cmp(&other.grams[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
+        overlap_at_least(&self.grams, &other.grams, 0).unwrap_or(0)
     }
 
     /// `|self ∪ other|`.  Both sets must come from the same interner.
@@ -290,6 +315,74 @@ impl QGramSet {
     pub fn min_overlap_for(&self, threshold: f64) -> usize {
         crate::similarity::QGramCoefficient::Jaccard.min_overlap(self.len(), threshold)
     }
+}
+
+/// Size ratio beyond which [`overlap_at_least`] switches from the linear
+/// merge to galloping (exponential search) over the longer side.
+const GALLOP_RATIO: usize = 8;
+
+/// Exact `|a ∩ b|` of two sorted, deduplicated [`GramId`] slices — unless
+/// the intersection provably cannot reach `min`, in which case `None` is
+/// returned as soon as that is known (`count so far + elements left on
+/// the shorter side < min`).
+///
+/// This is the approximate join's **merge-based verification** primitive:
+/// a prefix-filtered candidate's overlap is computed exactly here instead
+/// of being accumulated posting list by posting list, and candidates that
+/// cannot reach the coefficient's `min_overlap` bound exit early.  When
+/// one side is ≥ `GALLOP_RATIO` (8)× longer than the other, the merge
+/// gallops (exponential search) through the longer side, so lopsided
+/// intersections cost `O(short · log long)` instead of `O(long)`.
+///
+/// `min == 0` never exits early and always yields the exact size.
+pub fn overlap_at_least<'s>(mut a: &'s [GramId], mut b: &'s [GramId], min: usize) -> Option<usize> {
+    let mut count = 0usize;
+    while !a.is_empty() && !b.is_empty() {
+        // Keep `a` the shorter side; the early exit and the gallop both
+        // key off it.
+        if a.len() > b.len() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if count + a.len() < min {
+            return None;
+        }
+        if b.len() >= GALLOP_RATIO * a.len() {
+            let target = a[0];
+            let pos = lower_bound_gallop(b, target);
+            if b.get(pos) == Some(&target) {
+                count += 1;
+                b = &b[pos + 1..];
+            } else {
+                b = &b[pos..];
+            }
+            a = &a[1..];
+            continue;
+        }
+        match a[0].cmp(&b[0]) {
+            std::cmp::Ordering::Less => a = &a[1..],
+            std::cmp::Ordering::Greater => b = &b[1..],
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                a = &a[1..];
+                b = &b[1..];
+            }
+        }
+    }
+    (count >= min).then_some(count)
+}
+
+/// First index of sorted `b` whose element is `>= target`, found by
+/// exponential probing followed by a binary search over the bracketed
+/// range — `O(log position)` rather than `O(log |b|)` when the target
+/// sits near the front, which is the common case while merging.
+fn lower_bound_gallop(b: &[GramId], target: GramId) -> usize {
+    let mut bound = 1;
+    while bound < b.len() && b[bound] < target {
+        bound *= 2;
+    }
+    let lo = bound / 2;
+    let hi = bound.min(b.len());
+    lo + b[lo..hi].partition_point(|&x| x < target)
 }
 
 impl fmt::Display for QGramSet {
@@ -634,6 +727,68 @@ mod tests {
     }
 
     #[test]
+    fn probe_order_is_a_rare_first_permutation() {
+        let mut interner = GramInterner::new();
+        let cfg = unpadded_ascii(3);
+        // "abcd" twice then "bcde" once: grams of "abcd" end up more
+        // frequent than the ones unique to "bcde".
+        QGramSet::extract("abcd", &cfg, &mut interner);
+        QGramSet::extract("abcd", &cfg, &mut interner);
+        let set = QGramSet::extract("bcde", &cfg, &mut interner);
+        // Same ids, permuted.
+        let mut sorted = set.probe_order().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, set.gram_ids());
+        // Rare first: "cde" (seen once) precedes "bcd" (seen 3 times).
+        let cde = interner.get("cde").unwrap();
+        let bcd = interner.get("bcd").unwrap();
+        let pos = |id| set.probe_order().iter().position(|&g| g == id).unwrap();
+        assert!(pos(cde) < pos(bcd), "rare gram must come first");
+    }
+
+    #[test]
+    fn overlap_at_least_matches_plain_intersection() {
+        let cfg = QGramConfig::default();
+        let mut interner = GramInterner::new();
+        let a = QGramSet::extract("GENOVA NERVI", &cfg, &mut interner);
+        let b = QGramSet::extract("GENOVA QUARTO", &cfg, &mut interner);
+        let exact = a.intersection_size(&b);
+        assert!(exact > 0);
+        // Reachable bounds return the exact size; unreachable ones None.
+        for min in 0..=exact {
+            assert_eq!(
+                overlap_at_least(a.gram_ids(), b.gram_ids(), min),
+                Some(exact)
+            );
+        }
+        assert_eq!(
+            overlap_at_least(a.gram_ids(), b.gram_ids(), exact + 1),
+            None
+        );
+        assert_eq!(overlap_at_least(a.gram_ids(), &[], 0), Some(0));
+        assert_eq!(overlap_at_least(a.gram_ids(), &[], 1), None);
+    }
+
+    #[test]
+    fn overlap_at_least_gallops_lopsided_inputs_correctly() {
+        // One short side against a long one (ratio far beyond the gallop
+        // threshold), with matches at the front, middle and back.
+        let long: Vec<GramId> = (0..1000u32).map(GramId::new).collect();
+        let short: Vec<GramId> = [0u32, 499, 999, 1500]
+            .into_iter()
+            .map(GramId::new)
+            .collect();
+        assert_eq!(overlap_at_least(&short, &long, 0), Some(3));
+        assert_eq!(overlap_at_least(&long, &short, 0), Some(3), "symmetric");
+        assert_eq!(overlap_at_least(&short, &long, 3), Some(3));
+        assert_eq!(overlap_at_least(&short, &long, 4), None);
+        // No overlap at all.
+        let disjoint: Vec<GramId> = (2000..2004u32).map(GramId::new).collect();
+        assert_eq!(overlap_at_least(&disjoint, &long, 0), Some(0));
+        assert_eq!(overlap_at_least(&disjoint, &long, 1), None);
+    }
+
+    #[test]
     fn display_lists_gram_ids_and_strings() {
         let (set, _) = interned("ab", &unpadded_ascii(2));
         assert_eq!(set.to_string(), "{#0}");
@@ -723,6 +878,75 @@ mod proptests {
             resolved.sort_unstable();
             let expected: Vec<&str> = strings.iter().map(|g| g.as_ref()).collect();
             prop_assert_eq!(resolved, expected);
+        }
+
+        /// The early-exit/galloping merge agrees with the plain
+        /// intersection for every input and every bound: exact size when
+        /// reachable, `None` exactly when not.
+        #[test]
+        fn overlap_at_least_agrees_with_intersection_size(
+            a in arb_key(),
+            b in arb_key(),
+            min in 0usize..40,
+        ) {
+            let cfg = QGramConfig::default();
+            let mut interner = GramInterner::new();
+            let sa = QGramSet::extract(&a, &cfg, &mut interner);
+            let sb = QGramSet::extract(&b, &cfg, &mut interner);
+            let exact = sa.intersection_size(&sb);
+            let bounded = overlap_at_least(sa.gram_ids(), sb.gram_ids(), min);
+            if exact >= min {
+                prop_assert_eq!(bounded, Some(exact));
+            } else {
+                prop_assert_eq!(bounded, None);
+            }
+        }
+
+        /// The prefix bound is sound for all four coefficients: any pair
+        /// reaching θ shares at least one gram within the rare-first
+        /// prefix `|A| − min_overlap(|A|, θ) + 1` of either side's probe
+        /// order — so a prefix-limited posting scan cannot miss a true
+        /// match, whichever side probes.
+        #[test]
+        fn prefix_bound_is_sound_for_every_coefficient(
+            a in arb_key(),
+            b in arb_key(),
+            repeats in 0usize..4,
+        ) {
+            use crate::similarity::QGramCoefficient;
+            let cfg = QGramConfig::default();
+            let mut interner = GramInterner::new();
+            // Perturb the document frequencies (hence the rank order)
+            // with extra extractions: soundness must not depend on them.
+            for _ in 0..repeats {
+                QGramSet::extract(&a, &cfg, &mut interner);
+            }
+            let sa = QGramSet::extract(&a, &cfg, &mut interner);
+            let sb = QGramSet::extract(&b, &cfg, &mut interner);
+            let inter = sa.intersection_size(&sb);
+            for coefficient in QGramCoefficient::ALL {
+                let sim = coefficient.combine(inter, sa.len(), sb.len());
+                for theta in [0.1, 0.3, 0.5, 0.8, 0.95, 1.0] {
+                    if sim < theta {
+                        continue;
+                    }
+                    for (probe, index) in [(&sa, &sb), (&sb, &sa)] {
+                        if probe.is_empty() {
+                            continue;
+                        }
+                        let prefix = coefficient.prefix_len(probe.len(), theta);
+                        prop_assert!(prefix >= 1 && prefix <= probe.len());
+                        let hit = probe.probe_order()[..prefix]
+                            .iter()
+                            .any(|&id| index.contains(id));
+                        prop_assert!(
+                            hit,
+                            "{} θ={} sim={}: no shared gram in the {}-gram prefix",
+                            coefficient.name(), theta, sim, prefix
+                        );
+                    }
+                }
+            }
         }
 
         /// Pairwise set operations agree between the two representations

@@ -137,6 +137,26 @@ impl QGramCoefficient {
         (bound.ceil() as usize).clamp(1, probe_len)
     }
 
+    /// Number of probe grams the prefix filter must scan: with
+    /// `t = min_overlap(probe_len, threshold)`, any candidate sharing at
+    /// least `t` grams with the probe set shares — by pigeonhole — at
+    /// least one gram with **any** `probe_len − t + 1` of the probe's
+    /// grams (the probe has at most `probe_len − t` grams outside the
+    /// intersection).  Scanning only that many posting lists therefore
+    /// finds every candidate that can still reach the threshold,
+    /// whichever traversal order is used; rare-first ordering is the
+    /// performance choice, not a soundness requirement.
+    ///
+    /// `0` for an empty probe set; between `1` and `probe_len` otherwise
+    /// (it equals `probe_len` — no filtering — exactly when
+    /// `min_overlap` is 1, e.g. always for [`Self::Overlap`]).
+    pub fn prefix_len(self, probe_len: usize, threshold: f64) -> usize {
+        if probe_len == 0 {
+            return 0;
+        }
+        probe_len - self.min_overlap(probe_len, threshold) + 1
+    }
+
     /// The [`StringSimilarity`] implementation computing this coefficient
     /// over q-gram sets extracted under `config` — what the inverted-index
     /// kernel's output is equivalent to, pair by pair.
@@ -354,6 +374,26 @@ mod tests {
                 }
             );
         }
+    }
+
+    #[test]
+    fn prefix_len_complements_min_overlap() {
+        for coefficient in QGramCoefficient::ALL {
+            assert_eq!(coefficient.prefix_len(0, 0.8), 0, "empty probe");
+            for probe_len in [1usize, 5, 33, 100] {
+                for theta in [0.0, 0.5, 0.8, 1.0] {
+                    let t = coefficient.min_overlap(probe_len, theta);
+                    let prefix = coefficient.prefix_len(probe_len, theta);
+                    assert_eq!(prefix, probe_len - t + 1);
+                    assert!((1..=probe_len).contains(&prefix));
+                }
+            }
+        }
+        // The Overlap coefficient can never prune (t = 1 always)…
+        assert_eq!(QGramCoefficient::Overlap.prefix_len(33, 0.8), 33);
+        // …while a high Jaccard threshold scans only a short prefix.
+        assert_eq!(QGramCoefficient::Jaccard.prefix_len(33, 1.0), 1);
+        assert!(QGramCoefficient::Jaccard.prefix_len(33, 0.8) <= 7);
     }
 
     #[test]

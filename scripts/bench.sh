@@ -4,18 +4,27 @@
 # file (which embeds probe_ns_per_tuple / insert_ns_per_tuple).
 #
 # Usage: scripts/bench.sh [--smoke|--full] [--out PATH] [--baseline PATH]
-#                         [--max-regression FRACTION]
+#                         [--max-regression FRACTION] [--summary PATH]
 #
 #   --smoke           seconds-long sweep for CI (default)
 #   --full            the order-of-magnitude-larger local sweep
 #   --out PATH        output file; default: the first unused BENCH_<n>.json
 #                     (n starts at 2 — the PR that introduced the pipeline)
-#   --baseline PATH   gate headline throughput AND probe_ns_per_tuple
+#   --baseline PATH   gate headline throughput AND the probe-kernel
+#                     microbench metrics (probe_ns_per_tuple,
+#                     insert_ns_per_tuple, skewed_probe_ns_per_tuple)
 #                     against this report, failing on a regression beyond
 #                     --max-regression
 #   --max-regression  allowed fractional regression (default 0.20)
 #   --min-speedup     required 4-shard/1-shard throughput ratio (skipped
 #                     automatically on hosts with fewer than 4 cores)
+#   --summary PATH    append a Markdown candidate-funnel delta table
+#                     (current vs baseline) to PATH — CI passes
+#                     $GITHUB_STEP_SUMMARY
+#
+# The sweep always measures two probe-kernel points: the uniform smoke
+# workload and the Zipf-skewed one (--skewed on the standalone
+# bench_probe), both embedded in the written BENCH_<n>.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +35,7 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke|--full) MODE="$1"; shift ;;
     --out) OUT="$2"; shift 2 ;;
-    --baseline|--max-regression|--min-speedup) EXTRA+=("$1" "$2"); shift 2 ;;
+    --baseline|--max-regression|--min-speedup|--summary) EXTRA+=("$1" "$2"); shift 2 ;;
     *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use linkage_core::{AdaptiveJoin, SwitchEvent};
 use linkage_exec::{ParallelJoin, ShardStats};
-use linkage_operators::{JoinPhase, Operator, PerKind};
+use linkage_operators::{JoinPhase, Operator, PerKind, ProbeFunnel};
 use linkage_types::{MatchPair, PerSide, Result, SidedRecord};
 
 /// A join backend the pipeline can drive.
@@ -97,6 +97,29 @@ impl RunReport {
     /// gram table once.
     pub fn total_state_bytes(&self) -> usize {
         self.state_bytes() + self.interner_bytes()
+    }
+
+    /// Total flat-posting slack bytes across shards: headers of
+    /// never-populated gram-id slots plus unused posting capacity —
+    /// reported separately from [`Self::state_bytes`] so the payload
+    /// estimate and the layout overhead are both visible (0 until the
+    /// sharded engine finishes; the serial engine does not report it).
+    pub fn postings_slack_bytes(&self) -> usize {
+        self.shard_stats
+            .iter()
+            .map(|s| s.postings_slack_bytes)
+            .sum()
+    }
+
+    /// The join-wide candidate funnel: every shard's probe-kernel
+    /// counters folded together (zeros until the sharded engine
+    /// finishes; the serial engine does not report it).
+    pub fn probe_funnel(&self) -> ProbeFunnel {
+        let mut funnel = ProbeFunnel::default();
+        for stats in &self.shard_stats {
+            funnel.absorb(stats.funnel);
+        }
+        funnel
     }
 }
 

@@ -21,12 +21,14 @@
 //!   same match-pair set and equivalent `RunReport` counters whether it
 //!   executes `.serial()` or `.sharded(n)` (property-based), and every
 //!   pluggable similarity coefficient agrees with its nested-loop oracle;
-//! * `probe_kernel_equivalence` — the interned-gram probe kernel (dense
-//!   ids, flat postings, epoch counters, length filter) emits the
+//! * `probe_kernel_equivalence` — the prefix-filtered probe kernel
+//!   (dense ids, flat postings, rare-first prefix candidate generation,
+//!   length filter, merge-based verification) emits the
 //!   **bit-identical** match stream of the retained string-keyed
 //!   reference probe *and* the match-pair set of the quadratic oracle,
 //!   on randomized workloads, for all four `QGramCoefficient`s,
-//!   including across the §3.3 mid-stream switch/handover;
+//!   including across the §3.3 mid-stream switch/handover and across a
+//!   mid-stream coefficient change;
 //! * `protocol` — the operator lifecycle is enforced across the stack.
 
 #![forbid(unsafe_code)]
@@ -711,6 +713,57 @@ mod probe_kernel_equivalence {
         }
     }
 
+    /// Run both kernels over the feed with a coefficient change applied
+    /// (via `set_coefficient`) after `change_at` tuples, requiring
+    /// bit-identical streams throughout.  There is no static oracle for
+    /// a mid-stream coefficient schedule — each pair is scored under the
+    /// coefficient active when its later tuple arrives — so bit-identity
+    /// with the independently implemented reference is the check.
+    fn run_both_with_coefficient_change(
+        tuples: &[SidedRecord],
+        first: QGramCoefficient,
+        second: QGramCoefficient,
+        change_at: usize,
+    ) {
+        let mut fast =
+            SshJoinCore::new(KEYS, QGramConfig::default(), THETA).with_coefficient(first);
+        let mut reference =
+            ReferenceSshCore::new(KEYS, QGramConfig::default(), THETA).with_coefficient(first);
+        let (mut fast_out, mut ref_out) = (VecDeque::new(), VecDeque::new());
+        for (i, sided) in tuples.iter().enumerate() {
+            if i == change_at {
+                fast.set_coefficient(second);
+                reference.set_coefficient(second);
+            }
+            fast.process(sided.clone(), &mut fast_out).unwrap();
+            reference.process(sided.clone(), &mut ref_out).unwrap();
+        }
+        assert_eq!(
+            view(&fast_out),
+            view(&ref_out),
+            "kernels diverged under a {} → {} change at {change_at}",
+            first.name(),
+            second.name()
+        );
+        assert_eq!(fast.emitted_exact(), reference.emitted_exact());
+        assert_eq!(fast.emitted_approx(), reference.emitted_approx());
+    }
+
+    #[test]
+    fn mid_stream_coefficient_change_stays_bit_identical() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(60, 53)).expect("datagen failed");
+        let tuples = feed(&data);
+        for (first, second) in [
+            (QGramCoefficient::Jaccard, QGramCoefficient::Overlap),
+            (QGramCoefficient::Overlap, QGramCoefficient::Jaccard),
+            (QGramCoefficient::Dice, QGramCoefficient::Cosine),
+        ] {
+            for change_at in [0, 1, tuples.len() / 2, tuples.len()] {
+                run_both_with_coefficient_change(&tuples, first, second, change_at);
+            }
+        }
+    }
+
     proptest! {
         /// Randomized workloads: the interned kernel is bit-identical to
         /// the string-keyed reference and set-identical to the quadratic
@@ -728,6 +781,30 @@ mod probe_kernel_equivalence {
             let pairs = run_both(&tuples, coefficient, None);
             assert_no_duplicates(&pairs);
             prop_assert_eq!(id_set(&pairs), oracle_set(&data, coefficient));
+        }
+
+        /// A mid-stream coefficient change at an arbitrary position
+        /// keeps the prefix kernel bit-identical to the reference (the
+        /// prefix length is recomputed per probe from the active
+        /// coefficient).
+        #[test]
+        fn coefficient_change_stays_bit_identical(
+            parents in 16usize..40,
+            seed in 0u64..10_000,
+            first_idx in 0usize..4,
+            second_idx in 0usize..4,
+            change_percent in 0usize..101,
+        ) {
+            let data = generate(&DatagenConfig::mid_stream_dirty(parents, seed))
+                .expect("datagen failed");
+            let tuples = feed(&data);
+            let change_at = change_percent * tuples.len() / 100;
+            run_both_with_coefficient_change(
+                &tuples,
+                QGramCoefficient::ALL[first_idx],
+                QGramCoefficient::ALL[second_idx],
+                change_at,
+            );
         }
 
         /// The §3.3 mid-stream switch/handover at an arbitrary stream
