@@ -13,58 +13,11 @@
 use std::sync::Arc;
 
 use linkage_operators::{PerKind, ProbeFunnel, SshStored};
-use linkage_text::QGramSet;
 use linkage_types::{MatchPair, PerSide, Result, ShardId, Side, SidedRecord};
 
-/// One epoch's input tuples with their routing work pre-done by the
-/// coordinator, laid out as a structure of arrays.
-///
-/// In the approximate phase every shard receives every tuple (to probe
-/// its slice of the resident state), so each key is normalised, tokenised
-/// and **interned** once here — the gram sets are dense-id
-/// [`QGramSet`]s every worker can index its flat postings with directly —
-/// and `homes[i]` names the single shard that also stores tuple `i`.
-#[derive(Debug, Default)]
-pub struct PreparedBatch {
-    /// The tuples, tagged with their input side, in stream order.
-    pub sided: Vec<SidedRecord>,
-    /// The normalised join key of each tuple.
-    pub keys: Vec<Arc<str>>,
-    /// The interned q-gram set of each key.
-    pub grams: Vec<QGramSet>,
-    /// The shard that stores each tuple.
-    pub homes: Vec<ShardId>,
-}
-
-impl PreparedBatch {
-    /// An empty batch with room for `capacity` tuples.
-    pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            sided: Vec::with_capacity(capacity),
-            keys: Vec::with_capacity(capacity),
-            grams: Vec::with_capacity(capacity),
-            homes: Vec::with_capacity(capacity),
-        }
-    }
-
-    /// Append one prepared tuple.
-    pub fn push(&mut self, sided: SidedRecord, key: Arc<str>, grams: QGramSet, home: ShardId) {
-        self.sided.push(sided);
-        self.keys.push(key);
-        self.grams.push(grams);
-        self.homes.push(home);
-    }
-
-    /// Number of tuples in the batch.
-    pub fn len(&self) -> usize {
-        self.sided.len()
-    }
-
-    /// Whether the batch holds no tuples.
-    pub fn is_empty(&self) -> bool {
-        self.sided.is_empty()
-    }
-}
+// The structure-of-arrays batch now lives beside the batched probe
+// kernel that consumes it; it is still part of this wire protocol.
+pub use linkage_operators::PreparedBatch;
 
 /// A command from the coordinator to one shard.
 #[derive(Debug)]
@@ -127,9 +80,11 @@ pub struct ShardStats {
     /// to the same table: account for it once per join, never summed
     /// over shards.
     pub interner_bytes: usize,
-    /// Estimated flat-posting slack bytes (both sides): headers of
-    /// never-populated gram-id slots plus unused posting capacity —
-    /// reported separately so `state_bytes` stays the payload estimate.
+    /// Estimated non-payload overhead bytes: flat-posting slack on both
+    /// sides (headers of never-populated gram-id slots plus unused
+    /// posting capacity) plus the probe-scratch allocations (epoch
+    /// stamps, candidate arena, batch ranges, bounds memo) — reported
+    /// separately so `state_bytes` stays the payload estimate.
     pub postings_slack_bytes: usize,
     /// Cumulative candidate-funnel counters of this shard's probe kernel
     /// (zero while the shard is still exact).  Sum over shards for the

@@ -24,6 +24,11 @@ use linkage_types::{LinkageError, MatchKind, MatchPair, PerSide, ShardId};
 
 use crate::messages::{ShardCmd, ShardReply, ShardStats};
 
+// One long-lived instance per worker thread: the inline size gap
+// between the kernels (the approximate core carries its probe scratch)
+// never multiplies across a collection, so boxing would only add
+// indirection.
+#[allow(clippy::large_enum_variant)]
 enum Core {
     Exact(ExactJoinCore),
     Approx(SshJoinCore),
@@ -89,21 +94,11 @@ impl ShardWorker {
                 let Core::Approx(ssh) = &mut self.core else {
                     return Self::protocol_error("ApproxBatch outside the approximate phase");
                 };
-                for i in 0..batch.len() {
-                    let store = batch.homes[i] == self.id;
-                    self.probes += 1;
-                    if store {
-                        self.stored_tuples += 1;
-                    }
-                    if let Err(e) = ssh.process_prepared(
-                        &batch.sided[i],
-                        &batch.keys[i],
-                        &batch.grams[i],
-                        store,
-                        &mut self.out,
-                    ) {
-                        return ShardReply::Pairs(Err(e));
-                    }
+                self.probes += batch.len() as u64;
+                self.stored_tuples +=
+                    batch.homes.iter().filter(|&&home| home == self.id).count() as u64;
+                if let Err(e) = ssh.probe_batch_into(&batch, Some(self.id), &mut self.out) {
+                    return ShardReply::Pairs(Err(e));
                 }
                 ShardReply::Pairs(Ok(self.drain()))
             }
@@ -159,7 +154,10 @@ impl ShardWorker {
                 (
                     c.stored(),
                     c.state_bytes(),
-                    slack.left + slack.right,
+                    // Probe scratch (epoch stamps, candidate arena, batch
+                    // ranges, bounds memo) is overhead the same way posting
+                    // slack is: allocated but not payload.
+                    slack.left + slack.right + c.scratch_bytes(),
                     c.funnel(),
                 )
             }

@@ -76,6 +76,9 @@ fn main() -> ExitCode {
         result.pairs,
         result.distinct_grams
     );
+    for &(batch_size, ns) in &result.batch_sweep {
+        eprintln!("bench_probe: batched probe @{batch_size:>5}: {ns:.0} ns/tuple");
+    }
     let report = result.render(args.mode, &args.sha);
     match &args.out {
         Some(path) => {

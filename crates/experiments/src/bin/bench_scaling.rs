@@ -13,8 +13,9 @@
 //! skewed-workload twin feeding `skewed_probe_ns_per_tuple`), writes the
 //! JSON report to `--out` (default: stdout only), and — when
 //! `--baseline` is given — compares `headline_throughput_tuples_per_s`
-//! **and** the `probe_ns_per_tuple` / `insert_ns_per_tuple` /
-//! `skewed_probe_ns_per_tuple` microbench metrics against the baseline
+//! **and** the `probe_ns_per_tuple` / `probe_batch_ns_per_tuple` /
+//! `insert_ns_per_tuple` / `skewed_probe_ns_per_tuple` microbench
+//! metrics against the baseline
 //! document, exiting non-zero if throughput dropped, or a kernel path
 //! slowed, by more than `--max-regression` (default 0.20, the CI gate).
 //!
@@ -113,8 +114,10 @@ fn main() -> ExitCode {
         );
     }
     eprintln!(
-        "  probe kernel: {:.0} ns/probe, {:.0} ns/insert",
-        run.probe.probe_ns_per_tuple, run.probe.insert_ns_per_tuple
+        "  probe kernel: {:.0} ns/probe ({:.0} ns batched), {:.0} ns/insert",
+        run.probe.probe_ns_per_tuple,
+        run.probe.probe_batch_ns_per_tuple,
+        run.probe.insert_ns_per_tuple
     );
 
     let report = scaling_report(&run, args.mode, &args.sha).render();
@@ -175,6 +178,10 @@ fn main() -> ExitCode {
         // skipped with a note against baselines that predate its metric.
         let kernel_gates = [
             ("probe_ns_per_tuple", run.probe.probe_ns_per_tuple),
+            (
+                "probe_batch_ns_per_tuple",
+                run.probe.probe_batch_ns_per_tuple,
+            ),
             ("insert_ns_per_tuple", run.probe.insert_ns_per_tuple),
             (
                 "skewed_probe_ns_per_tuple",
@@ -213,6 +220,11 @@ fn funnel_summary(run: &ScalingRun, baseline: Option<&str>) -> String {
             "probe ns/tuple",
             "probe_ns_per_tuple",
             run.probe.probe_ns_per_tuple,
+        ),
+        (
+            "probe batch ns/tuple",
+            "probe_batch_ns_per_tuple",
+            run.probe.probe_batch_ns_per_tuple,
         ),
         (
             "candidates scanned",

@@ -40,5 +40,7 @@ pub mod scaling;
 
 pub use harness::{header, run, ExperimentConfig, ExperimentResult, JoinMode};
 pub use json::{extract_number, JsonValue};
-pub use probe::{run_probe_bench, ProbeBenchConfig, ProbeBenchResult};
+pub use probe::{
+    run_probe_bench, ProbeBenchConfig, ProbeBenchResult, BATCH_SWEEP, PROBE_BATCH_SIZE,
+};
 pub use scaling::{run_scaling, scaling_report, ScalingConfig, ScalingPoint, ScalingRun};

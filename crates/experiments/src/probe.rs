@@ -23,11 +23,20 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
-use linkage_operators::{ProbeFunnel, SshJoinCore};
+use linkage_operators::{PreparedBatch, ProbeFunnel, SshJoinCore};
 use linkage_text::{QGramConfig, QGramSet};
-use linkage_types::{defaults, PerSide, Result, Side, SidedRecord};
+use linkage_types::{defaults, PerSide, Result, ShardId, Side, SidedRecord};
 
 use crate::json::JsonValue;
+
+/// Batch sizes the batched-probe sweep measures.
+pub const BATCH_SWEEP: [usize; 4] = [16, 64, 256, 1024];
+
+/// The sweep point reported as `probe_batch_ns_per_tuple` (and gated in
+/// CI): the sharded executor's default epoch batch
+/// ([`defaults::EPOCH_BATCH_SIZE`]), so this is the batch size
+/// production probes actually run at.
+pub const PROBE_BATCH_SIZE: usize = defaults::EPOCH_BATCH_SIZE;
 
 /// Configuration of one probe microbench run.
 ///
@@ -105,6 +114,11 @@ pub struct ProbeBenchResult {
     /// Nanoseconds per probe-only tuple (epoch-counter probe of the full
     /// resident index; tokenisation pre-done, as at the sharded router).
     pub probe_ns_per_tuple: f64,
+    /// Nanoseconds per tuple through the batched entry point
+    /// (`probe_batch_into`) at [`PROBE_BATCH_SIZE`] tuples per batch.
+    pub probe_batch_ns_per_tuple: f64,
+    /// The full `(batch_size, ns_per_tuple)` sweep over [`BATCH_SWEEP`].
+    pub batch_sweep: Vec<(usize, f64)>,
     /// Pairs the probe loop emitted (sanity: the workload must match).
     pub pairs: u64,
     /// Distinct grams interned over the whole run.
@@ -133,6 +147,24 @@ impl ProbeBenchResult {
             (
                 "probe_ns_per_tuple",
                 JsonValue::num(self.probe_ns_per_tuple),
+            ),
+            (
+                "probe_batch_ns_per_tuple",
+                JsonValue::num(self.probe_batch_ns_per_tuple),
+            ),
+            (
+                "batch_sweep",
+                JsonValue::Array(
+                    self.batch_sweep
+                        .iter()
+                        .map(|&(batch_size, ns)| {
+                            JsonValue::object(vec![
+                                ("batch_size", JsonValue::num(batch_size as f64)),
+                                ("ns_per_tuple", JsonValue::num(ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             ("pairs", JsonValue::num(self.pairs as f64)),
             ("distinct_grams", JsonValue::num(self.distinct_grams as f64)),
@@ -206,14 +238,52 @@ pub fn run_probe_bench(config: &ProbeBenchConfig) -> Result<ProbeBenchResult> {
     let probed = prepared.len() as u64;
     let probe_ns = start.elapsed().as_nanos() as f64 / (probed.max(1)) as f64;
 
+    // Snapshot the funnel before the sweep so the reported counters
+    // describe exactly one pass over the probe side (the serial loop);
+    // the sweep re-probes the same tuples several times.
+    let funnel = core.funnel();
+
+    // Batched probe: the same prepared tuples through `probe_batch_into`
+    // in `store_home = None` (probe-only) mode.  Batch assembly happens
+    // off the clock — the sharded coordinator owns that cost — so each
+    // timed pass is the batched scan + block-verify kernel alone.
+    let mut batch_sweep = Vec::with_capacity(BATCH_SWEEP.len());
+    let mut probe_batch_ns = 0.0;
+    for &batch_size in &BATCH_SWEEP {
+        let batches: Vec<PreparedBatch> = prepared
+            .chunks(batch_size)
+            .map(|chunk| {
+                let mut batch = PreparedBatch::with_capacity(chunk.len());
+                for (sided, key, grams) in chunk {
+                    batch.push(sided.clone(), key.clone(), grams.clone(), ShardId(0));
+                }
+                batch
+            })
+            .collect();
+        let start = Instant::now();
+        let mut emitted = 0u64;
+        for batch in &batches {
+            emitted += core.probe_batch_into(batch, None, &mut out)? as u64;
+            out.clear();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (probed.max(1)) as f64;
+        debug_assert_eq!(emitted, pairs, "batched probe must emit the serial pairs");
+        if batch_size == PROBE_BATCH_SIZE {
+            probe_batch_ns = ns;
+        }
+        batch_sweep.push((batch_size, ns));
+    }
+
     Ok(ProbeBenchResult {
         inserted,
         probed,
         insert_ns_per_tuple: insert_ns,
         probe_ns_per_tuple: probe_ns,
+        probe_batch_ns_per_tuple: probe_batch_ns,
+        batch_sweep,
         pairs,
         distinct_grams: core.interner().len(),
-        funnel: core.funnel(),
+        funnel,
     })
 }
 
@@ -247,6 +317,20 @@ mod tests {
             result.funnel.prefix_postings_skipped > result.funnel.candidates_scanned,
             "at θ_sim = 0.8 the Jaccard prefix skips most postings"
         );
+        // The batch sweep covers every configured size and measured the
+        // canonical point (the debug assertion inside `run_probe_bench`
+        // already checked the batched pairs match the serial pairs).
+        assert_eq!(
+            result
+                .batch_sweep
+                .iter()
+                .map(|&(s, _)| s)
+                .collect::<Vec<_>>(),
+            BATCH_SWEEP.to_vec()
+        );
+        assert!(result.batch_sweep.iter().all(|&(_, ns)| ns > 0.0));
+        assert!(result.probe_batch_ns_per_tuple > 0.0);
+        assert!(BATCH_SWEEP.contains(&PROBE_BATCH_SIZE));
     }
 
     #[test]
@@ -288,6 +372,12 @@ mod tests {
             extract_number(&text, "insert_ns_per_tuple"),
             Some(result.insert_ns_per_tuple)
         );
+        assert_eq!(
+            extract_number(&text, "probe_batch_ns_per_tuple"),
+            Some(result.probe_batch_ns_per_tuple)
+        );
+        assert!(text.contains("\"batch_sweep\""));
+        assert!(text.contains("\"batch_size\""));
         assert!(text.contains("\"bench\": \"probe-kernel\""));
         assert!(text.contains("\"git_sha\": \"deadbeef\""));
         assert_eq!(

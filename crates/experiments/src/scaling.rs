@@ -313,10 +313,24 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
         ),
         (
             "host",
-            JsonValue::object(vec![(
-                "available_parallelism",
-                JsonValue::num(std::thread::available_parallelism().map_or(1, usize::from) as f64),
-            )]),
+            JsonValue::object(vec![
+                (
+                    "available_parallelism",
+                    JsonValue::num(
+                        std::thread::available_parallelism().map_or(1, usize::from) as f64
+                    ),
+                ),
+                // Explicit single-core marker: on a 1-core host the
+                // shards[] curve measures oversubscribed threads, not
+                // parallel speedup — readers of the trajectory must not
+                // compare its speedups against multi-core points.
+                (
+                    "single_core",
+                    JsonValue::Bool(
+                        std::thread::available_parallelism().map_or(1, usize::from) == 1,
+                    ),
+                ),
+            ]),
         ),
         (
             "headline_throughput_tuples_per_s",
@@ -325,6 +339,25 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
         (
             "probe_ns_per_tuple",
             JsonValue::num(run.probe.probe_ns_per_tuple),
+        ),
+        (
+            "probe_batch_ns_per_tuple",
+            JsonValue::num(run.probe.probe_batch_ns_per_tuple),
+        ),
+        (
+            "batch_sweep",
+            JsonValue::Array(
+                run.probe
+                    .batch_sweep
+                    .iter()
+                    .map(|&(batch_size, ns)| {
+                        JsonValue::object(vec![
+                            ("batch_size", JsonValue::num(batch_size as f64)),
+                            ("ns_per_tuple", JsonValue::num(ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         (
             "insert_ns_per_tuple",
@@ -349,6 +382,10 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
         (
             "skewed_probe_ns_per_tuple",
             JsonValue::num(run.probe_skewed.probe_ns_per_tuple),
+        ),
+        (
+            "skewed_probe_batch_ns_per_tuple",
+            JsonValue::num(run.probe_skewed.probe_batch_ns_per_tuple),
         ),
         (
             "skewed_insert_ns_per_tuple",
@@ -429,6 +466,16 @@ mod tests {
             extract_number(&text, "insert_ns_per_tuple"),
             Some(run.probe.insert_ns_per_tuple)
         );
+        assert_eq!(
+            extract_number(&text, "probe_batch_ns_per_tuple"),
+            Some(run.probe.probe_batch_ns_per_tuple)
+        );
+        assert_eq!(
+            extract_number(&text, "skewed_probe_batch_ns_per_tuple"),
+            Some(run.probe_skewed.probe_batch_ns_per_tuple)
+        );
+        assert!(text.contains("\"batch_sweep\""));
+        assert!(text.contains("\"single_core\""));
         assert_eq!(
             extract_number(&text, "skewed_probe_ns_per_tuple"),
             Some(run.probe_skewed.probe_ns_per_tuple)

@@ -1,0 +1,64 @@
+//! Structure-of-arrays tuple batches for the batched probe kernel.
+//!
+//! [`PreparedBatch`] started life as a wire message of the sharded
+//! executor; it lives here so the batched probe entry point
+//! ([`SshJoinCore::probe_batch_into`]) can consume whole batches
+//! directly — the executor re-exports it unchanged as part of its
+//! protocol.
+//!
+//! [`SshJoinCore::probe_batch_into`]: crate::SshJoinCore::probe_batch_into
+
+use std::sync::Arc;
+
+use linkage_text::QGramSet;
+use linkage_types::{ShardId, SidedRecord};
+
+/// One epoch's input tuples with their routing work pre-done by the
+/// coordinator, laid out as a structure of arrays.
+///
+/// In the approximate phase every shard receives every tuple (to probe
+/// its slice of the resident state), so each key is normalised, tokenised
+/// and **interned** once here — the gram sets are dense-id
+/// [`QGramSet`]s every worker can index its flat postings with directly —
+/// and `homes[i]` names the single shard that also stores tuple `i`.
+#[derive(Debug, Default)]
+pub struct PreparedBatch {
+    /// The tuples, tagged with their input side, in stream order.
+    pub sided: Vec<SidedRecord>,
+    /// The normalised join key of each tuple.
+    pub keys: Vec<Arc<str>>,
+    /// The interned q-gram set of each key.
+    pub grams: Vec<QGramSet>,
+    /// The shard that stores each tuple.
+    pub homes: Vec<ShardId>,
+}
+
+impl PreparedBatch {
+    /// An empty batch with room for `capacity` tuples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            sided: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            grams: Vec::with_capacity(capacity),
+            homes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append one prepared tuple.
+    pub fn push(&mut self, sided: SidedRecord, key: Arc<str>, grams: QGramSet, home: ShardId) {
+        self.sided.push(sided);
+        self.keys.push(key);
+        self.grams.push(grams);
+        self.homes.push(home);
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.sided.len()
+    }
+
+    /// Whether the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.sided.is_empty()
+    }
+}

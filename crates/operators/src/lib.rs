@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod exact;
 pub mod iterator;
 pub mod oracle;
@@ -39,6 +40,7 @@ pub mod ssh;
 pub mod state;
 pub mod switch;
 
+pub use batch::PreparedBatch;
 pub use exact::{ExactJoinCore, SymmetricHashJoin};
 pub use iterator::{Operator, OperatorState};
 pub use reference::{ReferenceSshCore, ReferenceStored};

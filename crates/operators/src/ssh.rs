@@ -52,14 +52,77 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use linkage_text::{
-    normalize, overlap_at_least, QGramCoefficient, QGramConfig, QGramSet, SharedInterner,
-};
-use linkage_types::{MatchPair, PerSide, Record, Result, Side, SidedRecord};
+use linkage_text::{normalize, GramId, QGramCoefficient, QGramConfig, QGramSet, SharedInterner};
+use linkage_types::{MatchPair, PerSide, Record, Result, ShardId, Side, SidedRecord};
 
+use crate::batch::PreparedBatch;
 use crate::exact::orient;
 use crate::iterator::{Operator, OperatorState};
 use crate::state::KeyTable;
+
+/// The verification primitive behind every candidate scoring site: exact
+/// `|a ∩ b|` with the early-exit contract of
+/// [`overlap_at_least`](linkage_text::overlap_at_least).
+///
+/// With the `simd` feature the probe side is read from the scratch's
+/// epoch-stamped gram table (filled by [`ProbeScratch::stamp_probe`]
+/// once per probe, so `a` **must** be the most recently stamped set) and
+/// the candidate side is counted with the branch-free 8-lane chunk loop
+/// of [`overlap_stamped`]; the element-at-a-time galloping merge is
+/// retained for lopsided pairs, where skipping beats scanning.  Without
+/// the feature it is the plain merge.  Every path computes the same
+/// exact count, so the emitted match stream is bit-identical either way.
+#[inline]
+fn verify_overlap(scratch: &ProbeScratch, a: &[GramId], b: &[GramId], min: usize) -> Option<usize> {
+    #[cfg(feature = "simd")]
+    {
+        if b.len() >= linkage_text::GALLOP_RATIO * a.len().max(1) {
+            return linkage_text::overlap_at_least(a, b, min);
+        }
+        overlap_stamped(&scratch.gram_stamps, scratch.gram_epoch, b, min)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        let _ = scratch;
+        linkage_text::overlap_at_least(a, b, min)
+    }
+}
+
+/// Count how many of `b`'s gram ids are stamped with the current probe
+/// epoch — exactly `|a ∩ b|` for the stamped probe set `a`, since gram
+/// sets are deduplicated.  The candidate slice is consumed in
+/// [`CHUNK_LANES`](linkage_text::CHUNK_LANES)-wide blocks whose lane
+/// bodies are branch-free table lookups (each compiles to a compare +
+/// add, with no data-dependent branches for the predictor to miss, and
+/// the per-block trip count is static so the compiler unrolls it);
+/// between blocks the usual infeasibility exit applies.  `get` rather
+/// than indexing because candidate ids beyond the stamped range simply
+/// cannot have been stamped.
+#[cfg(feature = "simd")]
+#[inline]
+fn overlap_stamped(stamps: &[u32], epoch: u32, b: &[GramId], min: usize) -> Option<usize> {
+    if b.len() < min {
+        return None;
+    }
+    let mut count = 0usize;
+    let mut remaining = b.len();
+    let mut chunks = b.chunks_exact(linkage_text::CHUNK_LANES);
+    for chunk in &mut chunks {
+        if count + remaining < min {
+            return None;
+        }
+        let mut hits = 0usize;
+        for g in chunk {
+            hits += usize::from(stamps.get(g.as_usize()) == Some(&epoch));
+        }
+        count += hits;
+        remaining -= linkage_text::CHUNK_LANES;
+    }
+    for g in chunks.remainder() {
+        count += usize::from(stamps.get(g.as_usize()) == Some(&epoch));
+    }
+    (count >= min).then_some(count)
+}
 
 /// One tuple resident in the SSH join, with its pre-extracted q-gram set.
 #[derive(Debug, Clone)]
@@ -121,16 +184,50 @@ struct ProbeScratch {
     epoch: u32,
     /// Epoch stamp per tuple position.
     stamps: Vec<u32>,
-    /// Positions touched by the current probe that passed the length
-    /// filter, sorted ascending (arrival order) after the scan phase.
+    /// Candidate **arena**: positions touched by the current probe (or,
+    /// in batch mode, by every probe of the current batch) that passed
+    /// the length filter.  Each probe's slice is sorted ascending
+    /// (arrival order) after its scan phase; batch mode addresses the
+    /// slices through `ranges`.
     candidates: Vec<u32>,
+    /// Per-probe `(start, end)` ranges into `candidates`, filled by the
+    /// batched scan phase and consumed by the block-verification phase.
+    ranges: Vec<(u32, u32)>,
+    /// Arena of per-batch-tuple stored positions (`u32::MAX` = the tuple
+    /// was not stored here), parallel to `ranges` in batch mode.
+    stored_pos: Vec<u32>,
+    /// Memoised `(min_overlap, prefix_len)` per probe length for the
+    /// `(coefficient, θ)` in `bounds_key` — the per-probe ceil/clamp
+    /// float arithmetic of [`QGramCoefficient::min_overlap`] and
+    /// [`QGramCoefficient::prefix_len`] is paid once per distinct `|A|`
+    /// instead of once per probe.  `u32::MAX` in the first slot marks an
+    /// unfilled entry.
+    bounds: Vec<(u32, u32)>,
+    /// The `(coefficient, θ)` the `bounds` table was computed for.
+    /// Checked on every lookup, so a stale table self-invalidates even
+    /// if a caller bypasses [`SshJoinCore::set_coefficient`].
+    bounds_key: Option<(QGramCoefficient, f64)>,
+    /// Epoch stamp per **gram id** (cf. `stamps`, which is per tuple
+    /// position): the direct-address table behind the `simd`
+    /// verification kernel.  [`Self::stamp_probe`] marks the current
+    /// probe's gram ids here so [`overlap_stamped`] can count a
+    /// candidate's overlap with plain table lookups instead of a
+    /// branchy merge.  Sized to the largest gram id stamped so far.
+    gram_stamps: Vec<u32>,
+    /// Current epoch of `gram_stamps` (same O(1)-reset discipline as
+    /// `epoch`/`stamps`).
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    gram_epoch: u32,
     /// Cumulative candidate-funnel counters.
     funnel: ProbeFunnel,
 }
 
 impl ProbeScratch {
-    /// Start a new probe over an index holding `tuples` residents.
-    fn begin(&mut self, tuples: usize) {
+    /// Start a new probe over an index holding `tuples` residents: grow
+    /// the stamp array and open a fresh epoch.  Does **not** clear the
+    /// candidate arena — serial probes do that themselves, batch probes
+    /// deliberately accumulate.
+    fn begin_probe(&mut self, tuples: usize) {
         if self.stamps.len() < tuples {
             self.stamps.resize(tuples, 0);
         }
@@ -141,12 +238,82 @@ impl ProbeScratch {
             self.stamps.fill(0);
             self.epoch = 1;
         }
-        self.candidates.clear();
+    }
+
+    /// The `(min_overlap, prefix_len)` bounds of a probe with `len`
+    /// grams under `(coefficient, theta)`, memoised per length.
+    fn bounds(&mut self, coefficient: QGramCoefficient, theta: f64, len: usize) -> (usize, usize) {
+        if self.bounds_key != Some((coefficient, theta)) {
+            self.bounds.clear();
+            self.bounds_key = Some((coefficient, theta));
+        }
+        if len >= self.bounds.len() {
+            self.bounds.resize(len + 1, (u32::MAX, 0));
+        }
+        let entry = &mut self.bounds[len];
+        if entry.0 == u32::MAX {
+            *entry = (
+                coefficient.min_overlap(len, theta) as u32,
+                coefficient.prefix_len(len, theta) as u32,
+            );
+        }
+        (entry.0 as usize, entry.1 as usize)
+    }
+
+    /// Mark `grams` (a sorted, deduplicated gram-id set — the probe's)
+    /// in the gram-id stamp table under a fresh epoch, so the `simd`
+    /// verification kernel can count candidate overlaps by lookup.
+    /// Must be called after candidate generation and before the first
+    /// [`verify_overlap`] of each probe; in batch mode that means once
+    /// per tuple in the *verify* phase, because phase 1 stamps would be
+    /// stale by the time phase 2 reads them.
+    #[cfg(feature = "simd")]
+    fn stamp_probe(&mut self, grams: &[GramId]) {
+        // Sorted input: the last id is the largest, so this bounds the
+        // whole set.
+        let needed = grams.last().map_or(0, |g| g.as_usize() + 1);
+        if self.gram_stamps.len() < needed {
+            self.gram_stamps.resize(needed, 0);
+        }
+        self.gram_epoch = self.gram_epoch.wrapping_add(1);
+        if self.gram_epoch == 0 {
+            self.gram_stamps.fill(0);
+            self.gram_epoch = 1;
+        }
+        let epoch = self.gram_epoch;
+        for g in grams {
+            self.gram_stamps[g.as_usize()] = epoch;
+        }
+    }
+
+    /// Without the `simd` feature verification merges the sets directly,
+    /// so stamping would be pure overhead.
+    #[cfg(not(feature = "simd"))]
+    #[inline(always)]
+    fn stamp_probe(&mut self, _grams: &[GramId]) {}
+
+    /// Drop the memoised bounds (coefficient or θ changed).
+    fn invalidate_bounds(&mut self) {
+        self.bounds.clear();
+        self.bounds_key = None;
+    }
+
+    /// Estimated heap bytes held by the probe scratch — stamp array,
+    /// candidate arena, batch ranges and the bounds memo.  Reported via
+    /// [`SshJoinCore::scratch_bytes`] so batched probing doesn't hide
+    /// RAM from the state accounting.
+    fn heap_bytes(&self) -> usize {
+        self.stamps.capacity() * std::mem::size_of::<u32>()
+            + self.gram_stamps.capacity() * std::mem::size_of::<u32>()
+            + self.candidates.capacity() * std::mem::size_of::<u32>()
+            + self.ranges.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.stored_pos.capacity() * std::mem::size_of::<u32>()
+            + self.bounds.capacity() * std::mem::size_of::<(u32, u32)>()
     }
 }
 
 /// One side's inverted q-gram index: flat posting lists indexed directly
-/// by [`GramId`](linkage_text::GramId).
+/// by [`GramId`].
 #[derive(Debug, Clone, Default)]
 pub struct GramIndex {
     tuples: Vec<SshStored>,
@@ -159,6 +326,15 @@ pub struct GramIndex {
     /// filter and the similarity arithmetic read, kept flat so the probe
     /// loop never touches the (much larger) tuple entries.
     lens: Vec<u32>,
+    /// CSR-style gram **column**: every resident's sorted gram ids,
+    /// concatenated in arrival order.  Verification reads candidate gram
+    /// sets as cache-linear slices of this column instead of chasing the
+    /// per-tuple `Vec` inside [`SshStored`] — consecutive candidates of
+    /// one probe land on nearby cache lines.
+    grams: Vec<GramId>,
+    /// CSR offsets: tuple `i`'s grams live at `grams[offsets[i] ..
+    /// offsets[i + 1]]`.  Length `tuples.len() + 1` once non-empty.
+    offsets: Vec<u32>,
     posting_entries: usize,
 }
 
@@ -188,13 +364,25 @@ impl GramIndex {
         &self.tuples
     }
 
+    /// The sorted gram ids of the tuple at `pos`, as a cache-linear
+    /// slice of the CSR gram column.  Identical content to
+    /// `tuples()[pos].grams.gram_ids()`; this is the representation the
+    /// verification kernel reads.
+    pub fn gram_column(&self, pos: usize) -> &[GramId] {
+        let start = self.offsets[pos] as usize;
+        let end = self.offsets[pos + 1] as usize;
+        &self.grams[start..end]
+    }
+
     /// Estimated resident-state size in bytes — the bytes doing useful
     /// work.
     ///
     /// Counts the tuple entries, key text, per-tuple gram-id columns
-    /// (sorted **and** rare-first permutation) and the flat inverted
-    /// index (headers of *populated* posting lists, posting entries,
-    /// per-tuple length column).  Two things are deliberately **not**
+    /// (sorted **and** rare-first permutation), the CSR gram column the
+    /// verifier reads (sorted ids concatenated, plus offsets) and the
+    /// flat inverted index (headers of *populated* posting lists,
+    /// posting entries, per-tuple length column).  Two things are
+    /// deliberately **not**
     /// counted here: gram *text*, stored once in the join's shared
     /// [`SharedInterner`] (see [`SshJoinCore::interner_bytes`]); and the
     /// slack of the flat posting layout — never-populated slot headers
@@ -209,7 +397,9 @@ impl GramIndex {
             * std::mem::size_of::<Vec<u32>>()
             + self.posting_entries * std::mem::size_of::<u32>();
         let lens = self.lens.len() * std::mem::size_of::<u32>();
-        tuples + keys + gram_ids + postings + lens
+        let csr = self.grams.len() * std::mem::size_of::<GramId>()
+            + self.offsets.len() * std::mem::size_of::<u32>();
+        tuples + keys + gram_ids + postings + lens + csr
     }
 
     /// Estimated bytes the flat posting layout holds **beyond** its
@@ -248,6 +438,12 @@ impl GramIndex {
             }
             self.postings[id.as_usize()].push(pos);
         }
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.grams.extend_from_slice(stored.grams.gram_ids());
+        let end = u32::try_from(self.grams.len()).expect("CSR gram column exceeds u32::MAX ids");
+        self.offsets.push(end);
         self.posting_entries += stored.grams.len();
         self.lens.push(stored.grams.len() as u32);
         self.tuples.push(stored);
@@ -284,11 +480,30 @@ impl GramIndex {
         theta: f64,
         scratch: &mut ProbeScratch,
     ) {
-        scratch.begin(self.tuples.len());
+        scratch.candidates.clear();
+        let (_, prefix) = scratch.bounds(coefficient, theta, probe.len());
+        self.probe_arena(probe, coefficient, theta, prefix, scratch);
+    }
+
+    /// The arena-based scan behind [`Self::probe_into`] and the batched
+    /// kernel: identical candidate generation, but survivors are
+    /// **appended** to the shared candidate arena instead of replacing
+    /// it, and the probe's `(start, end)` arena range is returned.  Only
+    /// the new tail is sorted, so each probe's slice is in arrival order
+    /// regardless of what precedes it in the arena.
+    fn probe_arena(
+        &self,
+        probe: &QGramSet,
+        coefficient: QGramCoefficient,
+        theta: f64,
+        prefix: usize,
+        scratch: &mut ProbeScratch,
+    ) -> (u32, u32) {
+        scratch.begin_probe(self.tuples.len());
         let epoch = scratch.epoch;
         let probe_len = probe.len();
         let order = probe.probe_order();
-        let prefix = coefficient.prefix_len(probe_len, theta);
+        let start = scratch.candidates.len();
         for id in &order[..prefix] {
             let Some(list) = self.postings.get(id.as_usize()) else {
                 continue;
@@ -316,8 +531,10 @@ impl GramIndex {
                 scratch.funnel.prefix_postings_skipped += list.len() as u64;
             }
         }
-        scratch.funnel.candidates_after_length_filter += scratch.candidates.len() as u64;
-        scratch.candidates.sort_unstable();
+        scratch.funnel.candidates_after_length_filter += (scratch.candidates.len() - start) as u64;
+        scratch.candidates[start..].sort_unstable();
+        let end = u32::try_from(scratch.candidates.len()).expect("candidate arena exceeds u32");
+        (start as u32, end)
     }
 }
 
@@ -396,13 +613,14 @@ impl SshJoinCore {
 
     /// Change the scoring coefficient **mid-stream**.
     ///
-    /// Takes effect on the next probe: the `min_overlap` bound and the
-    /// prefix length `|A| − t + 1` are recomputed from the current
-    /// coefficient on every probe, and the resident state needs no
+    /// Takes effect on the next probe: the memoised per-length
+    /// `min_overlap`/`prefix_len` table is invalidated and rebuilt from
+    /// the new coefficient on demand, and the resident state needs no
     /// rebuild — the inverted index and the stored gram columns are
     /// coefficient-agnostic.
     pub fn set_coefficient(&mut self, coefficient: QGramCoefficient) {
         self.coefficient = coefficient;
+        self.scratch.invalidate_bounds();
     }
 
     /// The shared gram interner handle backing this core's ids.
@@ -485,13 +703,19 @@ impl SshJoinCore {
         let (left_index, right_index) = (&core.sides.left, &core.sides.right);
         let scratch = &mut core.scratch;
         for l in left_index.tuples() {
-            let bound = coefficient.min_overlap(l.grams.len(), theta);
+            let (bound, _) = scratch.bounds(coefficient, theta, l.grams.len());
             right_index.probe_into(&l.grams, coefficient, theta, scratch);
+            scratch.stamp_probe(l.grams.gram_ids());
             let mut verified = 0u64;
-            for &pos in &scratch.candidates {
+            for i in 0..scratch.candidates.len() {
+                let pos = scratch.candidates[i];
                 let r = &right_index.tuples()[pos as usize];
-                let Some(shared) = overlap_at_least(l.grams.gram_ids(), r.grams.gram_ids(), bound)
-                else {
+                let Some(shared) = verify_overlap(
+                    scratch,
+                    l.grams.gram_ids(),
+                    right_index.gram_column(pos as usize),
+                    bound,
+                ) else {
                     continue;
                 };
                 verified += 1;
@@ -567,24 +791,26 @@ impl SshJoinCore {
         store: bool,
         out: &mut VecDeque<MatchPair>,
     ) -> Result<usize> {
-        let bound = self.coefficient.min_overlap(grams.len(), self.theta);
         let coefficient = self.coefficient;
         let theta = self.theta;
+        let (bound, _) = self.scratch.bounds(coefficient, theta, grams.len());
 
         let (own, opposite) = self.sides.own_and_opposite_mut(sided.side);
         let scratch = &mut self.scratch;
         opposite.probe_into(grams, coefficient, theta, scratch);
+        scratch.stamp_probe(grams.gram_ids());
         let mut emitted = 0usize;
         let mut verified = 0u64;
         let mut matched_exactly = false;
         let mut exact_partners: Vec<usize> = Vec::new();
         for &pos in &scratch.candidates {
             let idx = pos as usize;
-            let partner = &opposite.tuples[idx];
-            let Some(shared) = overlap_at_least(grams.gram_ids(), partner.grams.gram_ids(), bound)
+            let Some(shared) =
+                verify_overlap(scratch, grams.gram_ids(), opposite.gram_column(idx), bound)
             else {
                 continue;
             };
+            let partner = &opposite.tuples[idx];
             verified += 1;
             let pair = if partner.key == *key {
                 matched_exactly = true;
@@ -620,6 +846,132 @@ impl SshJoinCore {
             });
         }
         Ok(emitted)
+    }
+
+    /// The **batched** probe entry point: run a whole [`PreparedBatch`]
+    /// through the kernel in two columnar phases, bit-identically to
+    /// calling [`Self::process_prepared`] once per tuple.
+    ///
+    /// Phase 1 (*scan*) walks the batch in stream order, running each
+    /// tuple's prefix-posting scan and first-touch length filter into a
+    /// shared candidate arena — inserting tuples homed here as it goes,
+    /// so later tuples of the same batch still see earlier ones, exactly
+    /// as in serial execution.  Phase 2 (*verify*) scores every
+    /// surviving (probe, candidate) pair in blocks, reading candidate
+    /// gram sets as cache-linear slices of the CSR gram column (with the
+    /// `simd` feature, through the chunked 8-lane kernel).  Epoch
+    /// management and scratch growth are amortised across the batch, and
+    /// the emission order is the serial order: tuples in batch order,
+    /// each tuple's candidates in arrival order.
+    ///
+    /// `store_home = Some(id)` stores the tuples with
+    /// `batch.homes[i] == id` (the sharded executor's home-shard
+    /// contract); `None` probes only.  Returns the number of pairs
+    /// pushed into `out`.
+    pub fn probe_batch_into(
+        &mut self,
+        batch: &PreparedBatch,
+        store_home: Option<ShardId>,
+        out: &mut VecDeque<MatchPair>,
+    ) -> Result<usize> {
+        let coefficient = self.coefficient;
+        let theta = self.theta;
+
+        // Phase 1: candidate generation (and home-shard inserts) for the
+        // whole batch, into the shared arena.
+        self.scratch.candidates.clear();
+        self.scratch.ranges.clear();
+        self.scratch.stored_pos.clear();
+        for i in 0..batch.len() {
+            let grams = &batch.grams[i];
+            let prefix = self.scratch.bounds(coefficient, theta, grams.len()).1;
+            let (own, opposite) = self.sides.own_and_opposite_mut(batch.sided[i].side);
+            let range = opposite.probe_arena(grams, coefficient, theta, prefix, &mut self.scratch);
+            self.scratch.ranges.push(range);
+            if store_home == Some(batch.homes[i]) {
+                // The matched-exactly flag is not known until this
+                // tuple's verify phase; phase 2 back-patches it.
+                let pos = own.insert(SshStored {
+                    record: batch.sided[i].record.clone(),
+                    key: Arc::clone(&batch.keys[i]),
+                    grams: grams.clone(),
+                    matched_exactly: false,
+                });
+                self.scratch.stored_pos.push(pos as u32);
+            } else {
+                self.scratch.stored_pos.push(u32::MAX);
+            }
+        }
+
+        // Phase 2: block verification of the surviving pairs, in serial
+        // emission order.
+        let mut emitted_total = 0usize;
+        for i in 0..batch.len() {
+            let sided = &batch.sided[i];
+            let key = &batch.keys[i];
+            let grams = &batch.grams[i];
+            let bound = self.scratch.bounds(coefficient, theta, grams.len()).0;
+            let (start, end) = self.scratch.ranges[i];
+            // Stamp here, not in phase 1: the gram-stamp table holds one
+            // probe's ids at a time, and by phase 2 a phase-1 stamp
+            // would have been overwritten by every later tuple's scan.
+            self.scratch.stamp_probe(grams.gram_ids());
+            let (own, opposite) = self.sides.own_and_opposite_mut(sided.side);
+            let mut verified = 0u64;
+            let mut matched_exactly = false;
+            let mut exact_partners: Vec<usize> = Vec::new();
+            for c in start as usize..end as usize {
+                let idx = self.scratch.candidates[c] as usize;
+                let Some(shared) = verify_overlap(
+                    &self.scratch,
+                    grams.gram_ids(),
+                    opposite.gram_column(idx),
+                    bound,
+                ) else {
+                    continue;
+                };
+                verified += 1;
+                let partner = &opposite.tuples[idx];
+                let pair = if partner.key == *key {
+                    matched_exactly = true;
+                    exact_partners.push(idx);
+                    let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
+                    MatchPair::exact(l, r)
+                } else {
+                    let sim = coefficient.from_overlap(grams.len(), partner.grams.len(), shared);
+                    if sim < theta {
+                        continue;
+                    }
+                    let (l, r) = orient(sided.side, sided.record.clone(), partner.record.clone());
+                    MatchPair::approximate(l, r, sim)
+                };
+                if pair.kind.is_exact() {
+                    self.emitted_exact += 1;
+                } else {
+                    self.emitted_approx += 1;
+                }
+                out.push_back(pair);
+                emitted_total += 1;
+            }
+            self.scratch.funnel.candidates_verified += verified;
+            for idx in exact_partners {
+                opposite.tuples[idx].matched_exactly = true;
+            }
+            let pos = self.scratch.stored_pos[i];
+            if matched_exactly && pos != u32::MAX {
+                own.tuples[pos as usize].matched_exactly = true;
+            }
+        }
+        Ok(emitted_total)
+    }
+
+    /// Estimated heap bytes of the reusable probe scratch: the
+    /// epoch-stamp array, the candidate arena, the batch range/position
+    /// columns and the memoised bounds table.  Reported by the executor
+    /// alongside postings slack so the batched kernel's working memory
+    /// doesn't hide as untracked RAM.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.heap_bytes()
     }
 
     /// Snapshot every resident tuple, tagged with its side.
@@ -661,16 +1013,21 @@ impl SshJoinCore {
         let coefficient = self.coefficient;
         let theta = self.theta;
         for (side, f) in foreign {
-            let bound = coefficient.min_overlap(f.grams.len(), theta);
             let scratch = &mut self.scratch;
+            let bound = scratch.bounds(coefficient, theta, f.grams.len()).0;
             let local = &self.sides[side.opposite()];
             local.probe_into(&f.grams, coefficient, theta, scratch);
+            scratch.stamp_probe(f.grams.gram_ids());
             let mut verified = 0u64;
-            for &pos in &scratch.candidates {
+            for i in 0..scratch.candidates.len() {
+                let pos = scratch.candidates[i];
                 let partner = &local.tuples[pos as usize];
-                let Some(shared) =
-                    overlap_at_least(f.grams.gram_ids(), partner.grams.gram_ids(), bound)
-                else {
+                let Some(shared) = verify_overlap(
+                    scratch,
+                    f.grams.gram_ids(),
+                    local.gram_column(pos as usize),
+                    bound,
+                ) else {
                     continue;
                 };
                 verified += 1;
@@ -1275,6 +1632,153 @@ mod tests {
             slack.left,
             empty_left * std::mem::size_of::<Vec<u32>>(),
             "after shrink_postings the only slack is empty slot headers"
+        );
+    }
+
+    fn batch_of(core: &SshJoinCore, tuples: &[SidedRecord], home: ShardId) -> PreparedBatch {
+        let mut batch = PreparedBatch::with_capacity(tuples.len());
+        for t in tuples {
+            let (key, grams) = core.prepare(t).unwrap();
+            batch.push(t.clone(), key, grams, home);
+        }
+        batch
+    }
+
+    #[test]
+    fn probe_batch_matches_serial_processing() {
+        // Intra-batch cross-side matches (typo pair, exact pair) must
+        // come out identically — same pairs, same order, same counters,
+        // same matched-exactly flags — from the batched entry point.
+        let tuples = [
+            sided(Side::Left, 0, LONG_A),
+            sided(Side::Right, 0, LONG_A_TYPO),
+            sided(Side::Right, 1, UNRELATED),
+            sided(Side::Left, 1, UNRELATED),
+            sided(Side::Left, 2, LONG_A),
+            sided(Side::Right, 2, LONG_A),
+        ];
+        let interner = SharedInterner::new();
+        let mut serial = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+            .with_shared_interner(interner.clone());
+        let mut batched = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8)
+            .with_shared_interner(interner);
+
+        let mut out_serial = VecDeque::new();
+        for t in &tuples {
+            let (key, grams) = serial.prepare(t).unwrap();
+            serial
+                .process_prepared(t, &key, &grams, true, &mut out_serial)
+                .unwrap();
+        }
+
+        let batch = batch_of(&batched, &tuples, ShardId(0));
+        let mut out_batch = VecDeque::new();
+        let emitted = batched
+            .probe_batch_into(&batch, Some(ShardId(0)), &mut out_batch)
+            .unwrap();
+
+        assert_eq!(emitted, out_serial.len());
+        let view =
+            |q: &VecDeque<MatchPair>| q.iter().map(|p| (p.id_pair(), p.kind)).collect::<Vec<_>>();
+        assert_eq!(view(&out_serial), view(&out_batch));
+        assert_eq!(serial.stored(), batched.stored());
+        assert_eq!(serial.emitted_exact(), batched.emitted_exact());
+        assert_eq!(serial.emitted_approx(), batched.emitted_approx());
+        assert_eq!(serial.funnel(), batched.funnel());
+        for side in Side::BOTH {
+            let flags = |c: &SshJoinCore| {
+                c.sides[side]
+                    .tuples()
+                    .iter()
+                    .map(|t| t.matched_exactly)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(flags(&serial), flags(&batched), "{side:?} flags");
+        }
+        // The exact pair (LONG_A on both sides) must have flagged both
+        // residents through the phase-2 back-patch.
+        assert!(batched.sides[Side::Left].tuples()[2].matched_exactly);
+        assert!(batched.sides[Side::Right].tuples()[2].matched_exactly);
+    }
+
+    #[test]
+    fn probe_batch_store_home_filters_stores() {
+        let tuples = [
+            sided(Side::Left, 0, LONG_A),
+            sided(Side::Right, 0, LONG_A_TYPO),
+        ];
+        let core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+
+        // homes[0] = shard 1, homes[1] = shard 0: a shard-0 worker
+        // probes both but stores only the second tuple; its probe still
+        // cannot see tuple 0 (stored elsewhere), so nothing is emitted.
+        let mut worker = core.clone();
+        let mut batch = batch_of(&worker, &tuples, ShardId(1));
+        batch.homes[1] = ShardId(0);
+        let mut out = VecDeque::new();
+        worker
+            .probe_batch_into(&batch, Some(ShardId(0)), &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(worker.stored(), PerSide::new(0, 1));
+
+        // Probe-only mode stores nothing at all.
+        let mut probe_only = core.clone();
+        let batch = batch_of(&probe_only, &tuples, ShardId(0));
+        probe_only.probe_batch_into(&batch, None, &mut out).unwrap();
+        assert_eq!(probe_only.stored(), PerSide::new(0, 0));
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_are_fine() {
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        let empty = PreparedBatch::default();
+        assert_eq!(
+            core.probe_batch_into(&empty, Some(ShardId(0)), &mut out)
+                .unwrap(),
+            0
+        );
+        let one = batch_of(&core, &[sided(Side::Left, 0, LONG_A)], ShardId(0));
+        assert_eq!(
+            core.probe_batch_into(&one, Some(ShardId(0)), &mut out)
+                .unwrap(),
+            0
+        );
+        assert_eq!(core.stored(), PerSide::new(1, 0));
+    }
+
+    #[test]
+    fn gram_column_mirrors_stored_sets() {
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        let mut out = VecDeque::new();
+        for (i, key) in [LONG_A, UNRELATED, LONG_A_TYPO].iter().enumerate() {
+            core.process(sided(Side::Left, i as u64, key), &mut out)
+                .unwrap();
+        }
+        let idx = &core.sides[Side::Left];
+        for (pos, stored) in idx.tuples().iter().enumerate() {
+            assert_eq!(idx.gram_column(pos), stored.grams.gram_ids(), "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn scratch_bytes_reports_probe_allocations() {
+        let mut core = SshJoinCore::new(PerSide::new(0, 0), QGramConfig::default(), 0.8);
+        assert_eq!(core.scratch_bytes(), 0, "fresh core owns no scratch heap");
+        let mut out = VecDeque::new();
+        core.process(sided(Side::Left, 0, LONG_A), &mut out)
+            .unwrap();
+        core.process(sided(Side::Right, 1, LONG_A_TYPO), &mut out)
+            .unwrap();
+        let serial = core.scratch_bytes();
+        assert!(serial > 0, "probing must grow stamps/bounds scratch");
+        let batch = batch_of(&core, &[sided(Side::Right, 2, LONG_A)], ShardId(0));
+        core.probe_batch_into(&batch, Some(ShardId(0)), &mut out)
+            .unwrap();
+        assert!(
+            core.scratch_bytes() >= serial,
+            "batch mode adds range/position columns"
         );
     }
 

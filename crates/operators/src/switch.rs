@@ -122,6 +122,10 @@ impl SwitchJoinConfig {
     }
 }
 
+// One long-lived instance per operator: the inline size gap between the
+// kernels (the approximate core carries its probe scratch) never
+// multiplies across a collection, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 enum PhaseCore {
     Exact(ExactJoinCore),
     Approximate(SshJoinCore),

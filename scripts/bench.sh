@@ -12,9 +12,9 @@
 #                     (n starts at 2 — the PR that introduced the pipeline)
 #   --baseline PATH   gate headline throughput AND the probe-kernel
 #                     microbench metrics (probe_ns_per_tuple,
-#                     insert_ns_per_tuple, skewed_probe_ns_per_tuple)
-#                     against this report, failing on a regression beyond
-#                     --max-regression
+#                     probe_batch_ns_per_tuple, insert_ns_per_tuple,
+#                     skewed_probe_ns_per_tuple) against this report,
+#                     failing on a regression beyond --max-regression
 #   --max-regression  allowed fractional regression (default 0.20)
 #   --min-speedup     required 4-shard/1-shard throughput ratio (skipped
 #                     automatically on hosts with fewer than 4 cores)
@@ -52,9 +52,11 @@ SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 # iteration (`target/release/bench_probe --smoke|--full [--out PATH]`);
 # bench_scaling runs the same measurement itself and embeds it into the
 # trajectory document as probe_ns_per_tuple / insert_ns_per_tuple, so the
-# pipeline does not run it twice.
-echo "==> cargo build --release -p linkage-experiments --bin bench_scaling --bin bench_probe"
-cargo build --release -p linkage-experiments --bin bench_scaling --bin bench_probe
+# pipeline does not run it twice.  Both are built with the `simd`
+# feature: the trajectory records the chunked block-verify kernel — the
+# configuration the perf numbers in docs/perf.md describe.
+echo "==> cargo build --release -p linkage-experiments --features simd --bin bench_scaling --bin bench_probe"
+cargo build --release -p linkage-experiments --features simd --bin bench_scaling --bin bench_probe
 
 echo "==> bench_scaling ${MODE} -> ${OUT} (sha ${SHA})"
 target/release/bench_scaling "${MODE}" --out "${OUT}" --sha "${SHA}" ${EXTRA[@]+"${EXTRA[@]}"}

@@ -563,9 +563,9 @@ mod api_parity {
 mod probe_kernel_equivalence {
     use super::common::*;
     use linkage_datagen::{generate, DatagenConfig, GeneratedData};
-    use linkage_operators::{oracle, ExactJoinCore, ReferenceSshCore, SshJoinCore};
+    use linkage_operators::{oracle, ExactJoinCore, PreparedBatch, ReferenceSshCore, SshJoinCore};
     use linkage_text::{NormalizeConfig, QGramCoefficient, QGramConfig};
-    use linkage_types::{MatchKind, MatchPair, Side, SidedRecord};
+    use linkage_types::{MatchKind, MatchPair, ShardId, Side, SidedRecord};
     use proptest::prelude::*;
     use std::collections::VecDeque;
 
@@ -662,6 +662,61 @@ mod probe_kernel_equivalence {
         assert_eq!(fast.emitted_exact(), reference.emitted_exact());
         assert_eq!(fast.emitted_approx(), reference.emitted_approx());
         fast_out.into_iter().collect()
+    }
+
+    /// Like [`view`], over the collected pair vectors the runners return.
+    fn view_vec(
+        pairs: &[MatchPair],
+    ) -> Vec<(
+        (linkage_types::RecordId, linkage_types::RecordId),
+        MatchKind,
+    )> {
+        pairs.iter().map(|p| (p.id_pair(), p.kind)).collect()
+    }
+
+    /// Run the interned kernel through the **batched** entry point
+    /// (`probe_batch_into`, every tuple homed on one pseudo-shard) over
+    /// the same feed, chunked into `batch_size` tuple batches.  With
+    /// `switch_at`, an exact phase runs first and the handover happens
+    /// at an arbitrary stream position — i.e. mid-batch from the batched
+    /// execution's point of view, since `switch_at` need not be a
+    /// multiple of `batch_size`.
+    fn run_batched(
+        tuples: &[SidedRecord],
+        coefficient: QGramCoefficient,
+        switch_at: Option<usize>,
+        batch_size: usize,
+    ) -> Vec<MatchPair> {
+        let home = ShardId(0);
+        let mut out = VecDeque::new();
+        let mut core = match switch_at {
+            None => {
+                SshJoinCore::new(KEYS, QGramConfig::default(), THETA).with_coefficient(coefficient)
+            }
+            Some(at) => {
+                let mut exact = ExactJoinCore::new(KEYS, NormalizeConfig::default());
+                for sided in &tuples[..at] {
+                    exact.process(sided.clone(), &mut out).unwrap();
+                }
+                let (core, _) = SshJoinCore::new(KEYS, QGramConfig::default(), THETA)
+                    .with_coefficient(coefficient)
+                    .with_exact_state(exact.into_tables(), &mut out);
+                core
+            }
+        };
+        // An empty batch up front must be a no-op on the stream.
+        core.probe_batch_into(&PreparedBatch::default(), Some(home), &mut out)
+            .unwrap();
+        let rest = switch_at.unwrap_or(0);
+        for chunk in tuples[rest..].chunks(batch_size.max(1)) {
+            let mut batch = PreparedBatch::with_capacity(chunk.len());
+            for sided in chunk {
+                let (key, grams) = core.prepare(sided).unwrap();
+                batch.push(sided.clone(), key, grams, home);
+            }
+            core.probe_batch_into(&batch, Some(home), &mut out).unwrap();
+        }
+        out.into_iter().collect()
     }
 
     fn oracle_set(
@@ -764,6 +819,56 @@ mod probe_kernel_equivalence {
         }
     }
 
+    #[test]
+    fn batched_probe_is_bit_identical_to_serial_and_reference() {
+        // `run_both` already proves serial == reference bit-identically,
+        // so serial == batched closes the three-way agreement.  Batch
+        // sizes cover singleton batches, sizes that don't divide the
+        // stream, and one batch holding the whole feed.
+        let data = generate(&DatagenConfig::mid_stream_dirty(60, 54)).expect("datagen failed");
+        let tuples = feed(&data);
+        for coefficient in QGramCoefficient::ALL {
+            let serial = run_both(&tuples, coefficient, None);
+            for batch_size in [1, 3, 8, 64, tuples.len()] {
+                let batched = run_batched(&tuples, coefficient, None, batch_size);
+                assert_eq!(
+                    view_vec(&serial),
+                    view_vec(&batched),
+                    "batched probe diverged ({}, batch_size {batch_size})",
+                    coefficient.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_switch_handover_is_bit_identical_to_serial() {
+        // The §3.3 handover lands at stream positions that are not batch
+        // boundaries, so the first approximate batch mixes recovered
+        // state with fresh tuples; `switch_at == len` leaves an empty
+        // approximate remainder (zero batches after the up-front empty
+        // one `run_batched` always issues).
+        let data = generate(&DatagenConfig::mid_stream_dirty(48, 55)).expect("datagen failed");
+        let tuples = feed(&data);
+        for switch_at in [0, 1, tuples.len() / 3, tuples.len() / 2, tuples.len()] {
+            let serial = run_both(&tuples, QGramCoefficient::Jaccard, Some(switch_at));
+            for batch_size in [1, 5, 64] {
+                let batched = run_batched(
+                    &tuples,
+                    QGramCoefficient::Jaccard,
+                    Some(switch_at),
+                    batch_size,
+                );
+                assert_eq!(
+                    view_vec(&serial),
+                    view_vec(&batched),
+                    "batched handover diverged (switch_at {switch_at}, \
+                     batch_size {batch_size})"
+                );
+            }
+        }
+    }
+
     proptest! {
         /// Randomized workloads: the interned kernel is bit-identical to
         /// the string-keyed reference and set-identical to the quadratic
@@ -805,6 +910,27 @@ mod probe_kernel_equivalence {
                 QGramCoefficient::ALL[second_idx],
                 change_at,
             );
+        }
+
+        /// The batched probe entry point stays bit-identical to the
+        /// serial kernel (and hence the reference) under random batch
+        /// sizes, coefficients and switch positions.
+        #[test]
+        fn batched_probe_equals_serial(
+            parents in 12usize..32,
+            seed in 0u64..10_000,
+            coefficient_idx in 0usize..4,
+            batch_size in 1usize..24,
+            switch_percent in 0usize..101,
+        ) {
+            let coefficient = QGramCoefficient::ALL[coefficient_idx];
+            let data = generate(&DatagenConfig::mid_stream_dirty(parents, seed))
+                .expect("datagen failed");
+            let tuples = feed(&data);
+            let switch_at = switch_percent * tuples.len() / 100;
+            let serial = run_both(&tuples, coefficient, Some(switch_at));
+            let batched = run_batched(&tuples, coefficient, Some(switch_at), batch_size);
+            prop_assert_eq!(view_vec(&serial), view_vec(&batched));
         }
 
         /// The §3.3 mid-stream switch/handover at an arbitrary stream
