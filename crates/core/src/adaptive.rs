@@ -116,6 +116,28 @@ pub struct AdaptiveReport {
     pub switch_latency: Option<Duration>,
 }
 
+/// Snapshot of an [`AdaptiveJoin`]'s controller and presentation state —
+/// everything outside the wrapped [`SwitchJoin`] that replay cannot
+/// re-derive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveControlState {
+    /// Monitor observations taken so far.
+    pub monitor_assessments: u64,
+    /// Child count at the last fired monitor checkpoint.
+    pub monitor_last_checked: u64,
+    /// Consecutive-alarm streak.
+    pub assessor_streak: u32,
+    /// The switch decision, if it happened.
+    pub switch: Option<SwitchEvent>,
+    /// Wall-clock duration of the handover, if it ran.
+    pub switch_latency: Option<Duration>,
+    /// Pre-switch pairs buffered at the handover and not yet pulled.
+    pub undrained_pre_switch: u64,
+    /// Whether the previous pull returned a pre-switch pair whose
+    /// accounting is still deferred.
+    pub pre_switch_in_flight: bool,
+}
+
 /// The self-tuning join operator.
 pub struct AdaptiveJoin<I> {
     inner: SwitchJoin<I>,
@@ -181,6 +203,63 @@ impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
             switch: self.switch,
             switch_latency: self.switch_latency,
         }
+    }
+
+    /// The monitor driving the control loop.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The assessor driving the control loop.
+    pub fn assessor(&self) -> &Assessor {
+        &self.assessor
+    }
+
+    /// The switch policy in force.
+    pub fn policy(&self) -> SwitchPolicy {
+        self.policy
+    }
+
+    /// Read access to the wrapped [`SwitchJoin`] (snapshot encoding).
+    pub fn inner(&self) -> &SwitchJoin<I> {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped [`SwitchJoin`] (snapshot restore
+    /// installs the decoded kernel through
+    /// [`SwitchJoin::restore`](linkage_operators::SwitchJoin::restore)).
+    pub fn inner_mut(&mut self) -> &mut SwitchJoin<I> {
+        &mut self.inner
+    }
+
+    /// The controller and presentation state replay cannot re-derive,
+    /// for the snapshot layer.
+    pub fn control_state(&self) -> AdaptiveControlState {
+        AdaptiveControlState {
+            monitor_assessments: self.monitor.assessments(),
+            monitor_last_checked: self.monitor.last_checked(),
+            assessor_streak: self.assessor.streak(),
+            switch: self.switch,
+            switch_latency: self.switch_latency,
+            undrained_pre_switch: self.undrained_pre_switch as u64,
+            pre_switch_in_flight: self.pre_switch_in_flight,
+        }
+    }
+
+    /// Restore the controller and presentation state from a snapshot.
+    ///
+    /// Together with [`SwitchJoin::restore`] on [`Self::inner_mut`] this
+    /// makes a resumed join's remaining output — including the timing of
+    /// the switch decision and the visibility of the switch event —
+    /// identical to the interrupted run's.
+    pub fn restore_control_state(&mut self, state: AdaptiveControlState) {
+        self.monitor
+            .restore(state.monitor_assessments, state.monitor_last_checked);
+        self.assessor.restore_streak(state.assessor_streak);
+        self.switch = state.switch;
+        self.switch_latency = state.switch_latency;
+        self.undrained_pre_switch = state.undrained_pre_switch as usize;
+        self.pre_switch_in_flight = state.pre_switch_in_flight;
     }
 
     /// Perform the timed handover and record the switch event.

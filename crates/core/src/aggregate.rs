@@ -67,6 +67,41 @@ impl GlobalController {
     pub fn assessments(&self) -> u64 {
         self.monitor.assessments()
     }
+
+    /// The control-loop counters replay cannot re-derive, for the
+    /// snapshot layer.
+    pub fn control_state(&self) -> GlobalControlState {
+        GlobalControlState {
+            assessments: self.monitor.assessments(),
+            last_checked: self.monitor.last_checked(),
+            streak: self.assessor.streak(),
+            last_checkpoint: self.last_checkpoint,
+        }
+    }
+
+    /// Restore the control-loop counters from a snapshot, so a resumed
+    /// run takes exactly the checkpoints (and carries exactly the alarm
+    /// streak) the interrupted run would have.
+    pub fn restore_control_state(&mut self, state: GlobalControlState) {
+        self.monitor.restore(state.assessments, state.last_checked);
+        self.assessor.restore_streak(state.streak);
+        self.last_checkpoint = state.last_checkpoint;
+    }
+}
+
+/// Snapshot of a [`GlobalController`]'s mutable counters (its
+/// configuration is re-derived from the pipeline configuration on
+/// restore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalControlState {
+    /// Observations taken so far.
+    pub assessments: u64,
+    /// Child count at the last fired monitor checkpoint.
+    pub last_checked: u64,
+    /// Consecutive-alarm streak.
+    pub streak: u32,
+    /// Index of the last crossed epoch checkpoint.
+    pub last_checkpoint: u64,
 }
 
 #[cfg(test)]

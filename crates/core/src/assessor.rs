@@ -120,6 +120,12 @@ impl Assessor {
         self.streak
     }
 
+    /// Restore the alarm streak from a snapshot, so hysteresis continues
+    /// exactly where the interrupted run left off.
+    pub fn restore_streak(&mut self, streak: u32) {
+        self.streak = streak;
+    }
+
     /// Assess one observation, updating the alarm streak.
     pub fn assess(&mut self, obs: &Observation) -> Assessment {
         if obs.trials < self.config.min_trials {

@@ -28,7 +28,9 @@ pub mod aggregate;
 pub mod assessor;
 pub mod monitor;
 
-pub use adaptive::{AdaptiveJoin, AdaptiveReport, ControllerConfig, SwitchEvent, SwitchPolicy};
-pub use aggregate::GlobalController;
+pub use adaptive::{
+    AdaptiveControlState, AdaptiveJoin, AdaptiveReport, ControllerConfig, SwitchEvent, SwitchPolicy,
+};
+pub use aggregate::{GlobalControlState, GlobalController};
 pub use assessor::{Assessment, Assessor, AssessorConfig};
 pub use monitor::{Monitor, MonitorConfig, Observation};

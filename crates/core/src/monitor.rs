@@ -128,6 +128,19 @@ impl Monitor {
     pub fn assessments(&self) -> u64 {
         self.assessments
     }
+
+    /// The child count at which the last checkpoint fired (0 if none).
+    pub fn last_checked(&self) -> u64 {
+        self.last_checked
+    }
+
+    /// Restore the checkpoint bookkeeping from a snapshot, so a resumed
+    /// run neither re-fires a checkpoint the interrupted run already
+    /// consumed nor skips one it had not reached.
+    pub fn restore(&mut self, assessments: u64, last_checked: u64) {
+        self.assessments = assessments;
+        self.last_checked = last_checked;
+    }
 }
 
 #[cfg(test)]

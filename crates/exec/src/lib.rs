@@ -32,7 +32,7 @@ pub mod parallel;
 mod shard;
 
 pub use config::ParallelJoinConfig;
-pub use messages::{PreparedBatch, ShardStats};
+pub use messages::{PreparedBatch, ShardSnapshot, ShardStats};
 pub use parallel::{ParallelJoin, ParallelReport};
 
 #[cfg(test)]

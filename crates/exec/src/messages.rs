@@ -33,6 +33,14 @@ pub enum ShardCmd {
     /// Probe these foreign residents (snapshots of lower-numbered shards)
     /// against the local post-handover indexes.
     Recover(Vec<Arc<Vec<(Side, SshStored)>>>),
+    /// Encode the shard's durable state (valid at any epoch barrier, in
+    /// either phase) and reply with [`ShardReply::Snapshot`].
+    Snapshot,
+    /// Install previously snapshotted state into a pristine shard: the
+    /// worker decodes `core_bytes` through the operator-layer codecs
+    /// (replaying inserts re-derives its index structures) and adopts
+    /// the counters, then replies [`ShardReply::Restored`].
+    Restore(Box<ShardSnapshot>),
     /// Report final statistics and exit.
     Finish,
 }
@@ -52,8 +60,38 @@ pub enum ShardReply {
     },
     /// Cross-shard recovery completed with these additional pairs.
     Recovered(Vec<MatchPair>),
+    /// The shard's durable state, in response to [`ShardCmd::Snapshot`].
+    Snapshot(Box<ShardSnapshot>),
+    /// Restore completed (or failed), in response to
+    /// [`ShardCmd::Restore`].
+    Restored(Result<()>),
     /// Final per-shard statistics, sent in response to [`ShardCmd::Finish`].
     Finished(Box<ShardStats>),
+}
+
+/// One shard's durable state, as shipped over the wire in both
+/// directions: the coordinator persists it as a `SHARD` section and
+/// ships it back verbatim on resume.
+///
+/// The kernel itself travels **encoded** (`core_bytes`, the operator
+/// layer's `EXACT_CORE`/`SSH_CORE` payload of `docs/format.md`) rather
+/// than as a live structure: on resume every worker decodes — and
+/// therefore replays — its own partition in parallel, and the bytes are
+/// exactly what the snapshot file stores, so there is one codec path to
+/// trust, not two.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Whether the shard had performed the §3.3 handover (`core_bytes`
+    /// is an `SSH_CORE` payload) or was still exact (`EXACT_CORE`).
+    pub approx: bool,
+    /// The encoded phase kernel.
+    pub core_bytes: Vec<u8>,
+    /// Tuples this shard stored over its lifetime.
+    pub stored_tuples: u64,
+    /// Probe operations this shard performed.
+    pub probes: u64,
+    /// Pairs this shard emitted, by kind.
+    pub emitted: PerKind,
 }
 
 /// What one shard did over its lifetime.

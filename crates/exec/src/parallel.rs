@@ -34,15 +34,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use linkage_core::{Assessment, GlobalController, SwitchEvent, SwitchPolicy};
-use linkage_operators::{JoinPhase, Operator, OperatorState, PerKind, SshJoinCore, SshStored};
+use linkage_core::{Assessment, GlobalControlState, GlobalController, SwitchEvent, SwitchPolicy};
+use linkage_operators::{
+    snapshot as opsnap, JoinPhase, Operator, OperatorState, PerKind, SshJoinCore, SshStored,
+};
 use linkage_text::{normalize, SharedInterner};
+use linkage_types::snapshot::{kind, shard_kind, Decoder, Encoder, SnapshotBuilder, SnapshotFile};
 use linkage_types::{
     LinkageError, MatchKind, MatchPair, Partitioner, PerSide, Result, ShardId, Side, SidedRecord,
 };
 
 use crate::config::ParallelJoinConfig;
-use crate::messages::{PreparedBatch, ShardCmd, ShardReply, ShardStats};
+use crate::messages::{PreparedBatch, ShardCmd, ShardReply, ShardSnapshot, ShardStats};
 use crate::shard::ShardWorker;
 
 /// One spawned worker: its command channel, reply channel and thread.
@@ -465,6 +468,243 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
             recovered: recovered_total,
         });
         self.switch_latency = Some(start.elapsed());
+        Ok(())
+    }
+
+    /// The executor configuration (snapshot fingerprinting).
+    pub fn config(&self) -> &ParallelJoinConfig {
+        &self.config
+    }
+
+    /// Drain the approximate-phase send-ahead pipeline so every worker is
+    /// exactly caught up with the router's `consumed` counters: collect
+    /// each dispatched epoch's barrier, then dispatch and collect the
+    /// tokenised-ahead batch (its tuples were counted as consumed when it
+    /// was prepared).  The pairs those barriers produce surface in `out`
+    /// in exactly the order an uninterrupted run would have emitted them.
+    /// A no-op in the exact phase, whose epochs are synchronous.
+    fn quiesce(&mut self) -> Result<()> {
+        while self.approx_in_flight > 0 {
+            self.collect_batch_replies()?;
+            self.approx_in_flight -= 1;
+        }
+        if let Some(shared) = self.prepared_ahead.take() {
+            for worker in &self.workers {
+                worker.send(ShardCmd::ApproxBatch(Arc::clone(&shared)))?;
+            }
+            self.collect_batch_replies()?;
+        }
+        Ok(())
+    }
+
+    /// Append this engine's durable state to a snapshot under
+    /// construction: the shared interner, the coordinator's `CONTROLLER`
+    /// payload, the pending output queue, and one `SHARD` section per
+    /// worker (encoded by the workers themselves, in parallel).
+    ///
+    /// Quiesces the send-ahead pipeline first, so the snapshot is an
+    /// epoch-boundary state: valid in either phase, on either side of the
+    /// §3.3 switch.  Section payload layouts are specified in
+    /// `docs/format.md`.
+    pub fn snapshot_sections(&mut self, builder: &mut SnapshotBuilder) -> Result<()> {
+        if self.state != OperatorState::Open {
+            return Err(LinkageError::snapshot("snapshot requires an open join"));
+        }
+        self.quiesce()?;
+
+        builder.push_section(
+            kind::INTERNER as u32,
+            opsnap::encode_interner(&self.interner),
+        );
+
+        let mut e = Encoder::new();
+        e.put_u8(match self.phase {
+            JoinPhase::Exact => 0,
+            JoinPhase::Approximate => 1,
+        });
+        e.put_u64(self.consumed.left);
+        e.put_u64(self.consumed.right);
+        e.put_u64(self.emitted.exact);
+        e.put_u64(self.emitted.approximate);
+        e.put_bool(self.switch.is_some());
+        if let Some(switch) = self.switch {
+            e.put_u64(switch.after_tuples);
+            e.put_f64(switch.sigma);
+            e.put_u64(switch.recovered);
+        }
+        e.put_opt_u64(self.switch_latency.map(|d| d.as_nanos() as u64));
+        e.put_u64(self.undrained_pre_switch as u64);
+        e.put_bool(self.pre_switch_in_flight);
+        e.put_bool(self.exhausted);
+        let control = self.controller.control_state();
+        e.put_u64(control.assessments);
+        e.put_u64(control.last_checked);
+        e.put_u32(control.streak);
+        e.put_u64(control.last_checkpoint);
+        builder.push_section(kind::CONTROLLER as u32, e.finish());
+
+        builder.push_section(kind::PENDING as u32, opsnap::encode_pairs(self.out.iter()));
+
+        for worker in &self.workers {
+            worker.send(ShardCmd::Snapshot)?;
+        }
+        for i in 0..self.workers.len() {
+            match self.workers[i].recv()? {
+                ShardReply::Snapshot(shard) => {
+                    let mut e = Encoder::new();
+                    e.put_bool(shard.approx);
+                    e.put_u64(shard.stored_tuples);
+                    e.put_u64(shard.probes);
+                    e.put_u64(shard.emitted.exact);
+                    e.put_u64(shard.emitted.approximate);
+                    e.put_bytes(&shard.core_bytes);
+                    builder.push_section(shard_kind(kind::SHARD, i as u16), e.finish());
+                }
+                ShardReply::Pairs(Err(e)) => return Err(e),
+                _ => {
+                    return Err(LinkageError::execution(format!(
+                        "{}: unexpected reply to Snapshot",
+                        self.workers[i].id
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Install snapshotted state into a freshly opened, pristine join:
+    /// restore the shared interner in place (every worker holds a handle
+    /// to the same table), ship each worker its encoded partition to
+    /// decode and replay in parallel, adopt the coordinator counters, and
+    /// fast-forward the input past the consumed prefix (verifying the
+    /// per-side counts — a source that ends early or interleaves
+    /// differently is a typed error, never silent corruption).
+    pub fn restore_sections(&mut self, file: &SnapshotFile) -> Result<()> {
+        if self.state != OperatorState::Open {
+            return Err(LinkageError::snapshot("restore requires an open join"));
+        }
+        if self.total_consumed() != 0 {
+            return Err(LinkageError::snapshot(
+                "restore requires a pristine join (nothing consumed)",
+            ));
+        }
+
+        let table = opsnap::decode_interner(file.section(kind::INTERNER as u32)?)?;
+        self.interner.restore_table(table)?;
+
+        let mut d = Decoder::new(file.section(kind::CONTROLLER as u32)?, "CONTROLLER");
+        let phase = match d.get_u8()? {
+            0 => JoinPhase::Exact,
+            1 => JoinPhase::Approximate,
+            other => {
+                return Err(LinkageError::snapshot(format!(
+                    "CONTROLLER section: unknown phase tag {other}"
+                )))
+            }
+        };
+        let consumed = PerSide::new(d.get_u64()?, d.get_u64()?);
+        let emitted = PerKind {
+            exact: d.get_u64()?,
+            approximate: d.get_u64()?,
+        };
+        let switch = if d.get_bool()? {
+            Some(SwitchEvent {
+                after_tuples: d.get_u64()?,
+                sigma: d.get_f64()?,
+                recovered: d.get_u64()?,
+            })
+        } else {
+            None
+        };
+        let switch_latency = d.get_opt_u64()?.map(Duration::from_nanos);
+        let undrained_pre_switch = d.get_u64()? as usize;
+        let pre_switch_in_flight = d.get_bool()?;
+        let exhausted = d.get_bool()?;
+        let control = GlobalControlState {
+            assessments: d.get_u64()?,
+            last_checked: d.get_u64()?,
+            streak: d.get_u32()?,
+            last_checkpoint: d.get_u64()?,
+        };
+        d.finish()?;
+
+        let pending = opsnap::decode_pairs(file.section(kind::PENDING as u32)?)?;
+
+        let shard_sections = file.sections_with_base(kind::SHARD);
+        if shard_sections.len() != self.workers.len() {
+            return Err(LinkageError::snapshot(format!(
+                "snapshot has {} shard section(s), this join runs {} shard(s) — \
+                 resume with the shard count the snapshot was taken with",
+                shard_sections.len(),
+                self.workers.len()
+            )));
+        }
+        for (i, (shard, payload)) in shard_sections.iter().enumerate() {
+            if *shard as usize != i {
+                return Err(LinkageError::snapshot(format!(
+                    "shard sections are not dense: expected shard {i}, found {shard}"
+                )));
+            }
+            let mut d = Decoder::new(payload, "SHARD");
+            let approx = d.get_bool()?;
+            if approx != (phase == JoinPhase::Approximate) {
+                return Err(LinkageError::snapshot(format!(
+                    "shard {i} phase contradicts the CONTROLLER section"
+                )));
+            }
+            let shard = ShardSnapshot {
+                approx,
+                stored_tuples: d.get_u64()?,
+                probes: d.get_u64()?,
+                emitted: PerKind {
+                    exact: d.get_u64()?,
+                    approximate: d.get_u64()?,
+                },
+                core_bytes: d.get_bytes()?.to_vec(),
+            };
+            d.finish()?;
+            self.workers[i].send(ShardCmd::Restore(Box::new(shard)))?;
+        }
+        for i in 0..self.workers.len() {
+            match self.workers[i].recv()? {
+                ShardReply::Restored(Ok(())) => {}
+                ShardReply::Restored(Err(e)) | ShardReply::Pairs(Err(e)) => return Err(e),
+                _ => {
+                    return Err(LinkageError::execution(format!(
+                        "{}: unexpected reply to Restore",
+                        self.workers[i].id
+                    )))
+                }
+            }
+        }
+
+        self.phase = phase;
+        self.out.extend(pending);
+        self.emitted = emitted;
+        self.switch = switch;
+        self.switch_latency = switch_latency;
+        self.undrained_pre_switch = undrained_pre_switch;
+        self.pre_switch_in_flight = pre_switch_in_flight;
+        self.exhausted = exhausted;
+        self.controller.restore_control_state(control);
+
+        while self.consumed.left < consumed.left || self.consumed.right < consumed.right {
+            let Some(sided) = self.input.next()? else {
+                return Err(LinkageError::snapshot(format!(
+                    "input ended while skipping the consumed prefix: snapshot consumed \
+                     {}/{} tuples (left/right), input supplied only {}/{}",
+                    consumed.left, consumed.right, self.consumed.left, self.consumed.right
+                )));
+            };
+            self.consumed[sided.side] += 1;
+            if self.consumed[sided.side] > consumed[sided.side] {
+                return Err(LinkageError::snapshot(format!(
+                    "input does not match the snapshot: saw more {:?}-side tuples in the \
+                     prefix than the snapshotted run consumed ({} > {})",
+                    sided.side, self.consumed[sided.side], consumed[sided.side]
+                )));
+            }
+        }
         Ok(())
     }
 

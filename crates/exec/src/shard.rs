@@ -18,11 +18,13 @@
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, SyncSender};
 
-use linkage_operators::{ExactJoinCore, PerKind, SshJoinCore, SwitchJoinConfig};
+use linkage_operators::{
+    snapshot as opsnap, ExactJoinCore, PerKind, SshJoinCore, SwitchJoinConfig,
+};
 use linkage_text::SharedInterner;
 use linkage_types::{LinkageError, MatchKind, MatchPair, PerSide, ShardId};
 
-use crate::messages::{ShardCmd, ShardReply, ShardStats};
+use crate::messages::{ShardCmd, ShardReply, ShardSnapshot, ShardStats};
 
 // One long-lived instance per worker thread: the inline size gap
 // between the kernels (the approximate core carries its probe scratch)
@@ -130,8 +132,56 @@ impl ShardWorker {
                 }
                 ShardReply::Recovered(self.drain())
             }
+            ShardCmd::Snapshot => {
+                // Every barrier leaves `out` drained, so the reply is a
+                // complete picture of this shard's durable state.
+                let (approx, core_bytes) = match &self.core {
+                    Core::Exact(c) => (false, opsnap::encode_exact_core(c)),
+                    Core::Approx(c) => (true, opsnap::encode_ssh_core(c)),
+                    Core::Switching => {
+                        return Self::protocol_error("Snapshot during an in-flight switch")
+                    }
+                };
+                ShardReply::Snapshot(Box::new(ShardSnapshot {
+                    approx,
+                    core_bytes,
+                    stored_tuples: self.stored_tuples,
+                    probes: self.probes,
+                    emitted: self.emitted,
+                }))
+            }
+            ShardCmd::Restore(snapshot) => ShardReply::Restored(self.restore(&snapshot)),
             ShardCmd::Finish => ShardReply::Finished(Box::new(self.stats())),
         }
+    }
+
+    /// Install snapshotted state: decode (replay) the kernel for this
+    /// shard's partition and adopt the counters.  Only a shard that has
+    /// processed nothing may be restored — the coordinator sends this
+    /// right after spawning the fleet.
+    fn restore(&mut self, snapshot: &ShardSnapshot) -> linkage_types::Result<()> {
+        if self.stored_tuples != 0 || self.probes != 0 || self.emitted.total() != 0 {
+            return Err(LinkageError::snapshot(format!(
+                "{}: restore requires a pristine shard",
+                self.id
+            )));
+        }
+        self.core = if snapshot.approx {
+            Core::Approx(opsnap::decode_ssh_core(
+                &snapshot.core_bytes,
+                &self.config,
+                self.interner.clone(),
+            )?)
+        } else {
+            Core::Exact(opsnap::decode_exact_core(
+                &snapshot.core_bytes,
+                &self.config,
+            )?)
+        };
+        self.stored_tuples = snapshot.stored_tuples;
+        self.probes = snapshot.probes;
+        self.emitted = snapshot.emitted;
+        Ok(())
     }
 
     /// Drain buffered pairs, folding their kinds into the emission counters.

@@ -18,6 +18,10 @@
 //! metrics against the baseline
 //! document, exiting non-zero if throughput dropped, or a kernel path
 //! slowed, by more than `--max-regression` (default 0.20, the CI gate).
+//! The snapshot round trip is gated the same way: `snapshot_mb_per_s`
+//! must not drop, and `resume_ms` must not grow, beyond the allowed
+//! fraction (both skipped against baselines that predate the snapshot
+//! subsystem).
 //!
 //! `--summary PATH` appends a Markdown candidate-funnel delta table
 //! (current vs baseline) to `PATH` — CI points it at
@@ -119,6 +123,12 @@ fn main() -> ExitCode {
         run.probe.probe_batch_ns_per_tuple,
         run.probe.insert_ns_per_tuple
     );
+    eprintln!(
+        "  snapshot: {:.1} KiB written at {:.1} MB/s, resumed in {:.1} ms",
+        run.snapshot.file_bytes as f64 / 1024.0,
+        run.snapshot.snapshot_mb_per_s(),
+        run.snapshot.resume.as_secs_f64() * 1e3
+    );
 
     let report = scaling_report(&run, args.mode, &args.sha).render();
     match &args.out {
@@ -205,6 +215,42 @@ fn main() -> ExitCode {
                     eprintln!("bench_scaling: baseline {path} has no {key}; gate skipped");
                 }
             }
+        }
+
+        // The snapshot gates: write throughput must not drop, the resume
+        // must not slow, by more than the allowed fraction.  Skipped with
+        // a note against baselines that predate the snapshot subsystem.
+        match extract_number(baseline_text, "snapshot_mb_per_s") {
+            Some(baseline) => {
+                let current = run.snapshot.snapshot_mb_per_s();
+                let floor = baseline * (1.0 - args.max_regression);
+                eprintln!(
+                    "bench_scaling: snapshot_mb_per_s {current:.1} vs baseline {baseline:.1} \
+                     (floor {floor:.1})"
+                );
+                if current < floor {
+                    eprintln!("bench_scaling: REGRESSION — snapshot_mb_per_s below the gate");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                eprintln!("bench_scaling: baseline {path} has no snapshot_mb_per_s; gate skipped")
+            }
+        }
+        match extract_number(baseline_text, "resume_ms") {
+            Some(baseline) => {
+                let current = run.snapshot.resume.as_secs_f64() * 1e3;
+                let ceiling = baseline * (1.0 + args.max_regression);
+                eprintln!(
+                    "bench_scaling: resume_ms {current:.1} vs baseline {baseline:.1} \
+                     (ceiling {ceiling:.1})"
+                );
+                if current > ceiling {
+                    eprintln!("bench_scaling: REGRESSION — resume_ms above the gate");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("bench_scaling: baseline {path} has no resume_ms; gate skipped"),
         }
     }
 

@@ -43,4 +43,6 @@ pub use json::{extract_number, JsonValue};
 pub use probe::{
     run_probe_bench, ProbeBenchConfig, ProbeBenchResult, BATCH_SWEEP, PROBE_BATCH_SIZE,
 };
-pub use scaling::{run_scaling, scaling_report, ScalingConfig, ScalingPoint, ScalingRun};
+pub use scaling::{
+    run_scaling, scaling_report, ScalingConfig, ScalingPoint, ScalingRun, SnapshotBench,
+};

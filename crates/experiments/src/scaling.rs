@@ -11,15 +11,18 @@
 //!   curve; the single number the regression gate compares;
 //! * `shards[]` — the full 1/2/4/8 scaling curve with per-shard state
 //!   bytes and switch latency;
+//! * `snapshot_mb_per_s` / `resume_ms` — the checkpoint/resume round
+//!   trip over the same workload (see `docs/format.md`), gated alongside
+//!   the kernel metrics;
 //! * `git_sha`, `mode`, workload and host metadata, so any two trajectory
 //!   files are comparable.
 
 use std::time::{Duration, Instant};
 
-use linkage::api::Pipeline;
+use linkage::api::{Pipeline, PipelineBuilder};
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
 use linkage_operators::ProbeFunnel;
-use linkage_types::Result;
+use linkage_types::{LinkageError, Result};
 
 use crate::json::JsonValue;
 use crate::probe::{run_probe_bench, ProbeBenchConfig, ProbeBenchResult};
@@ -141,6 +144,29 @@ pub struct ScalingPoint {
     pub funnel: ProbeFunnel,
 }
 
+/// The snapshot/resume round trip measured over the sweep workload: a
+/// serial pipeline is interrupted mid-stream (past the §3.3 switch, so
+/// the file carries the approximate-phase state), checkpointed with
+/// `MatchStream::snapshot`, and resumed with `Pipeline::resume`.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotBench {
+    /// Size of the written snapshot container.
+    pub file_bytes: u64,
+    /// Wall clock of `MatchStream::snapshot` — quiesce + encode + CRC +
+    /// atomic write.
+    pub snapshot: Duration,
+    /// Wall clock of `Pipeline::resume` — read + verify + replay into
+    /// fresh kernels + input fast-forward.
+    pub resume: Duration,
+}
+
+impl SnapshotBench {
+    /// Snapshot write throughput, the gated headline of this measurement.
+    pub fn snapshot_mb_per_s(&self) -> f64 {
+        (self.file_bytes as f64 / 1e6) / self.snapshot.as_secs_f64().max(1e-9)
+    }
+}
+
 /// A completed sweep: the workload description plus every measured point.
 #[derive(Debug, Clone)]
 pub struct ScalingRun {
@@ -155,6 +181,9 @@ pub struct ScalingRun {
     /// The probe-kernel microbench over the **skewed** (Zipf) workload
     /// (the `skewed_probe_ns_per_tuple` field, also gated).
     pub probe_skewed: ProbeBenchResult,
+    /// The snapshot/resume round trip (the `snapshot_mb_per_s` /
+    /// `resume_ms` fields, gated by CI alongside the kernel metrics).
+    pub snapshot: SnapshotBench,
 }
 
 impl ScalingRun {
@@ -208,11 +237,58 @@ pub fn run_scaling(config: &ScalingConfig) -> Result<ScalingRun> {
     }
     let probe = run_probe_bench(&config.probe_config())?;
     let probe_skewed = run_probe_bench(&config.skewed_probe_config())?;
+    let snapshot = run_snapshot_bench(config, &data)?;
     Ok(ScalingRun {
         config: config.clone(),
         points,
         probe,
         probe_skewed,
+        snapshot,
+    })
+}
+
+/// Interrupt a serial run over `data` halfway through its output, time
+/// the checkpoint and the resume, and report both with the file size.
+fn run_snapshot_bench(config: &ScalingConfig, data: &GeneratedData) -> Result<SnapshotBench> {
+    let declare = || -> PipelineBuilder {
+        Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+            .serial()
+    };
+    // Half the parent count in pairs lands well past the mid-stream
+    // switch on this workload, so the snapshot carries the interner and
+    // the approximate kernel — the expensive sections.
+    let mut stream = declare().run()?;
+    for _ in 0..config.parents / 2 {
+        match stream.next() {
+            Some(event) => {
+                event?;
+            }
+            None => {
+                return Err(LinkageError::execution(
+                    "snapshot bench: the stream ended before the checkpoint",
+                ))
+            }
+        }
+    }
+    let path =
+        std::env::temp_dir().join(format!("linkage-bench-snapshot-{}.bin", std::process::id()));
+    let start = Instant::now();
+    stream.snapshot(&path)?;
+    let snapshot = start.elapsed();
+    drop(stream); // the interrupted pipeline is abandoned here
+    let file_bytes = std::fs::metadata(&path)?.len();
+    let start = Instant::now();
+    let resumed = declare().resume(&path)?;
+    let resume = start.elapsed();
+    drop(resumed);
+    std::fs::remove_file(&path).ok();
+    Ok(SnapshotBench {
+        file_bytes,
+        snapshot,
+        resume,
     })
 }
 
@@ -407,6 +483,22 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
             "skewed_prefix_postings_skipped",
             JsonValue::num(run.probe_skewed.funnel.prefix_postings_skipped as f64),
         ),
+        (
+            "snapshot_file_bytes",
+            JsonValue::num(run.snapshot.file_bytes as f64),
+        ),
+        (
+            "snapshot_ms",
+            JsonValue::num(run.snapshot.snapshot.as_secs_f64() * 1e3),
+        ),
+        (
+            "snapshot_mb_per_s",
+            JsonValue::num(run.snapshot.snapshot_mb_per_s()),
+        ),
+        (
+            "resume_ms",
+            JsonValue::num(run.snapshot.resume.as_secs_f64() * 1e3),
+        ),
         ("speedups", JsonValue::Array(speedups)),
         ("shards", JsonValue::Array(points)),
     ])
@@ -443,6 +535,12 @@ mod tests {
         assert!(run.headline_throughput() > 0.0);
         assert!(run.speedup(2).is_some());
         assert!(run.speedup(64).is_none());
+        assert!(
+            run.snapshot.file_bytes > 0,
+            "snapshot bench produced a file"
+        );
+        assert!(run.snapshot.snapshot_mb_per_s() > 0.0);
+        assert!(run.snapshot.resume > Duration::ZERO);
     }
 
     #[test]
@@ -488,6 +586,16 @@ mod tests {
             extract_number(&text, "skewed_prefix_postings_skipped"),
             Some(run.probe_skewed.funnel.prefix_postings_skipped as f64)
         );
+        assert_eq!(
+            extract_number(&text, "snapshot_file_bytes"),
+            Some(run.snapshot.file_bytes as f64)
+        );
+        assert_eq!(
+            extract_number(&text, "snapshot_mb_per_s"),
+            Some(run.snapshot.snapshot_mb_per_s())
+        );
+        assert!(text.contains("\"snapshot_ms\""));
+        assert!(text.contains("\"resume_ms\""));
         assert!(text.contains("\"git_sha\": \"deadbeef\""));
         assert!(text.contains("\"mode\": \"smoke\""));
         assert!(text.contains("state_bytes_per_shard"));

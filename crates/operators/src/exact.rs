@@ -114,6 +114,32 @@ impl ExactJoinCore {
     pub fn into_tables(self) -> PerSide<KeyTable> {
         self.tables
     }
+
+    /// Re-insert one tuple during snapshot restore.
+    ///
+    /// The snapshot stores only the arrival-order tuple column (record,
+    /// normalised key, matched-exactly flag); replaying the inserts in
+    /// that order re-derives the by-key hash index, so it never hits
+    /// disk.  **Snapshot restore only** — tuples must be replayed in
+    /// their original arrival order for positions to line up.
+    pub fn insert_restored(
+        &mut self,
+        side: Side,
+        record: Record,
+        key: Arc<str>,
+        matched_exactly: bool,
+    ) {
+        let idx = self.tables[side].insert(record, key);
+        if matched_exactly {
+            self.tables[side].mark_matched(idx);
+        }
+    }
+
+    /// Restore the emission counter from a snapshot (replayed inserts
+    /// bypass probing, so the counter must be set explicitly).
+    pub fn set_emitted(&mut self, emitted: u64) {
+        self.emitted = emitted;
+    }
 }
 
 /// Order a `(new tuple, stored partner)` pair as `(left, right)`.

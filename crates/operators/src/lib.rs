@@ -36,6 +36,7 @@ pub mod iterator;
 pub mod oracle;
 pub mod reference;
 pub mod scan;
+pub mod snapshot;
 pub mod ssh;
 pub mod state;
 pub mod switch;
@@ -47,4 +48,4 @@ pub use reference::{ReferenceSshCore, ReferenceStored};
 pub use scan::{InterleavedScan, Scan};
 pub use ssh::{GramIndex, ProbeFunnel, SshJoin, SshJoinCore, SshStored};
 pub use state::{KeyTable, StoredTuple};
-pub use switch::{JoinPhase, PerKind, SwitchJoin, SwitchJoinConfig};
+pub use switch::{JoinPhase, PerKind, RestoredCore, SwitchJoin, SwitchJoinConfig, SwitchRestore};

@@ -1,0 +1,385 @@
+//! Section payload codecs for the operator layer of a pipeline snapshot.
+//!
+//! The container format (header, section table, checksums) lives in
+//! [`linkage_types::snapshot`]; this module defines **what the operator
+//! sections contain** and how a kernel is rebuilt from them.  The byte
+//! layout of every payload here is specified in `docs/format.md`.
+//!
+//! The guiding principle is *replay, don't serialise*: a snapshot stores
+//! only the arrival-order tuple columns of each kernel plus the handful
+//! of counters replay cannot re-derive.  Decoding re-inserts the tuples
+//! through the kernels' own code paths
+//! ([`ExactJoinCore::insert_restored`],
+//! [`SshJoinCore::insert_restored`]), so every derived structure — the
+//! by-key hash index, the flat postings, the CSR gram column — is
+//! reconstructed by the exact code that built it the first time, and the
+//! on-disk format stays small and stable while the in-memory layout is
+//! free to evolve.
+//!
+//! Bit-identity of a resumed match stream rests on two details encoded
+//! here:
+//!
+//! * the interner section persists gram texts **and** document
+//!   frequencies in id order, so restored gram ids and the rare-first
+//!   ranking are exactly those of the interrupted run;
+//! * each stored q-gram set persists its original probe order (not
+//!   re-ranked on restore), so a resumed probe scans posting lists in
+//!   precisely the order the interrupted run would have.
+
+use std::sync::Arc;
+
+use linkage_text::{GramId, GramInterner, QGramSet, SharedInterner};
+use linkage_types::snapshot::{Decoder, Encoder};
+use linkage_types::{LinkageError, MatchPair, Result, Side};
+
+use crate::exact::ExactJoinCore;
+use crate::ssh::{ProbeFunnel, SshJoinCore, SshStored};
+use crate::switch::{PerKind, SwitchJoinConfig};
+
+/// Encode the shared gram interner: entry count, then every gram text in
+/// id order, then the document-frequency column in the same order.
+pub fn encode_interner(interner: &SharedInterner) -> Vec<u8> {
+    let guard = interner.lock();
+    let mut e = Encoder::new();
+    e.put_u32(guard.len() as u32);
+    for text in guard.texts() {
+        e.put_str(text);
+    }
+    for &freq in guard.doc_freqs() {
+        e.put_u32(freq);
+    }
+    e.finish()
+}
+
+/// Decode an interner section back into a table (ids are assigned in
+/// storage order, so they match the snapshotted run exactly).
+pub fn decode_interner(bytes: &[u8]) -> Result<GramInterner> {
+    let mut d = Decoder::new(bytes, "INTERNER");
+    let n = d.get_u32()? as usize;
+    let mut texts = Vec::with_capacity(n);
+    for _ in 0..n {
+        texts.push(Arc::<str>::from(d.get_str()?));
+    }
+    let mut doc_freq = Vec::with_capacity(n);
+    for _ in 0..n {
+        doc_freq.push(d.get_u32()?);
+    }
+    d.finish()?;
+    GramInterner::from_parts(texts, doc_freq)
+}
+
+/// Encode an exact-phase kernel: per side the arrival-order tuple column
+/// (record, normalised key, matched-exactly flag), then the emission
+/// counter.
+pub fn encode_exact_core(core: &ExactJoinCore) -> Vec<u8> {
+    let mut e = Encoder::new();
+    for side in Side::BOTH {
+        let tuples = core.tables()[side].tuples();
+        e.put_u32(tuples.len() as u32);
+        for t in tuples {
+            e.put_record(&t.record);
+            e.put_str(&t.key);
+            e.put_bool(t.matched_exactly);
+        }
+    }
+    e.put_u64(core.emitted());
+    e.finish()
+}
+
+/// Decode an exact-core section by replaying every insert in arrival
+/// order into a fresh kernel built from `config`.
+pub fn decode_exact_core(bytes: &[u8], config: &SwitchJoinConfig) -> Result<ExactJoinCore> {
+    let mut d = Decoder::new(bytes, "EXACT_CORE");
+    let mut core = config.exact_core();
+    for side in Side::BOTH {
+        let n = d.get_u32()? as usize;
+        for _ in 0..n {
+            let record = d.get_record()?;
+            let key = Arc::<str>::from(d.get_str()?);
+            let matched = d.get_bool()?;
+            core.insert_restored(side, record, key, matched);
+        }
+    }
+    let emitted = d.get_u64()?;
+    d.finish()?;
+    core.set_emitted(emitted);
+    Ok(core)
+}
+
+/// Encode an approximate-phase kernel: per side the arrival-order tuple
+/// column (record, key, gram ids ascending, the original probe order,
+/// window count, matched-exactly flag), then the emission counters and
+/// the cumulative probe funnel.
+pub fn encode_ssh_core(core: &SshJoinCore) -> Vec<u8> {
+    let mut e = Encoder::new();
+    for side in Side::BOTH {
+        let tuples = core.indexes()[side].tuples();
+        e.put_u32(tuples.len() as u32);
+        for t in tuples {
+            e.put_record(&t.record);
+            e.put_str(&t.key);
+            e.put_u32(t.grams.len() as u32);
+            for id in t.grams.gram_ids() {
+                e.put_u32(id.as_u32());
+            }
+            for id in t.grams.probe_order() {
+                e.put_u32(id.as_u32());
+            }
+            e.put_u64(t.grams.window_count() as u64);
+            e.put_bool(t.matched_exactly);
+        }
+    }
+    e.put_u64(core.emitted_exact());
+    e.put_u64(core.emitted_approx());
+    let funnel = core.funnel();
+    e.put_u64(funnel.candidates_scanned);
+    e.put_u64(funnel.candidates_after_length_filter);
+    e.put_u64(funnel.candidates_verified);
+    e.put_u64(funnel.prefix_postings_skipped);
+    e.finish()
+}
+
+/// Decode an ssh-core section by replaying every insert in arrival order
+/// into a fresh kernel built from `config` over `interner` (which must
+/// already hold the restored table — gram ids in the payload index into
+/// it).
+pub fn decode_ssh_core(
+    bytes: &[u8],
+    config: &SwitchJoinConfig,
+    interner: SharedInterner,
+) -> Result<SshJoinCore> {
+    let interner_len = interner.len() as u32;
+    let mut d = Decoder::new(bytes, "SSH_CORE");
+    let mut core = config.ssh_core_with(interner);
+    for side in Side::BOTH {
+        let n = d.get_u32()? as usize;
+        for _ in 0..n {
+            let record = d.get_record()?;
+            let key = Arc::<str>::from(d.get_str()?);
+            let gram_count = d.get_u32()? as usize;
+            let mut grams = Vec::with_capacity(gram_count);
+            for _ in 0..gram_count {
+                let raw = d.get_u32()?;
+                if raw >= interner_len {
+                    return Err(LinkageError::snapshot(format!(
+                        "SSH_CORE section: gram id {raw} is outside the restored \
+                         interner ({interner_len} grams)"
+                    )));
+                }
+                if let Some(&prev) = grams.last() {
+                    if GramId::new(raw) <= prev {
+                        return Err(LinkageError::snapshot(
+                            "SSH_CORE section: gram ids are not strictly ascending",
+                        ));
+                    }
+                }
+                grams.push(GramId::new(raw));
+            }
+            let mut probe_order = Vec::with_capacity(gram_count);
+            for _ in 0..gram_count {
+                probe_order.push(GramId::new(d.get_u32()?));
+            }
+            let mut sorted_probe = probe_order.clone();
+            sorted_probe.sort_unstable();
+            if sorted_probe != grams {
+                return Err(LinkageError::snapshot(
+                    "SSH_CORE section: probe order is not a permutation of the gram ids",
+                ));
+            }
+            let window_count = d.get_u64()? as usize;
+            let matched_exactly = d.get_bool()?;
+            core.insert_restored(
+                side,
+                SshStored {
+                    record,
+                    key,
+                    grams: QGramSet::from_parts(grams, probe_order, window_count),
+                    matched_exactly,
+                },
+            );
+        }
+    }
+    let emitted_exact = d.get_u64()?;
+    let emitted_approx = d.get_u64()?;
+    let funnel = ProbeFunnel {
+        candidates_scanned: d.get_u64()?,
+        candidates_after_length_filter: d.get_u64()?,
+        candidates_verified: d.get_u64()?,
+        prefix_postings_skipped: d.get_u64()?,
+    };
+    d.finish()?;
+    core.finish_restore(emitted_exact, emitted_approx, funnel);
+    Ok(core)
+}
+
+/// Encode a buffered match-pair queue, oldest first.
+pub fn encode_pairs<'a>(pairs: impl ExactSizeIterator<Item = &'a MatchPair>) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(pairs.len() as u32);
+    for pair in pairs {
+        e.put_pair(pair);
+    }
+    e.finish()
+}
+
+/// Decode a match-pair queue section.
+pub fn decode_pairs(bytes: &[u8]) -> Result<Vec<MatchPair>> {
+    let mut d = Decoder::new(bytes, "PENDING");
+    let n = d.get_u32()? as usize;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push(d.get_pair()?);
+    }
+    d.finish()?;
+    Ok(pairs)
+}
+
+/// Append a [`PerKind`] counter pair to an in-progress payload.
+pub fn put_per_kind(e: &mut Encoder, kinds: PerKind) {
+    e.put_u64(kinds.exact);
+    e.put_u64(kinds.approximate);
+}
+
+/// Read back a [`PerKind`] counter pair.
+pub fn get_per_kind(d: &mut Decoder<'_>) -> Result<PerKind> {
+    Ok(PerKind {
+        exact: d.get_u64()?,
+        approximate: d.get_u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkage_types::{MatchKind, PerSide, Record, SidedRecord, Value};
+    use std::collections::VecDeque;
+
+    fn rec(id: u64, key: &str) -> Record {
+        Record::new(id, vec![Value::string(key)])
+    }
+
+    fn config() -> SwitchJoinConfig {
+        SwitchJoinConfig::new(PerSide::new(0, 0))
+    }
+
+    fn run_exact(keys: &[(&str, Side)]) -> ExactJoinCore {
+        let mut core = config().exact_core();
+        let mut out = VecDeque::new();
+        for (i, (key, side)) in keys.iter().enumerate() {
+            let sided = SidedRecord::new(*side, rec(i as u64, key));
+            core.process(sided, &mut out).unwrap();
+        }
+        core
+    }
+
+    #[test]
+    fn exact_core_round_trips_through_the_codec() {
+        let core = run_exact(&[
+            ("santa cristina", Side::Left),
+            ("santa cristina", Side::Right),
+            ("genova nervi", Side::Left),
+            ("torino centro", Side::Right),
+        ]);
+        let bytes = encode_exact_core(&core);
+        let restored = decode_exact_core(&bytes, &config()).unwrap();
+        assert_eq!(restored.emitted(), core.emitted());
+        assert_eq!(restored.stored(), core.stored());
+        for side in Side::BOTH {
+            let (a, b) = (
+                core.tables()[side].tuples(),
+                restored.tables()[side].tuples(),
+            );
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.record, y.record);
+                assert_eq!(x.key, y.key);
+                assert_eq!(x.matched_exactly, y.matched_exactly);
+            }
+        }
+    }
+
+    #[test]
+    fn ssh_core_round_trip_preserves_probe_order_and_future_output() {
+        let cfg = config();
+        let mut core = cfg.ssh_core();
+        let mut out = VecDeque::new();
+        let keys = [
+            ("TAA BZ SANTA CRISTINA VALGARDENA", Side::Left),
+            ("TAA BZ SANTA CRISTINx VALGARDENA", Side::Right),
+            ("LIG GE GENOVA NERVI CAPOLUNGO", Side::Left),
+            ("LIG GE GENOVA NERVI CAPOLUNGO", Side::Right),
+        ];
+        for (i, (key, side)) in keys.iter().enumerate() {
+            let sided = SidedRecord::new(*side, rec(i as u64, key));
+            core.process(sided, &mut out).unwrap();
+        }
+
+        let interner_bytes = encode_interner(core.interner());
+        let core_bytes = encode_ssh_core(&core);
+
+        let table = decode_interner(&interner_bytes).unwrap();
+        let shared = SharedInterner::from_table(table);
+        let mut restored = decode_ssh_core(&core_bytes, &cfg, shared).unwrap();
+
+        assert_eq!(restored.emitted_exact(), core.emitted_exact());
+        assert_eq!(restored.emitted_approx(), core.emitted_approx());
+        assert_eq!(restored.funnel(), core.funnel());
+        assert_eq!(restored.stored(), core.stored());
+        for side in Side::BOTH {
+            for (a, b) in core.indexes()[side]
+                .tuples()
+                .iter()
+                .zip(restored.indexes()[side].tuples())
+            {
+                assert_eq!(a.grams.probe_order(), b.grams.probe_order());
+                assert_eq!(a.grams.window_count(), b.grams.window_count());
+                assert_eq!(a.matched_exactly, b.matched_exactly);
+            }
+        }
+
+        // Future tuples produce identical matches through both cores.
+        let next = SidedRecord::new(Side::Right, rec(9, "TAA BZ SANTA CRISTINA VALGARDENA"));
+        let mut out_a = VecDeque::new();
+        let mut out_b = VecDeque::new();
+        core.process(next.clone(), &mut out_a).unwrap();
+        restored.process(next, &mut out_b).unwrap();
+        let a: Vec<_> = out_a.iter().map(|p| (p.id_pair(), p.kind)).collect();
+        let b: Vec<_> = out_b.iter().map(|p| (p.id_pair(), p.kind)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_gram_id_is_a_typed_snapshot_error() {
+        let cfg = config();
+        let mut core = cfg.ssh_core();
+        let mut out = VecDeque::new();
+        core.process(
+            SidedRecord::new(Side::Left, rec(0, "GENOVA NERVI")),
+            &mut out,
+        )
+        .unwrap();
+        let bytes = encode_ssh_core(&core);
+        // An empty interner makes every gram id out of range.
+        let shared = SharedInterner::new();
+        let err = decode_ssh_core(&bytes, &cfg, shared).unwrap_err();
+        assert!(matches!(err, LinkageError::Snapshot(_)), "{err}");
+    }
+
+    #[test]
+    fn pairs_round_trip_in_order() {
+        let pairs = [
+            MatchPair::exact(rec(1, "a"), rec(2, "a")),
+            MatchPair::approximate(rec(3, "b"), rec(4, "b2"), 0.83),
+        ];
+        let bytes = encode_pairs(pairs.iter());
+        let back = decode_pairs(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in pairs.iter().zip(&back) {
+            assert_eq!(a.id_pair(), b.id_pair());
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.left, b.left);
+            assert_eq!(a.right, b.right);
+        }
+        assert!(matches!(back[1].kind, MatchKind::Approximate { .. }));
+    }
+}

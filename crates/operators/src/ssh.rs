@@ -1099,6 +1099,34 @@ impl SshJoinCore {
     pub fn funnel(&self) -> ProbeFunnel {
         self.scratch.funnel
     }
+
+    /// Re-insert one resident tuple during snapshot restore, without
+    /// probing.
+    ///
+    /// The snapshot stores only the arrival-order tuple column per side
+    /// (record, key, gram-id set with its original rare-first probe
+    /// order, matched-exactly flag); replaying the inserts in that order
+    /// re-derives every index structure — flat postings, the length
+    /// column, the CSR gram column and the posting-entry count — so none
+    /// of them is ever written to disk.  **Snapshot restore only**; call
+    /// [`Self::finish_restore`] once after the last insert.
+    pub fn insert_restored(&mut self, side: Side, stored: SshStored) {
+        self.sides[side].insert(stored);
+    }
+
+    /// Finish a snapshot restore: release posting push-growth slack
+    /// (the replayed lists are long-lived, exactly as at the §3.3
+    /// handover) and restore the counters that replaying inserts cannot
+    /// re-derive — the emission counters and the cumulative probe
+    /// funnel.
+    pub fn finish_restore(&mut self, emitted_exact: u64, emitted_approx: u64, funnel: ProbeFunnel) {
+        for side in Side::BOTH {
+            self.sides[side].shrink_postings();
+        }
+        self.emitted_exact = emitted_exact;
+        self.emitted_approx = emitted_approx;
+        self.scratch.funnel = funnel;
+    }
 }
 
 /// The approximate SSH join as a standalone pipelined [`Operator`].

@@ -133,6 +133,44 @@ enum PhaseCore {
     Switching,
 }
 
+/// One decoded phase kernel, ready to be installed by
+/// [`SwitchJoin::restore`].
+///
+/// `PhaseCore` itself stays private (its `Switching` placeholder is an
+/// internal invariant of the handover); a snapshot only ever captures a
+/// join at rest, so the restored state is always one of the two real
+/// kernels.
+#[allow(clippy::large_enum_variant)]
+pub enum RestoredCore {
+    /// The join had not switched yet.
+    Exact(ExactJoinCore),
+    /// The join had already performed the §3.3 handover.
+    Approximate(SshJoinCore),
+}
+
+/// Full operator-level state of a [`SwitchJoin`], as reconstructed from a
+/// snapshot (`linkage_types::snapshot`).  Built by the engine layers from
+/// the decoded sections and installed with [`SwitchJoin::restore`].
+pub struct SwitchRestore {
+    /// The phase kernel with its resident state replayed.
+    pub core: RestoredCore,
+    /// Matches that were emitted by a kernel but not yet pulled
+    /// downstream when the snapshot was taken.
+    pub pending: Vec<MatchPair>,
+    /// Input tuples the snapshotted run had consumed per side; the
+    /// resumed run re-reads the same sources and discards exactly this
+    /// prefix.
+    pub consumed: PerSide<u64>,
+    /// Emission counters at the snapshot point.
+    pub emitted: PerKind,
+    /// Matches recovered from resident state during the switch (0 if the
+    /// join had not switched).
+    pub recovered_at_switch: u64,
+    /// Total consumed tuples at the moment of the switch, if it
+    /// happened.
+    pub switched_after: Option<u64>,
+}
+
 /// A join operator that can swap its kernel mid-stream.
 pub struct SwitchJoin<I> {
     input: I,
@@ -177,6 +215,11 @@ impl<I: Operator<Item = SidedRecord>> SwitchJoin<I> {
             recovered_at_switch: 0,
             switched_after: None,
         }
+    }
+
+    /// The shared configuration of both phases.
+    pub fn config(&self) -> &SwitchJoinConfig {
+        &self.config
     }
 
     /// The phase currently driving output.
@@ -295,6 +338,77 @@ impl<I: Operator<Item = SidedRecord>> SwitchJoin<I> {
     /// Number of emitted pairs currently buffered (not yet popped).
     pub fn buffered(&self) -> usize {
         self.out.len()
+    }
+
+    /// The exact-phase kernel, if the join has not switched.
+    pub fn exact_core_ref(&self) -> Option<&ExactJoinCore> {
+        match &self.core {
+            PhaseCore::Exact(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The approximate-phase kernel, if the join has switched.
+    pub fn ssh_core_ref(&self) -> Option<&SshJoinCore> {
+        match &self.core {
+            PhaseCore::Approximate(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The buffered matches not yet popped, oldest first — the snapshot
+    /// persists these verbatim so a resumed run re-emits them in order.
+    pub fn pending_pairs(&self) -> impl ExactSizeIterator<Item = &MatchPair> {
+        self.out.iter()
+    }
+
+    /// Install snapshot state and fast-forward the input past the prefix
+    /// the snapshotted run had already consumed.
+    ///
+    /// Requires an open, pristine join (nothing consumed, nothing
+    /// buffered).  The snapshot stores no input tuples; the resumed
+    /// pipeline re-reads the same sources and this method discards
+    /// exactly `snap.consumed` tuples per side, verifying the counts as
+    /// it goes — a source that ends early or interleaves differently is
+    /// a typed [`LinkageError::Snapshot`] error, never silent
+    /// corruption.
+    pub fn restore(&mut self, snap: SwitchRestore) -> Result<()> {
+        if self.state != OperatorState::Open {
+            return Err(LinkageError::snapshot("restore requires an open operator"));
+        }
+        if self.total_consumed() != 0 || !self.out.is_empty() {
+            return Err(LinkageError::snapshot(
+                "restore requires a pristine join (nothing consumed or buffered)",
+            ));
+        }
+        self.core = match snap.core {
+            RestoredCore::Exact(c) => PhaseCore::Exact(c),
+            RestoredCore::Approximate(c) => PhaseCore::Approximate(c),
+        };
+        self.out.extend(snap.pending);
+        self.emitted = snap.emitted;
+        self.recovered_at_switch = snap.recovered_at_switch;
+        self.switched_after = snap.switched_after;
+
+        let target = snap.consumed;
+        while self.consumed.left < target.left || self.consumed.right < target.right {
+            let Some(sided) = self.input.next()? else {
+                return Err(LinkageError::snapshot(format!(
+                    "input ended while skipping the consumed prefix: snapshot consumed \
+                     {}/{} tuples (left/right), input supplied only {}/{}",
+                    target.left, target.right, self.consumed.left, self.consumed.right
+                )));
+            };
+            self.consumed[sided.side] += 1;
+            if self.consumed[sided.side] > target[sided.side] {
+                return Err(LinkageError::snapshot(format!(
+                    "input does not match the snapshot: saw more {:?}-side tuples in the \
+                     prefix than the snapshotted run consumed ({} > {})",
+                    sided.side, self.consumed[sided.side], target[sided.side]
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn count_new_emissions(&mut self, buffered_before: usize) {

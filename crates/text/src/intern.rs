@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use linkage_types::{LinkageError, Result};
 use serde::{Deserialize, Serialize};
 
 /// Dense identifier of one distinct q-gram within a [`GramInterner`].
@@ -198,6 +199,50 @@ impl GramInterner {
         self.texts.get(id.as_usize()).map(Arc::as_ref)
     }
 
+    /// The interned gram texts, in first-interned (= id) order.  This is
+    /// the column the snapshot writer serialises; together with
+    /// [`Self::doc_freqs`] it is the table's complete observable state.
+    pub fn texts(&self) -> &[Arc<str>] {
+        &self.texts
+    }
+
+    /// The document-frequency column, indexed by gram id.
+    pub fn doc_freqs(&self) -> &[u32] {
+        &self.doc_freq
+    }
+
+    /// Rebuild a table from its snapshot columns: `texts[i]` becomes the
+    /// text of `GramId(i)` with document frequency `doc_freq[i]`, and the
+    /// text → id map is re-derived.  Fails with a typed
+    /// [`LinkageError::Snapshot`] when the columns disagree in length or
+    /// a gram text repeats (dense ids require distinct texts).
+    pub fn from_parts(texts: Vec<Arc<str>>, doc_freq: Vec<u32>) -> Result<Self> {
+        if texts.len() != doc_freq.len() {
+            return Err(LinkageError::snapshot(format!(
+                "interner columns disagree: {} texts vs {} doc frequencies",
+                texts.len(),
+                doc_freq.len()
+            )));
+        }
+        let mut map: HashMap<Arc<str>, GramId, FxBuildHasher> =
+            HashMap::with_capacity_and_hasher(texts.len(), FxBuildHasher::default());
+        for (i, text) in texts.iter().enumerate() {
+            if map
+                .insert(Arc::clone(text), GramId::new(i as u32))
+                .is_some()
+            {
+                return Err(LinkageError::snapshot(format!(
+                    "interner snapshot repeats gram text {text:?}"
+                )));
+            }
+        }
+        Ok(Self {
+            map,
+            texts,
+            doc_freq,
+        })
+    }
+
     /// Estimated size of the table in bytes: the gram text (stored once
     /// per distinct gram), the id column, and the map's key/value slots.
     /// Same estimate-not-measurement caveat as the operators' state
@@ -237,6 +282,29 @@ impl SharedInterner {
     /// space).
     pub fn same_table(&self, other: &SharedInterner) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// A handle owning `table` (snapshot restore: the decoded table
+    /// becomes the join-wide id space).
+    pub fn from_table(table: GramInterner) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(table)),
+        }
+    }
+
+    /// Replace the shared table **in place** with `table`, propagating to
+    /// every clone of this handle (the sharded executor restores the
+    /// join-wide id space after its workers already hold handle clones).
+    /// Refuses to clobber a non-empty table: live ids would dangle.
+    pub fn restore_table(&self, table: GramInterner) -> Result<()> {
+        let mut guard = self.lock();
+        if !guard.is_empty() {
+            return Err(LinkageError::snapshot(
+                "cannot restore into an interner that already issued ids",
+            ));
+        }
+        *guard = table;
+        Ok(())
     }
 
     /// Number of distinct grams interned so far.
@@ -337,6 +405,45 @@ mod tests {
             interner.rank_order(&[tied, unseen]),
             vec![unseen, tied],
             "equal frequencies fall back to id order"
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let mut original = GramInterner::new();
+        let a = original.intern("abc");
+        let b = original.intern("bcd");
+        original.note_document(&[a, b]);
+        original.note_document(&[a]);
+
+        let texts: Vec<Arc<str>> = original.texts().to_vec();
+        let freqs: Vec<u32> = original.doc_freqs().to_vec();
+        let restored = GramInterner::from_parts(texts.clone(), freqs.clone()).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get("abc"), Some(a), "map is re-derived");
+        assert_eq!(restored.doc_freq(a), 2);
+        assert_eq!(restored.doc_freq(b), 1);
+        assert_eq!(restored.rank_order(&[a, b]), original.rank_order(&[a, b]));
+
+        assert!(GramInterner::from_parts(texts.clone(), vec![1]).is_err());
+        let dup = vec![texts[0].clone(), texts[0].clone()];
+        assert!(GramInterner::from_parts(dup, vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn shared_restore_propagates_to_clones_and_guards_live_tables() {
+        let shared = SharedInterner::new();
+        let clone = shared.clone();
+        let mut table = GramInterner::new();
+        table.intern("abc");
+        shared.restore_table(table).unwrap();
+        assert_eq!(clone.len(), 1, "restore reaches every handle");
+
+        let mut again = GramInterner::new();
+        again.intern("xyz");
+        assert!(
+            shared.restore_table(again).is_err(),
+            "restoring over issued ids must fail"
         );
     }
 

@@ -214,6 +214,29 @@ impl QGramSet {
         }
     }
 
+    /// Reassemble a set from its snapshot columns: the sorted id column,
+    /// the rare-first permutation captured at original extraction time,
+    /// and the pre-dedup window count.
+    ///
+    /// **Snapshot restore only.**  The caller owns the invariants
+    /// `extract` normally guarantees — `grams` sorted ascending and
+    /// distinct, `probe_order` a permutation of `grams`, and every id
+    /// issued by the interner the set will be used with.  The snapshot
+    /// decoder validates the first two; the last is what shipping the
+    /// interner section alongside every core section is for.  Preserving
+    /// the *original* probe order (rather than re-ranking against
+    /// restored frequencies) is what makes a resumed run scan posting
+    /// lists in exactly the order the interrupted run would have.
+    pub fn from_parts(grams: Vec<GramId>, probe_order: Vec<GramId>, window_count: usize) -> Self {
+        debug_assert!(grams.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        debug_assert_eq!(grams.len(), probe_order.len());
+        Self {
+            grams,
+            probe_order,
+            window_count,
+        }
+    }
+
     /// Number of **distinct** grams.
     pub fn len(&self) -> usize {
         self.grams.len()

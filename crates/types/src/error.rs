@@ -45,6 +45,10 @@ pub enum LinkageError {
     Execution(String),
     /// An I/O error, flattened to a string so the error stays `Clone + Eq`.
     Io(String),
+    /// A snapshot file could not be written, or could not be read back
+    /// (truncation, checksum mismatch, unsupported format version, or a
+    /// payload that contradicts the pipeline it is being restored into).
+    Snapshot(String),
 }
 
 impl LinkageError {
@@ -87,6 +91,11 @@ impl LinkageError {
     pub fn execution(msg: impl fmt::Display) -> Self {
         Self::Execution(msg.to_string())
     }
+
+    /// Build a [`LinkageError::Snapshot`] from anything displayable.
+    pub fn snapshot(msg: impl fmt::Display) -> Self {
+        Self::Snapshot(msg.to_string())
+    }
 }
 
 impl fmt::Display for LinkageError {
@@ -104,6 +113,7 @@ impl fmt::Display for LinkageError {
             Self::Experiment(m) => write!(f, "experiment error: {m}"),
             Self::Execution(m) => write!(f, "execution error: {m}"),
             Self::Io(m) => write!(f, "io error: {m}"),
+            Self::Snapshot(m) => write!(f, "snapshot error: {m}"),
         }
     }
 }
@@ -159,6 +169,14 @@ mod tests {
             LinkageError::execution("x"),
             LinkageError::Execution(_)
         ));
+        assert!(matches!(
+            LinkageError::snapshot("x"),
+            LinkageError::Snapshot(_)
+        ));
+        assert_eq!(
+            LinkageError::snapshot("bad crc").to_string(),
+            "snapshot error: bad crc"
+        );
     }
 
     #[test]

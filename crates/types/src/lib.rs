@@ -17,7 +17,9 @@
 //! * [`RecordStream`] and friends — the pull-based tuple sources consumed by
 //!   the pipelined operators;
 //! * [`MatchPair`] / [`MatchKind`] — join results annotated with how the
-//!   match was obtained (exact vs approximate) and the similarity score.
+//!   match was obtained (exact vs approximate) and the similarity score;
+//! * [`snapshot`] — the versioned, checksummed columnar container every
+//!   layer stores its durable state in (byte layout: `docs/format.md`).
 //!
 //! The crate is deliberately free of any join or statistics logic so that the
 //! operator and control crates can be tested against a minimal, stable
@@ -34,6 +36,7 @@ pub mod record;
 pub mod relation;
 pub mod schema;
 pub mod side;
+pub mod snapshot;
 pub mod stream;
 pub mod value;
 

@@ -5,6 +5,7 @@ use linkage_datagen::{generate, DatagenConfig};
 use linkage_exec::ParallelJoin;
 use linkage_operators::{InterleavedScan, SwitchJoin};
 use linkage_text::{QGramCoefficient, QGramConfig};
+use linkage_types::snapshot::{kind, Decoder, SnapshotFile};
 use linkage_types::{DataType, InterleavePolicy, LinkageError, PerSide, Result, Side};
 
 use crate::api::config::{ExecutionMode, PipelineConfig};
@@ -49,6 +50,40 @@ impl Pipeline {
     /// Execute and materialise: every match pair plus the final report.
     pub fn collect(self) -> Result<RunOutcome> {
         self.run()?.into_outcome()
+    }
+
+    /// Resume from a snapshot written by
+    /// [`MatchStream::snapshot`](crate::api::MatchStream::snapshot)
+    /// instead of starting from the first tuple.
+    ///
+    /// Declare the pipeline exactly as the snapshotted run did — same
+    /// sources, keys, similarity, thresholds and execution mode (the
+    /// `META` section's engine name, shard count and configuration
+    /// fingerprint are all validated) — then call this in place of
+    /// [`run`](Self::run).  The engine rebuilds its join state from the
+    /// snapshot's tuple columns, fast-forwards the input past the
+    /// consumed prefix, and the returned stream yields the remaining
+    /// events bit-identically to the uninterrupted run.
+    pub fn resume(self, path: impl AsRef<std::path::Path>) -> Result<MatchStream> {
+        let file = SnapshotFile::read_from(path.as_ref())?;
+        // Decode the stream's own section first: a malformed file is
+        // rejected before the engine spawns anything.
+        let mut d = Decoder::new(file.section(kind::STREAM as u32)?, "STREAM");
+        let switch_emitted = d.get_bool()?;
+        let stashed = if d.get_bool()? {
+            Some(d.get_pair()?)
+        } else {
+            None
+        };
+        d.finish()?;
+
+        let mut engine = self.engine;
+        engine.open()?;
+        if let Err(e) = engine.restore_state(&file) {
+            let _ = engine.close();
+            return Err(e);
+        }
+        Ok(MatchStream::resumed(engine, stashed, switch_emitted))
     }
 }
 
@@ -316,5 +351,10 @@ impl PipelineBuilder {
     /// [`build`](Self::build) then [`Pipeline::collect`].
     pub fn collect(self) -> Result<RunOutcome> {
         self.build()?.collect()
+    }
+
+    /// [`build`](Self::build) then [`Pipeline::resume`].
+    pub fn resume(self, path: impl AsRef<std::path::Path>) -> Result<MatchStream> {
+        self.build()?.resume(path)
     }
 }

@@ -2,10 +2,15 @@
 
 use std::time::Duration;
 
-use linkage_core::{AdaptiveJoin, SwitchEvent};
+use linkage_core::{AdaptiveControlState, AdaptiveJoin, SwitchEvent};
 use linkage_exec::{ParallelJoin, ShardStats};
-use linkage_operators::{JoinPhase, Operator, PerKind, ProbeFunnel};
-use linkage_types::{MatchPair, PerSide, Result, SidedRecord};
+use linkage_operators::{
+    snapshot as opsnap, JoinPhase, Operator, OperatorState, PerKind, ProbeFunnel, RestoredCore,
+    SwitchRestore,
+};
+use linkage_text::SharedInterner;
+use linkage_types::snapshot::{crc32, kind, Decoder, Encoder, SnapshotBuilder, SnapshotFile};
+use linkage_types::{LinkageError, MatchPair, PerSide, Result, SidedRecord};
 
 /// A join backend the pipeline can drive.
 ///
@@ -35,6 +40,81 @@ pub trait JoinEngine {
 
     /// Summarise the run so far as the unified report.
     fn report(&self) -> RunReport;
+
+    /// Append the engine's complete durable state — a `META` identity
+    /// section plus the engine-specific sections of `docs/format.md` —
+    /// to a snapshot under construction.  Requires an open engine; the
+    /// sharded engine quiesces its epoch pipeline first, so the call is
+    /// valid between any two pulls, in either phase.
+    ///
+    /// The default implementation is a typed error, so future backends
+    /// without durability remain drop-ins.
+    fn snapshot_state(&mut self, builder: &mut SnapshotBuilder) -> Result<()> {
+        let _ = builder;
+        Err(LinkageError::snapshot(format!(
+            "the {} engine does not support snapshots",
+            self.engine_name()
+        )))
+    }
+
+    /// Install previously snapshotted state into a freshly opened,
+    /// pristine engine: validate the `META` identity (engine, shard
+    /// count, configuration fingerprint), rebuild the join state by
+    /// replaying the snapshot's tuple columns, and fast-forward the
+    /// re-declared input past the consumed prefix.  After this the
+    /// engine's remaining output is bit-identical to what the
+    /// interrupted run would have produced.
+    fn restore_state(&mut self, file: &SnapshotFile) -> Result<()> {
+        let _ = file;
+        Err(LinkageError::snapshot(format!(
+            "the {} engine does not support snapshots",
+            self.engine_name()
+        )))
+    }
+}
+
+/// Fingerprint a configuration for the `META` section: CRC-32 of its
+/// canonical `Debug` rendering.  Catches the practical mistake — resuming
+/// under a different declaration (other keys, thresholds, coefficient,
+/// batching) — without freezing a byte layout for every config type.
+fn config_fingerprint(config: &impl std::fmt::Debug) -> u32 {
+    crc32(format!("{config:?}").as_bytes())
+}
+
+/// Write the `META` identity section.
+fn put_meta(builder: &mut SnapshotBuilder, engine: &str, shards: usize, fingerprint: u32) {
+    let mut e = Encoder::new();
+    e.put_str(engine);
+    e.put_u32(shards as u32);
+    e.put_u32(fingerprint);
+    builder.push_section(kind::META as u32, e.finish());
+}
+
+/// Validate the `META` identity section against the resuming engine.
+fn check_meta(file: &SnapshotFile, engine: &str, shards: usize, fingerprint: u32) -> Result<()> {
+    let mut d = Decoder::new(file.section(kind::META as u32)?, "META");
+    let snap_engine = d.get_str()?.to_owned();
+    let snap_shards = d.get_u32()? as usize;
+    let snap_fingerprint = d.get_u32()?;
+    d.finish()?;
+    if snap_engine != engine {
+        return Err(LinkageError::snapshot(format!(
+            "snapshot was taken by the {snap_engine:?} engine, cannot resume on {engine:?}"
+        )));
+    }
+    if snap_shards != shards {
+        return Err(LinkageError::snapshot(format!(
+            "snapshot was taken with {snap_shards} shard(s), this pipeline runs {shards}"
+        )));
+    }
+    if snap_fingerprint != fingerprint {
+        return Err(LinkageError::snapshot(
+            "snapshot configuration fingerprint does not match this pipeline — resume \
+             with the exact declaration (keys, q-grams, coefficient, thresholds, \
+             batching) the snapshot was taken with",
+        ));
+    }
+    Ok(())
 }
 
 /// The unified run summary — one type for every engine, merging the
@@ -161,6 +241,135 @@ impl<I: Operator<Item = SidedRecord>> JoinEngine for AdaptiveJoin<I> {
             shard_stats: Vec::new(),
         }
     }
+
+    fn snapshot_state(&mut self, builder: &mut SnapshotBuilder) -> Result<()> {
+        if Operator::state(self) != OperatorState::Open {
+            return Err(LinkageError::snapshot("snapshot requires an open engine"));
+        }
+        put_meta(builder, "serial", 1, serial_fingerprint(self));
+
+        let inner = self.inner();
+        match (inner.exact_core_ref(), inner.ssh_core_ref()) {
+            (Some(exact), _) => {
+                builder.push_section(kind::EXACT_CORE as u32, opsnap::encode_exact_core(exact));
+            }
+            (_, Some(ssh)) => {
+                builder.push_section(
+                    kind::INTERNER as u32,
+                    opsnap::encode_interner(ssh.interner()),
+                );
+                builder.push_section(kind::SSH_CORE as u32, opsnap::encode_ssh_core(ssh));
+            }
+            // `Switching` is transient inside one `next_match` call; the
+            // engine is never observed in it between pulls.
+            (None, None) => {
+                return Err(LinkageError::snapshot(
+                    "snapshot during an in-flight switch",
+                ))
+            }
+        }
+
+        let mut e = Encoder::new();
+        let consumed = inner.consumed();
+        e.put_u64(consumed.left);
+        e.put_u64(consumed.right);
+        opsnap::put_per_kind(&mut e, inner.emitted());
+        e.put_u64(inner.recovered_at_switch());
+        e.put_opt_u64(inner.switched_after());
+        let control = self.control_state();
+        e.put_u64(control.monitor_assessments);
+        e.put_u64(control.monitor_last_checked);
+        e.put_u32(control.assessor_streak);
+        e.put_bool(control.switch.is_some());
+        if let Some(switch) = control.switch {
+            e.put_u64(switch.after_tuples);
+            e.put_f64(switch.sigma);
+            e.put_u64(switch.recovered);
+        }
+        e.put_opt_u64(control.switch_latency.map(|d| d.as_nanos() as u64));
+        e.put_u64(control.undrained_pre_switch);
+        e.put_bool(control.pre_switch_in_flight);
+        builder.push_section(kind::CONTROLLER as u32, e.finish());
+
+        builder.push_section(
+            kind::PENDING as u32,
+            opsnap::encode_pairs(self.inner().pending_pairs()),
+        );
+        Ok(())
+    }
+
+    fn restore_state(&mut self, file: &SnapshotFile) -> Result<()> {
+        check_meta(file, "serial", 1, serial_fingerprint(self))?;
+
+        let mut d = Decoder::new(file.section(kind::CONTROLLER as u32)?, "CONTROLLER");
+        let consumed = PerSide::new(d.get_u64()?, d.get_u64()?);
+        let emitted = opsnap::get_per_kind(&mut d)?;
+        let recovered_at_switch = d.get_u64()?;
+        let switched_after = d.get_opt_u64()?;
+        let monitor_assessments = d.get_u64()?;
+        let monitor_last_checked = d.get_u64()?;
+        let assessor_streak = d.get_u32()?;
+        let switch = if d.get_bool()? {
+            Some(SwitchEvent {
+                after_tuples: d.get_u64()?,
+                sigma: d.get_f64()?,
+                recovered: d.get_u64()?,
+            })
+        } else {
+            None
+        };
+        let switch_latency = d.get_opt_u64()?.map(Duration::from_nanos);
+        let undrained_pre_switch = d.get_u64()?;
+        let pre_switch_in_flight = d.get_bool()?;
+        d.finish()?;
+
+        let pending = opsnap::decode_pairs(file.section(kind::PENDING as u32)?)?;
+
+        let config = self.inner().config().clone();
+        let core = if let Some(bytes) = file.try_section(kind::SSH_CORE as u32) {
+            let table = opsnap::decode_interner(file.section(kind::INTERNER as u32)?)?;
+            RestoredCore::Approximate(opsnap::decode_ssh_core(
+                bytes,
+                &config,
+                SharedInterner::from_table(table),
+            )?)
+        } else {
+            RestoredCore::Exact(opsnap::decode_exact_core(
+                file.section(kind::EXACT_CORE as u32)?,
+                &config,
+            )?)
+        };
+
+        self.inner_mut().restore(SwitchRestore {
+            core,
+            pending,
+            consumed,
+            emitted,
+            recovered_at_switch,
+            switched_after,
+        })?;
+        self.restore_control_state(AdaptiveControlState {
+            monitor_assessments,
+            monitor_last_checked,
+            assessor_streak,
+            switch,
+            switch_latency,
+            undrained_pre_switch,
+            pre_switch_in_flight,
+        });
+        Ok(())
+    }
+}
+
+/// The serial engine's configuration identity: join declaration plus
+/// control-loop settings.
+fn serial_fingerprint<I: Operator<Item = SidedRecord>>(engine: &AdaptiveJoin<I>) -> u32 {
+    config_fingerprint(&(
+        engine.inner().config(),
+        engine.monitor().config(),
+        engine.assessor().config(),
+        engine.policy(),
+    ))
 }
 
 impl<I: Operator<Item = SidedRecord>> JoinEngine for ParallelJoin<I> {
@@ -200,5 +409,25 @@ impl<I: Operator<Item = SidedRecord>> JoinEngine for ParallelJoin<I> {
             switch_latency: report.switch_latency,
             shard_stats: report.shards,
         }
+    }
+
+    fn snapshot_state(&mut self, builder: &mut SnapshotBuilder) -> Result<()> {
+        put_meta(
+            builder,
+            "sharded",
+            self.shard_count(),
+            config_fingerprint(self.config()),
+        );
+        self.snapshot_sections(builder)
+    }
+
+    fn restore_state(&mut self, file: &SnapshotFile) -> Result<()> {
+        check_meta(
+            file,
+            "sharded",
+            self.shard_count(),
+            config_fingerprint(self.config()),
+        )?;
+        self.restore_sections(file)
     }
 }

@@ -69,6 +69,51 @@
 //! }
 //! # Ok::<(), linkage::types::LinkageError>(())
 //! ```
+//!
+//! # Checkpoint and resume
+//!
+//! A running stream can be checkpointed with
+//! [`MatchStream::snapshot`] — a versioned, checksummed, atomically
+//! written container specified byte-for-byte in `docs/format.md` — and
+//! picked up later by a fresh pipeline with the **same declaration** via
+//! [`Pipeline::resume`].  The resumed stream emits the bit-identical
+//! remaining event sequence, including across the exact → approximate
+//! switch:
+//!
+//! ```
+//! use linkage::api::{MatchEvent, Pipeline, PipelineBuilder};
+//! use linkage::datagen::{generate, DatagenConfig, GeneratedData};
+//!
+//! let data = generate(&DatagenConfig::mid_stream_dirty(120, 9))?;
+//! let declare = || -> PipelineBuilder {
+//!     Pipeline::builder()
+//!         .left(&data.parents)
+//!         .right(&data.children)
+//!         .key_column(GeneratedData::KEY_COLUMN)
+//!         .serial()
+//! };
+//!
+//! // Consume a few events, checkpoint, and abandon the run.
+//! let mut stream = declare().run()?;
+//! let head: Vec<_> = stream.by_ref().take(5).collect::<Result<_, _>>()?;
+//! let path = std::env::temp_dir().join("linkage-doctest.snap");
+//! stream.snapshot(&path)?;
+//! drop(stream); // simulated crash
+//!
+//! // A brand-new pipeline resumes exactly where the snapshot was cut.
+//! let tail = declare().resume(&path)?;
+//! let resumed_matches = tail
+//!     .filter(|e| matches!(e, Ok(MatchEvent::Match(_))))
+//!     .count();
+//! let full = declare().collect()?;
+//! let head_matches = head
+//!     .iter()
+//!     .filter(|e| matches!(e, MatchEvent::Match(_)))
+//!     .count();
+//! assert_eq!(head_matches + resumed_matches, full.matches.len());
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), linkage::types::LinkageError>(())
+//! ```
 
 mod builder;
 mod config;

@@ -1,7 +1,10 @@
 //! The streaming result API.
 
+use std::path::Path;
+
 use linkage_core::SwitchEvent;
-use linkage_types::{MatchPair, Result};
+use linkage_types::snapshot::{kind, Encoder, SnapshotBuilder};
+use linkage_types::{LinkageError, MatchPair, Result};
 
 use crate::api::engine::{JoinEngine, RunReport};
 
@@ -32,11 +35,22 @@ pub enum MatchEvent {
 /// final event is yielded, so shard statistics are complete.
 pub struct MatchStream {
     engine: Box<dyn JoinEngine>,
+    // (Debug is implemented manually: the engine box is opaque.)
     /// A pair pulled by the very call that performed the switch, held
     /// back so the `Switched` notification precedes it in the stream.
     stashed: Option<MatchPair>,
     switch_emitted: bool,
     done: bool,
+}
+
+impl std::fmt::Debug for MatchStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchStream")
+            .field("engine", &self.engine.engine_name())
+            .field("switch_emitted", &self.switch_emitted)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MatchStream {
@@ -47,6 +61,48 @@ impl MatchStream {
             switch_emitted: false,
             done: false,
         }
+    }
+
+    /// Rebuild a stream from restored engine + stream state, so a resumed
+    /// run continues the event sequence exactly where the snapshot cut it.
+    pub(crate) fn resumed(
+        engine: Box<dyn JoinEngine>,
+        stashed: Option<MatchPair>,
+        switch_emitted: bool,
+    ) -> Self {
+        Self {
+            engine,
+            stashed,
+            switch_emitted,
+            done: false,
+        }
+    }
+
+    /// Write a consistent snapshot of the whole pipeline — engine state
+    /// plus this stream's own position — to `path`, in the versioned
+    /// container specified by `docs/format.md`.
+    ///
+    /// The write is atomic (temp file + rename): a crash mid-snapshot
+    /// leaves either the previous file or none, never a torn one.  The
+    /// stream is untouched and continues normally afterwards; resuming
+    /// from the file with [`Pipeline::resume`](crate::api::Pipeline::resume)
+    /// yields the exact remaining event sequence, bit for bit.
+    ///
+    /// Fails with [`LinkageError::Snapshot`] on a finished stream.
+    pub fn snapshot(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        if self.done {
+            return Err(LinkageError::snapshot("cannot snapshot a finished stream"));
+        }
+        let mut builder = SnapshotBuilder::new();
+        self.engine.snapshot_state(&mut builder)?;
+        let mut e = Encoder::new();
+        e.put_bool(self.switch_emitted);
+        e.put_bool(self.stashed.is_some());
+        if let Some(pair) = &self.stashed {
+            e.put_pair(pair);
+        }
+        builder.push_section(kind::STREAM as u32, e.finish());
+        builder.write_to(path.as_ref())
     }
 
     /// Drain the stream into a materialised [`RunOutcome`], failing on

@@ -29,7 +29,15 @@
 //!   on randomized workloads, for all four `QGramCoefficient`s,
 //!   including across the §3.3 mid-stream switch/handover and across a
 //!   mid-stream coefficient change;
-//! * `protocol` — the operator lifecycle is enforced across the stack.
+//! * `protocol` — the operator lifecycle is enforced across the stack;
+//! * `snapshot_resume` — a pipeline snapshotted at **any** event position
+//!   and resumed in a fresh process-equivalent pipeline emits the
+//!   bit-identical remaining event stream (both engines, every
+//!   coefficient, before/at/after the §3.3 switch, property-based over
+//!   workload, sharding, epoching and cut position); every truncation and
+//!   every single-byte corruption of a snapshot file is rejected with a
+//!   typed error, never a panic, and `docs/format.md`'s version constant
+//!   is checked against the code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -987,5 +995,366 @@ mod protocol {
         let rest = join.next_batch(1000).expect("batch failed");
         assert_eq!(first.len() + rest.len(), 30);
         join.close().expect("close failed");
+    }
+}
+
+#[cfg(test)]
+mod snapshot_resume {
+    use linkage::api::{MatchEvent, MatchStream, Pipeline, PipelineBuilder, QGramCoefficient};
+    use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+    use linkage_types::snapshot::{SnapshotFile, FORMAT_VERSION, MAGIC};
+    use linkage_types::LinkageError;
+    use proptest::prelude::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn declare(data: &GeneratedData) -> PipelineBuilder {
+        Pipeline::builder()
+            .left(&data.parents)
+            .right(&data.children)
+            .key_column(GeneratedData::KEY_COLUMN)
+    }
+
+    /// A fresh snapshot path under the system temp dir; unique per call
+    /// so parallel tests never collide.
+    fn snap_path(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("linkage-snap-{}-{tag}-{n}.bin", std::process::id()))
+    }
+
+    /// A bit-faithful fingerprint of one stream event: `Match` keeps the
+    /// full pair `Debug` (records, kind, exact similarity), `Switched`
+    /// keeps σ as raw bits, `Finished` keeps every deterministic counter
+    /// (wall-clock latency and size estimates are excluded by design).
+    fn fingerprint(event: MatchEvent) -> String {
+        match event {
+            MatchEvent::Match(pair) => format!("M {pair:?}"),
+            MatchEvent::Switched(s) => format!(
+                "S after={} sigma={:016x} recovered={}",
+                s.after_tuples,
+                s.sigma.to_bits(),
+                s.recovered
+            ),
+            MatchEvent::Finished(r) => format!(
+                "F {} shards={} {:?} consumed={:?} emitted={:?} switch={:?}",
+                r.engine,
+                r.shards,
+                r.phase,
+                r.consumed,
+                r.emitted,
+                r.switch
+                    .map(|s| (s.after_tuples, s.sigma.to_bits(), s.recovered)),
+            ),
+            _ => "other".to_owned(),
+        }
+    }
+
+    fn drain(stream: MatchStream) -> Vec<String> {
+        stream
+            .map(|event| fingerprint(event.expect("stream event failed")))
+            .collect()
+    }
+
+    /// The defining invariant of the snapshot subsystem: run the same
+    /// declaration twice, once uninterrupted and once snapshotted after
+    /// `cut` events + resumed in a brand-new pipeline, and require the
+    /// two event sequences to be identical, bit for bit.  Returns the
+    /// uninterrupted sequence so callers can probe it (switch position).
+    fn assert_resume_bit_identical(
+        make: &dyn Fn() -> PipelineBuilder,
+        cut: usize,
+        tag: &str,
+    ) -> Vec<String> {
+        let full = drain(make().run().expect("uninterrupted run failed"));
+        // `Finished` flips the stream to done, where snapshot (rightly)
+        // refuses; cap the cut at the last snapshottable position.
+        let cut = cut.min(full.len().saturating_sub(1));
+
+        let mut stream = make().run().expect("interrupted run failed");
+        let mut events = Vec::with_capacity(full.len());
+        for _ in 0..cut {
+            let event = stream.next().expect("stream ended early");
+            events.push(fingerprint(event.expect("stream event failed")));
+        }
+        let path = snap_path(tag);
+        stream.snapshot(&path).expect("snapshot failed");
+        drop(stream); // the interrupted pipeline dies here
+
+        let resumed = make().resume(&path).expect("resume failed");
+        events.extend(drain(resumed));
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(
+            events,
+            full,
+            "resumed stream diverged (cut after {cut} of {} events)",
+            full.len()
+        );
+        full
+    }
+
+    #[test]
+    fn serial_natural_switch_resumes_before_at_and_after_the_boundary() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(120, 71)).expect("datagen failed");
+        let make = || declare(&data).serial();
+        let full = assert_resume_bit_identical(&make, 0, "serial-open");
+        let switch_at = full
+            .iter()
+            .position(|f| f.starts_with('S'))
+            .expect("dirty workload must switch");
+        // Just before the switch notification, exactly at it (the engine
+        // may already hold post-switch state plus a stashed recovered
+        // pair), and just after it.
+        for (cut, tag) in [
+            (switch_at.saturating_sub(1), "serial-pre"),
+            (switch_at, "serial-at"),
+            (switch_at + 1, "serial-post"),
+            (full.len() - 1, "serial-end"),
+        ] {
+            assert_resume_bit_identical(&make, cut, tag);
+        }
+    }
+
+    #[test]
+    fn sharded_natural_switch_resumes_before_at_and_after_the_boundary() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(120, 72)).expect("datagen failed");
+        let make = || declare(&data).sharded(3).batch_size(16);
+        let full = assert_resume_bit_identical(&make, 0, "sharded-open");
+        let switch_at = full
+            .iter()
+            .position(|f| f.starts_with('S'))
+            .expect("dirty workload must switch");
+        for (cut, tag) in [
+            (switch_at.saturating_sub(1), "sharded-pre"),
+            (switch_at, "sharded-at"),
+            (switch_at + 1, "sharded-post"),
+            (full.len() - 1, "sharded-end"),
+        ] {
+            assert_resume_bit_identical(&make, cut, tag);
+        }
+    }
+
+    #[test]
+    fn every_coefficient_resumes_bit_identically_on_both_engines() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(60, 73)).expect("datagen failed");
+        for coefficient in QGramCoefficient::ALL {
+            for (engine, shards) in [("serial", 0), ("sharded", 2)] {
+                let make = || {
+                    let b = declare(&data)
+                        .approximate_from_start()
+                        .similarity(coefficient);
+                    if shards == 0 {
+                        b.serial()
+                    } else {
+                        b.sharded(shards)
+                    }
+                };
+                let tag = format!("{engine}-{}", coefficient.name());
+                let full = assert_resume_bit_identical(&make, 5, &tag);
+                assert!(full.len() > 6, "workload too small to cut at 5");
+            }
+        }
+    }
+
+    proptest! {
+        /// Random workload, engine, epoching and cut position: the
+        /// resumed event stream is always bit-identical.
+        #[test]
+        fn resume_is_bit_identical_anywhere(
+            parents in 24usize..48,
+            seed in 0u64..10_000,
+            shards in 0usize..4, // 0 = serial
+            batch in 8usize..40,
+            cut_percent in 0usize..101,
+        ) {
+            let data = generate(&DatagenConfig::mid_stream_dirty(parents, seed))
+                .expect("datagen failed");
+            let make = || {
+                let b = declare(&data);
+                if shards == 0 {
+                    b.serial()
+                } else {
+                    b.sharded(shards).batch_size(batch)
+                }
+            };
+            // Probe the sequence length once, then cut proportionally.
+            let total = drain(make().run().expect("probe run failed")).len();
+            let cut = cut_percent * total / 100;
+            assert_resume_bit_identical(&make, cut, "prop");
+        }
+    }
+
+    // ---- corruption & misuse -------------------------------------------
+
+    /// Write one serial-engine snapshot and return its raw bytes plus the
+    /// workload, for the corruption tests to mutate.
+    fn snapshot_bytes(data: &GeneratedData, cut: usize, tag: &str) -> Vec<u8> {
+        let mut stream = declare(data).serial().run().expect("run failed");
+        for _ in 0..cut {
+            stream
+                .next()
+                .expect("stream ended early")
+                .expect("event failed");
+        }
+        let path = snap_path(tag);
+        stream.snapshot(&path).expect("snapshot failed");
+        let bytes = std::fs::read(&path).expect("read failed");
+        std::fs::remove_file(&path).ok();
+        bytes
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(40, 74)).expect("datagen failed");
+        let bytes = snapshot_bytes(&data, 10, "trunc");
+        for len in 0..bytes.len() {
+            match SnapshotFile::from_bytes(&bytes[..len]) {
+                Err(LinkageError::Snapshot(_)) => {}
+                Err(other) => panic!("truncation at {len} gave a non-snapshot error: {other}"),
+                Ok(_) => panic!("truncation at {len} of {} parsed", bytes.len()),
+            }
+        }
+        assert!(
+            SnapshotFile::from_bytes(&bytes).is_ok(),
+            "untouched bytes must parse"
+        );
+    }
+
+    #[test]
+    fn every_single_byte_corruption_fails_resume_without_panicking() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(30, 75)).expect("datagen failed");
+        let bytes = snapshot_bytes(&data, 8, "flip");
+        let path = snap_path("flip-mut");
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xff;
+            std::fs::write(&path, &corrupt).expect("write failed");
+            match declare(&data).serial().resume(&path) {
+                Err(LinkageError::Snapshot(_)) => {}
+                Err(other) => panic!("flip at byte {pos} gave a non-snapshot error: {other}"),
+                Ok(_) => panic!("flip at byte {pos} of {} resumed", bytes.len()),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected_by_name() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(30, 76)).expect("datagen failed");
+        let mut bytes = snapshot_bytes(&data, 4, "version");
+        assert_eq!(&bytes[..8], &MAGIC, "magic leads the file");
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        assert_eq!(version, FORMAT_VERSION, "writer stamps the current version");
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        match SnapshotFile::from_bytes(&bytes) {
+            Err(LinkageError::Snapshot(msg)) => {
+                assert!(msg.contains("version"), "unexpected message: {msg}")
+            }
+            other => panic!("future version accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resuming_on_the_wrong_engine_shards_or_config_is_rejected() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(40, 77)).expect("datagen failed");
+        let path = snap_path("mismatch");
+        let mut stream = declare(&data).serial().run().expect("run failed");
+        for _ in 0..6 {
+            stream
+                .next()
+                .expect("stream ended early")
+                .expect("event failed");
+        }
+        stream.snapshot(&path).expect("snapshot failed");
+        drop(stream);
+
+        // Wrong engine.
+        let err = declare(&data).sharded(2).resume(&path).unwrap_err();
+        assert!(
+            matches!(err, LinkageError::Snapshot(ref m) if m.contains("serial")),
+            "unexpected error: {err}"
+        );
+        // Wrong configuration (different similarity threshold).
+        let err = declare(&data)
+            .theta_sim(0.9)
+            .serial()
+            .resume(&path)
+            .unwrap_err();
+        assert!(
+            matches!(err, LinkageError::Snapshot(ref m) if m.contains("fingerprint")),
+            "unexpected error: {err}"
+        );
+        // The honest declaration still resumes.
+        let resumed = declare(&data)
+            .serial()
+            .resume(&path)
+            .expect("resume failed");
+        drain(resumed);
+        std::fs::remove_file(&path).ok();
+
+        // Sharded snapshots additionally pin the shard count.
+        let mut stream = declare(&data).sharded(3).run().expect("run failed");
+        stream.snapshot(&path).expect("snapshot failed");
+        drop(stream);
+        let err = declare(&data).sharded(2).resume(&path).unwrap_err();
+        assert!(
+            matches!(err, LinkageError::Snapshot(ref m) if m.contains("shard")),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshotting_a_finished_stream_is_a_typed_error() {
+        let data = generate(&DatagenConfig::clean(20, 78)).expect("datagen failed");
+        let mut stream = declare(&data).serial().run().expect("run failed");
+        while stream.next().is_some() {}
+        let err = stream.snapshot(snap_path("done")).unwrap_err();
+        assert!(
+            matches!(err, LinkageError::Snapshot(ref m) if m.contains("finished")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn resuming_a_missing_file_is_an_io_error_not_a_panic() {
+        let data = generate(&DatagenConfig::clean(20, 79)).expect("datagen failed");
+        let err = declare(&data)
+            .serial()
+            .resume(snap_path("missing"))
+            .unwrap_err();
+        assert!(
+            matches!(err, LinkageError::Io(_)),
+            "unexpected error: {err}"
+        );
+    }
+
+    /// `docs/format.md` is normative: the version and magic it names must
+    /// be the ones this build writes, so the spec cannot silently drift
+    /// from the code.
+    #[test]
+    fn format_spec_version_and_magic_match_the_code() {
+        let spec =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../docs/format.md"))
+                .expect("docs/format.md must exist");
+        let version: u32 = spec
+            .lines()
+            .find_map(|l| l.strip_prefix("`FORMAT_VERSION` = "))
+            .expect("spec must declare `FORMAT_VERSION` = N")
+            .trim()
+            .parse()
+            .expect("spec version must be an integer");
+        assert_eq!(version, FORMAT_VERSION, "docs/format.md is out of date");
+        let magic = spec
+            .lines()
+            .find_map(|l| l.strip_prefix("`MAGIC` = "))
+            .expect("spec must declare `MAGIC` = ...")
+            .trim();
+        assert_eq!(
+            magic,
+            format!("{:?}", std::str::from_utf8(&MAGIC).unwrap()),
+            "docs/format.md magic is out of date"
+        );
     }
 }
