@@ -19,7 +19,7 @@
 use std::time::{Duration, Instant};
 
 use linkage_operators::{JoinPhase, Operator, OperatorState, PerKind, SwitchJoin};
-use linkage_types::{MatchPair, PerSide, Result, SidedRecord};
+use linkage_types::{LinkageError, MatchPair, PerSide, Result, SidedRecord};
 
 use crate::assessor::{Assessor, AssessorConfig};
 use crate::monitor::{Monitor, MonitorConfig};
@@ -303,6 +303,39 @@ impl<I: Operator<Item = SidedRecord>> AdaptiveJoin<I> {
                 Ok(())
             }
         }
+    }
+
+    /// Consume input tuples — running the per-tuple control loop after
+    /// each — until `available` total tuples have been consumed, without
+    /// popping any buffered match pair.
+    ///
+    /// This is the incremental-session entry point: a caller feeding the
+    /// input in batches advances the join exactly to the end of the fed
+    /// prefix, then drains the pairs buffered so far.  The output is
+    /// bit-identical to a single uninterrupted run because emission
+    /// counters and switch decisions update at produce-time (inside
+    /// [`SwitchJoin::advance`]), never at pop-time — the pop schedule
+    /// cannot perturb them.
+    ///
+    /// The input must actually hold `available` tuples: an earlier end
+    /// of input is a typed [`LinkageError::Execution`].
+    pub fn advance_to(&mut self, available: u64) -> Result<()> {
+        self.inner.state().check_next(self.name())?;
+        while self.inner.total_consumed() < available {
+            if !self.inner.advance()? {
+                return Err(LinkageError::execution(format!(
+                    "session input ended at {} consumed tuples but {available} were promised",
+                    self.inner.total_consumed()
+                )));
+            }
+            self.control_step()?;
+        }
+        Ok(())
+    }
+
+    /// Match pairs produced and buffered but not yet popped.
+    pub fn buffered(&self) -> usize {
+        self.inner.buffered()
     }
 }
 

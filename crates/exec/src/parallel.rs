@@ -476,6 +476,42 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
         &self.config
     }
 
+    /// Match pairs produced and buffered but not yet popped.
+    pub fn buffered(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Run full epochs — never popping a buffered pair — while doing so
+    /// cannot read past `available` total input tuples.
+    ///
+    /// This is the incremental-session entry point.  Only *whole* epochs
+    /// run, and only while a conservative per-call ceiling still fits
+    /// under `available`: [`batch_size`] tuples in the exact phase, and
+    /// `2 × pipeline depth × batch_size` in the approximate phase (one
+    /// `approx_epoch` call may dispatch up to the send-ahead
+    /// depth *and* tokenise one batch ahead per dispatch).  The input is
+    /// therefore never observed at a premature end, and epoch boundaries
+    /// land exactly where an uninterrupted run over the full input would
+    /// put them — which, together with produce-time emission counters,
+    /// is why a session-driven run's output is bit-identical to a solo
+    /// run's.
+    ///
+    /// [`batch_size`]: crate::ParallelJoinConfig::batch_size
+    pub fn advance_to(&mut self, available: u64) -> Result<()> {
+        self.state.check_next(self.name())?;
+        while !self.exhausted {
+            let margin = match self.phase {
+                JoinPhase::Approximate => 2 * self.approx_pipeline_depth() * self.config.batch_size,
+                _ => self.config.batch_size,
+            } as u64;
+            if self.total_consumed() + margin > available {
+                break;
+            }
+            self.epoch()?;
+        }
+        Ok(())
+    }
+
     /// Drain the approximate-phase send-ahead pipeline so every worker is
     /// exactly caught up with the router's `consumed` counters: collect
     /// each dispatched epoch's barrier, then dispatch and collect the
@@ -483,7 +519,13 @@ impl<I: Operator<Item = SidedRecord>> ParallelJoin<I> {
     /// was prepared).  The pairs those barriers produce surface in `out`
     /// in exactly the order an uninterrupted run would have emitted them.
     /// A no-op in the exact phase, whose epochs are synchronous.
-    fn quiesce(&mut self) -> Result<()> {
+    ///
+    /// Public because graceful session eviction wants the same property
+    /// on its own: a server draining a session before snapshotting it to
+    /// disk calls this to park the engine at an epoch boundary.
+    /// ([`Self::snapshot_sections`] also quiesces, so calling it first is
+    /// belt-and-braces, not required.)
+    pub fn quiesce(&mut self) -> Result<()> {
         while self.approx_in_flight > 0 {
             self.collect_batch_replies()?;
             self.approx_in_flight -= 1;

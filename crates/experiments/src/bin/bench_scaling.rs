@@ -3,7 +3,7 @@
 //! The binary behind `scripts/bench.sh`:
 //!
 //! ```text
-//! bench_scaling [--smoke|--full] [--out PATH] [--sha SHA]
+//! bench_scaling [--smoke|--full] [--server] [--out PATH] [--sha SHA]
 //!               [--baseline PATH] [--max-regression FRACTION]
 //!               [--min-speedup FACTOR] [--summary PATH]
 //! ```
@@ -21,7 +21,10 @@
 //! The snapshot round trip is gated the same way: `snapshot_mb_per_s`
 //! must not drop, and `resume_ms` must not grow, beyond the allowed
 //! fraction (both skipped against baselines that predate the snapshot
-//! subsystem).
+//! subsystem).  `--server` additionally drives the `linkage-server`
+//! mixed-traffic model and embeds + gates `sessions_per_s` (a floor)
+//! and `request_p50_ms` / `request_p99_ms` (ceilings), each skipped
+//! with a note against baselines that predate the server subsystem.
 //!
 //! `--summary PATH` appends a Markdown candidate-funnel delta table
 //! (current vs baseline) to `PATH` — CI points it at
@@ -41,6 +44,7 @@ use linkage_experiments::{extract_number, run_scaling, scaling_report, ScalingCo
 
 struct Args {
     mode: &'static str,
+    server: bool,
     out: Option<String>,
     sha: String,
     baseline: Option<String>,
@@ -52,6 +56,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         mode: "smoke",
+        server: false,
         out: None,
         sha: std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".into()),
         baseline: None,
@@ -65,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--smoke" => args.mode = "smoke",
             "--full" => args.mode = "full",
+            "--server" => args.server = true,
             "--out" => args.out = Some(value("--out")?),
             "--sha" => args.sha = value("--sha")?,
             "--baseline" => args.baseline = Some(value("--baseline")?),
@@ -95,10 +101,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = match args.mode {
+    let mut config = match args.mode {
         "full" => ScalingConfig::full(),
         _ => ScalingConfig::smoke(),
     };
+    config.server_traffic = args.server;
     eprintln!(
         "bench_scaling: {} sweep, {} parents, shard curve {:?}",
         args.mode, config.parents, config.shard_counts
@@ -129,6 +136,15 @@ fn main() -> ExitCode {
         run.snapshot.snapshot_mb_per_s(),
         run.snapshot.resume.as_secs_f64() * 1e3
     );
+    if let Some(server) = &run.server {
+        eprintln!(
+            "  server: {:.1} sessions/s over {} requests, p50 {:.2} ms, p99 {:.2} ms",
+            server.sessions_per_s(),
+            server.requests,
+            server.request_p50_ms,
+            server.request_p99_ms
+        );
+    }
 
     let report = scaling_report(&run, args.mode, &args.sha).render();
     match &args.out {
@@ -251,6 +267,53 @@ fn main() -> ExitCode {
                 }
             }
             None => eprintln!("bench_scaling: baseline {path} has no resume_ms; gate skipped"),
+        }
+
+        // The server-traffic gates: the session rate must not drop, the
+        // request-latency percentiles must not grow, by more than the
+        // allowed fraction.  Run only when this sweep measured the model
+        // (`--server`), and skipped with a note against baselines that
+        // predate the server subsystem.
+        if let Some(server) = &run.server {
+            match extract_number(baseline_text, "sessions_per_s") {
+                Some(baseline) => {
+                    let current = server.sessions_per_s();
+                    let floor = baseline * (1.0 - args.max_regression);
+                    eprintln!(
+                        "bench_scaling: sessions_per_s {current:.1} vs baseline {baseline:.1} \
+                         (floor {floor:.1})"
+                    );
+                    if current < floor {
+                        eprintln!("bench_scaling: REGRESSION — sessions_per_s below the gate");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => {
+                    eprintln!("bench_scaling: baseline {path} has no sessions_per_s; gate skipped")
+                }
+            }
+            let latency_gates = [
+                ("request_p50_ms", server.request_p50_ms),
+                ("request_p99_ms", server.request_p99_ms),
+            ];
+            for (key, current) in latency_gates {
+                match extract_number(baseline_text, key) {
+                    Some(baseline) => {
+                        let ceiling = baseline * (1.0 + args.max_regression);
+                        eprintln!(
+                            "bench_scaling: {key} {current:.2} vs baseline {baseline:.2} \
+                             (ceiling {ceiling:.2})"
+                        );
+                        if current > ceiling {
+                            eprintln!("bench_scaling: REGRESSION — {key} above the gate");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    None => {
+                        eprintln!("bench_scaling: baseline {path} has no {key}; gate skipped")
+                    }
+                }
+            }
         }
     }
 

@@ -26,9 +26,12 @@
 //!
 //! [`scaling`] runs the sharded executor across a shard-count curve,
 //! [`probe`] isolates the interned probe kernel's insert/probe ns-per-
-//! tuple, and [`json`] renders the machine-readable trajectory document
-//! that `scripts/bench.sh` writes and CI gates against
-//! `bench/baseline.json`.
+//! tuple, [`traffic`] drives mixed multi-session traffic through an
+//! in-process `linkage-server` (the `sessions_per_s` /
+//! `request_p50_ms` / `request_p99_ms` fields, enabled by
+//! `scripts/bench.sh --server`), and [`json`] renders the
+//! machine-readable trajectory document that `scripts/bench.sh` writes
+//! and CI gates against `bench/baseline.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +40,7 @@ pub mod harness;
 pub mod json;
 pub mod probe;
 pub mod scaling;
+pub mod traffic;
 
 pub use harness::{header, run, ExperimentConfig, ExperimentResult, JoinMode};
 pub use json::{extract_number, JsonValue};
@@ -46,3 +50,4 @@ pub use probe::{
 pub use scaling::{
     run_scaling, scaling_report, ScalingConfig, ScalingPoint, ScalingRun, SnapshotBench,
 };
+pub use traffic::{run_server_bench, ServerBench, ServerBenchConfig};

@@ -26,6 +26,7 @@ use linkage_types::{LinkageError, Result};
 
 use crate::json::JsonValue;
 use crate::probe::{run_probe_bench, ProbeBenchConfig, ProbeBenchResult};
+use crate::traffic::{run_server_bench, ServerBench, ServerBenchConfig};
 
 /// Configuration of one scaling sweep.
 ///
@@ -46,6 +47,9 @@ pub struct ScalingConfig {
     pub shard_counts: Vec<usize>,
     /// Epoch size handed to the executor.
     pub batch_size: usize,
+    /// Also run the `linkage-server` mixed-traffic model
+    /// ([`ScalingConfig::server_config`]) and embed its metrics.
+    pub server_traffic: bool,
 }
 
 impl Default for ScalingConfig {
@@ -64,6 +68,7 @@ impl ScalingConfig {
             seed: 42,
             shard_counts: vec![1, 2, 4, 8],
             batch_size: 256,
+            server_traffic: false,
         }
     }
 
@@ -102,6 +107,19 @@ impl ScalingConfig {
         let mut probe = self.probe_config();
         probe.zipf = ProbeBenchConfig::skewed().zipf;
         probe
+    }
+
+    /// The server mixed-traffic point matching this sweep's scale:
+    /// smoke-sized sweeps get the smoke traffic model, full-sized ones
+    /// the full model.  Feeds the gated `sessions_per_s` /
+    /// `request_p50_ms` / `request_p99_ms` fields when the sweep runs
+    /// with the server bench enabled.
+    pub fn server_config(&self) -> ServerBenchConfig {
+        if self.parents >= ScalingConfig::full().parents {
+            ServerBenchConfig::full()
+        } else {
+            ServerBenchConfig::smoke()
+        }
     }
 
     fn datagen(&self) -> DatagenConfig {
@@ -184,6 +202,10 @@ pub struct ScalingRun {
     /// The snapshot/resume round trip (the `snapshot_mb_per_s` /
     /// `resume_ms` fields, gated by CI alongside the kernel metrics).
     pub snapshot: SnapshotBench,
+    /// The `linkage-server` mixed-traffic point (the `sessions_per_s` /
+    /// `request_p50_ms` / `request_p99_ms` fields) — `None` unless the
+    /// sweep ran with the server bench enabled (`bench.sh --server`).
+    pub server: Option<ServerBench>,
 }
 
 impl ScalingRun {
@@ -238,12 +260,18 @@ pub fn run_scaling(config: &ScalingConfig) -> Result<ScalingRun> {
     let probe = run_probe_bench(&config.probe_config())?;
     let probe_skewed = run_probe_bench(&config.skewed_probe_config())?;
     let snapshot = run_snapshot_bench(config, &data)?;
+    let server = if config.server_traffic {
+        Some(run_server_bench(&config.server_config())?)
+    } else {
+        None
+    };
     Ok(ScalingRun {
         config: config.clone(),
         points,
         probe,
         probe_skewed,
         snapshot,
+        server,
     })
 }
 
@@ -366,7 +394,7 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
             })
         })
         .collect();
-    JsonValue::object(vec![
+    let mut report = JsonValue::object(vec![
         ("schema_version", JsonValue::num(1)),
         ("bench", JsonValue::str("adaptive-parallel-scaling")),
         ("mode", JsonValue::str(mode)),
@@ -501,7 +529,35 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
         ),
         ("speedups", JsonValue::Array(speedups)),
         ("shards", JsonValue::Array(points)),
-    ])
+    ]);
+    // The server-traffic fields are appended only when that model ran,
+    // so a document without them reads unambiguously as "not measured"
+    // (the gates skip with a note) rather than as a zero.
+    if let Some(server) = &run.server {
+        if let JsonValue::Object(fields) = &mut report {
+            fields.push((
+                "sessions_per_s".into(),
+                JsonValue::num(server.sessions_per_s()),
+            ));
+            fields.push((
+                "request_p50_ms".into(),
+                JsonValue::num(server.request_p50_ms),
+            ));
+            fields.push((
+                "request_p99_ms".into(),
+                JsonValue::num(server.request_p99_ms),
+            ));
+            fields.push((
+                "server_sessions".into(),
+                JsonValue::num(server.sessions as f64),
+            ));
+            fields.push((
+                "server_requests".into(),
+                JsonValue::num(server.requests as f64),
+            ));
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -517,6 +573,7 @@ mod tests {
             seed: 7,
             shard_counts: vec![1, 2],
             batch_size: 32,
+            server_traffic: false,
         }
     }
 
@@ -626,6 +683,29 @@ mod tests {
         // Same workload, same distinct grams: the shared-table size must
         // not grow with the shard count.
         assert_eq!(run.points[0].interner_bytes, run.points[1].interner_bytes);
+    }
+
+    #[test]
+    fn server_traffic_fields_appear_only_when_the_model_ran() {
+        let mut run = run_scaling(&tiny()).unwrap();
+        let text = scaling_report(&run, "smoke", "deadbeef").render();
+        assert!(
+            !text.contains("sessions_per_s"),
+            "a sweep without server traffic must not report a zero"
+        );
+        run.server = Some(ServerBench {
+            sessions: 4,
+            requests: 100,
+            elapsed: Duration::from_secs(2),
+            request_p50_ms: 1.5,
+            request_p99_ms: 9.0,
+        });
+        let text = scaling_report(&run, "smoke", "deadbeef").render();
+        assert_eq!(extract_number(&text, "sessions_per_s"), Some(2.0));
+        assert_eq!(extract_number(&text, "request_p50_ms"), Some(1.5));
+        assert_eq!(extract_number(&text, "request_p99_ms"), Some(9.0));
+        assert_eq!(extract_number(&text, "server_sessions"), Some(4.0));
+        assert_eq!(extract_number(&text, "server_requests"), Some(100.0));
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Mixed-traffic benchmark of the `linkage-server` join service.
+//!
+//! [`run_server_bench`] starts an in-process [`LinkageServer`], then
+//! drives it from several concurrent client threads, each running whole
+//! sessions end to end over the TCP line protocol: `OPEN`, batched
+//! `FEED`s with interleaved `POLL`s, `FIN`, a poll-drain through
+//! `Finished`, `CLOSE`.  Every request is timed individually on the
+//! client side, so the result carries both the service-level headline
+//! (`sessions_per_s`) and the request-latency distribution
+//! (`request_p50_ms` / `request_p99_ms`) that `scripts/bench.sh
+//! --server` embeds into the `BENCH_*.json` trajectory and CI gates.
+//!
+//! The workloads are pre-generated before the clock starts: the bench
+//! measures the server — protocol framing, dispatch, session checkout,
+//! engine advancement — not `linkage-datagen`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use linkage::api::PipelineConfig;
+use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+use linkage_server::proto::WireEvent;
+use linkage_server::{Client, LinkageServer, ServerConfig};
+use linkage_types::{LinkageError, PerSide, Result, Side, SidedRecord};
+
+/// Configuration of one mixed-traffic run.
+///
+/// `#[non_exhaustive]`: construct via [`ServerBenchConfig::smoke`],
+/// [`ServerBenchConfig::full`] or [`Default`] and adjust the fields.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServerBenchConfig {
+    /// Total sessions driven to completion across all clients.
+    pub sessions: usize,
+    /// Parent-relation size of each session's generated workload.
+    pub parents: usize,
+    /// Concurrent client threads (each owns one TCP connection and
+    /// runs its sessions sequentially).
+    pub clients: usize,
+    /// Records per `FEED` request.
+    pub batch: usize,
+    /// Base workload seed; session `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ServerBenchConfig {
+    fn default() -> Self {
+        Self::smoke()
+    }
+}
+
+impl ServerBenchConfig {
+    /// The CI smoke point: seconds of wall clock.
+    pub fn smoke() -> Self {
+        Self {
+            sessions: 12,
+            parents: 120,
+            clients: 3,
+            batch: 32,
+            seed: 900,
+        }
+    }
+
+    /// The local full point: the same shape, more and larger sessions.
+    pub fn full() -> Self {
+        Self {
+            sessions: 32,
+            parents: 400,
+            ..Self::smoke()
+        }
+    }
+}
+
+/// The measured result of one mixed-traffic run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerBench {
+    /// Sessions driven to completion.
+    pub sessions: u64,
+    /// Individual requests issued (every one timed).
+    pub requests: u64,
+    /// Wall clock from the first `OPEN` to the last `CLOSE` reply.
+    pub elapsed: Duration,
+    /// Median request latency, milliseconds.
+    pub request_p50_ms: f64,
+    /// 99th-percentile request latency (nearest rank), milliseconds.
+    pub request_p99_ms: f64,
+}
+
+impl ServerBench {
+    /// Completed sessions per second — the gated service headline.
+    pub fn sessions_per_s(&self) -> f64 {
+        self.sessions as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Nearest-rank percentile over an already **sorted** latency list.
+fn percentile_ms(sorted: &[f64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+/// Run one request against the server and append its wall clock to the
+/// latency list.
+fn timed<T>(
+    latencies: &mut Vec<f64>,
+    client: &mut Client,
+    request: impl FnOnce(&mut Client) -> Result<T>,
+) -> Result<T> {
+    let start = Instant::now();
+    let out = request(client)?;
+    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+    Ok(out)
+}
+
+/// One client thread's work: pull session indices off the shared queue
+/// and run each session end to end, timing every request.
+fn drive_sessions(
+    addr: &str,
+    work: &[(PipelineConfig, Vec<SidedRecord>)],
+    next: &AtomicUsize,
+    batch: usize,
+) -> Result<Vec<f64>> {
+    let mut client = Client::connect(addr)?;
+    let mut latencies = Vec::new();
+    loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        let Some((config, sequence)) = work.get(index) else {
+            return Ok(latencies);
+        };
+        let session = timed(&mut latencies, &mut client, |c| c.open(config))?;
+        for chunk in sequence.chunks(batch) {
+            timed(&mut latencies, &mut client, |c| c.feed(session, chunk))?;
+            timed(&mut latencies, &mut client, |c| c.poll(session, 16))?;
+        }
+        timed(&mut latencies, &mut client, |c| c.finish(session))?;
+        let mut finished = false;
+        while !finished {
+            let events = timed(&mut latencies, &mut client, |c| c.poll(session, 256))?;
+            if events.is_empty() {
+                return Err(LinkageError::execution(
+                    "server bench: finished session stopped yielding events",
+                ));
+            }
+            finished = matches!(events.last(), Some(WireEvent::Finished(_)));
+        }
+        timed(&mut latencies, &mut client, |c| c.close(session))?;
+    }
+}
+
+/// Execute the mixed-traffic model and fold every client's request
+/// latencies into one distribution.
+pub fn run_server_bench(config: &ServerBenchConfig) -> Result<ServerBench> {
+    // Pre-generate every session's declaration and feed sequence.
+    let mut work = Vec::with_capacity(config.sessions);
+    for i in 0..config.sessions {
+        let data = generate(&DatagenConfig::mid_stream_dirty(
+            config.parents,
+            config.seed + i as u64,
+        ))?;
+        let mut declaration = PipelineConfig::default();
+        declaration.keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
+        declaration.reference_size = Some(data.parents.len() as u64);
+        let sequence: Vec<SidedRecord> = data
+            .parents
+            .records()
+            .iter()
+            .map(|r| SidedRecord::new(Side::Left, r.clone()))
+            .chain(
+                data.children
+                    .records()
+                    .iter()
+                    .map(|r| SidedRecord::new(Side::Right, r.clone())),
+            )
+            .collect();
+        work.push((declaration, sequence));
+    }
+    let work = Arc::new(work);
+
+    let mut server_config = ServerConfig::default();
+    server_config.workers = config.clients;
+    // Admission headroom: each client runs one session at a time, so the
+    // cap never binds and the bench measures latency, not eviction.
+    server_config.max_sessions = config.clients * 2;
+    let server = LinkageServer::start(server_config)?;
+    let addr = server.addr().to_string();
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(config.clients);
+    for _ in 0..config.clients {
+        let addr = addr.clone();
+        let work = Arc::clone(&work);
+        let next = Arc::clone(&next);
+        let batch = config.batch.max(1);
+        handles.push(std::thread::spawn(move || {
+            drive_sessions(&addr, &work, &next, batch)
+        }));
+    }
+    let mut latencies = Vec::new();
+    for handle in handles {
+        let client = handle
+            .join()
+            .map_err(|_| LinkageError::execution("server bench: a client thread panicked"))?;
+        latencies.extend(client?);
+    }
+    let elapsed = start.elapsed();
+    server.shutdown()?;
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(ServerBench {
+        sessions: work.len() as u64,
+        requests: latencies.len() as u64,
+        elapsed,
+        request_p50_ms: percentile_ms(&latencies, 50),
+        request_p99_ms: percentile_ms(&latencies, 99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_traffic_completes_every_session_and_measures_latency() {
+        let mut config = ServerBenchConfig::smoke();
+        config.sessions = 4;
+        config.parents = 60;
+        config.clients = 2;
+        let bench = run_server_bench(&config).unwrap();
+        assert_eq!(bench.sessions, 4);
+        // Per session: OPEN + per-chunk FEED/POLL pairs + FIN + ≥1 drain
+        // POLL + CLOSE — far more requests than sessions.
+        assert!(bench.requests > 4 * 4);
+        assert!(bench.sessions_per_s() > 0.0);
+        assert!(bench.request_p50_ms > 0.0);
+        assert!(bench.request_p99_ms >= bench.request_p50_ms);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_the_sorted_list() {
+        let sorted: Vec<f64> = (1..=100).map(|n| n as f64).collect();
+        assert_eq!(percentile_ms(&sorted, 50), 50.0);
+        assert_eq!(percentile_ms(&sorted, 99), 99.0);
+        assert_eq!(percentile_ms(&[], 99), 0.0);
+        assert_eq!(percentile_ms(&[7.0], 50), 7.0);
+    }
+}

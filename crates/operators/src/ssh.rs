@@ -429,13 +429,37 @@ impl GramIndex {
         }
     }
 
+    /// Bulk-reserve for `tuples` upcoming inserts carrying `gram_total`
+    /// gram ids in all, none larger than `max_id`: one growth decision
+    /// per prepared batch for the tuple/length/CSR columns, and one
+    /// posting-table resize covering every insert of the batch (so the
+    /// per-tuple resize check in [`Self::insert`] stays a no-op).
+    fn reserve_batch(&mut self, tuples: usize, gram_total: usize, max_id: Option<GramId>) {
+        self.tuples.reserve(tuples);
+        self.lens.reserve(tuples);
+        self.offsets
+            .reserve(tuples + usize::from(self.offsets.is_empty()));
+        self.grams.reserve(gram_total);
+        if let Some(max) = max_id {
+            if max.as_usize() >= self.postings.len() {
+                self.postings.resize(max.as_usize() + 1, Vec::new());
+            }
+        }
+    }
+
     fn insert(&mut self, stored: SshStored) -> usize {
         let idx = self.tuples.len();
         let pos = u32::try_from(idx).expect("more than u32::MAX resident tuples");
-        for id in stored.grams.iter() {
-            if id.as_usize() >= self.postings.len() {
-                self.postings.resize(id.as_usize() + 1, Vec::new());
+        let ids = stored.grams.gram_ids();
+        // The ids are sorted, so covering the last one covers them all:
+        // one resize test per tuple instead of one per gram (and a no-op
+        // whenever `reserve_batch` already sized the table).
+        if let Some(max) = ids.last() {
+            if max.as_usize() >= self.postings.len() {
+                self.postings.resize(max.as_usize() + 1, Vec::new());
             }
+        }
+        for id in ids {
             self.postings[id.as_usize()].push(pos);
         }
         if self.offsets.is_empty() {
@@ -882,6 +906,29 @@ impl SshJoinCore {
         self.scratch.candidates.clear();
         self.scratch.ranges.clear();
         self.scratch.stored_pos.clear();
+        // Bulk-reserve each side's index for the tuples this batch will
+        // store there, so the per-tuple inserts below never grow the
+        // tuple/CSR columns or the posting table mid-batch.
+        if let Some(home) = store_home {
+            for side in [Side::Left, Side::Right] {
+                let mut tuples = 0usize;
+                let mut gram_total = 0usize;
+                let mut max_id: Option<GramId> = None;
+                for i in 0..batch.len() {
+                    if batch.homes[i] == home && batch.sided[i].side == side {
+                        tuples += 1;
+                        gram_total += batch.grams[i].len();
+                        if let Some(&last) = batch.grams[i].gram_ids().last() {
+                            max_id = Some(max_id.map_or(last, |m| m.max(last)));
+                        }
+                    }
+                }
+                if tuples > 0 {
+                    let (own, _) = self.sides.own_and_opposite_mut(side);
+                    own.reserve_batch(tuples, gram_total, max_id);
+                }
+            }
+        }
         for i in 0..batch.len() {
             let grams = &batch.grams[i];
             let prefix = self.scratch.bounds(coefficient, theta, grams.len()).1;

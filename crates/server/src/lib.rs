@@ -1,0 +1,55 @@
+//! # linkage-server
+//!
+//! A multi-session linkage join **service**: one long-running process
+//! multiplexing many concurrent linkage sessions over a bounded worker
+//! pool, speaking a hand-rolled length-prefixed line protocol over TCP.
+//!
+//! The paper's pipeline (conf_edbt_LenguMFGM09) is a streaming operator
+//! that adapts *mid-run*; this crate makes the runs themselves
+//! long-lived.  A client `OPEN`s a session by shipping a serialized
+//! [`PipelineConfig`](linkage::api::PipelineConfig), `FEED`s record
+//! batches, `POLL`s back match events (including the mid-stream
+//! `Switched` notification and the final `Finished` report), and
+//! `CLOSE`s when done — with the server free to **evict** idle sessions
+//! to disk under memory pressure and transparently rehydrate them on the
+//! next request.  Bit-identity of the resumed match stream is the
+//! correctness contract, inherited from the snapshot format of PR 7.
+//!
+//! * [`server`] — [`LinkageServer`]: acceptor, bounded accept queue,
+//!   worker pool, graceful shutdown (SIGTERM / [`Drop`]);
+//! * [`session`] — [`SessionManager`]: admission control (live-session
+//!   cap + state-bytes budget with typed `Busy` / `OverBudget`
+//!   rejections) and LRU eviction/rehydration;
+//! * [`proto`] — the wire codec for configs, events and reports, on top
+//!   of the frame layer in `linkage-types::wire`;
+//! * [`client`] — a small blocking [`Client`] used by the tests, the
+//!   example and the bench driver.
+//!
+//! The protocol is specified byte-for-byte in `docs/server.md`.
+//!
+//! ```no_run
+//! use linkage::api::PipelineConfig;
+//! use linkage_server::{Client, LinkageServer, ServerConfig};
+//!
+//! let server = LinkageServer::start(ServerConfig::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//!
+//! let mut config = PipelineConfig::default();
+//! config.reference_size = Some(1000);
+//! let session = client.open(&config)?;
+//! // ... client.feed(session, batch)?, client.poll(session, 128)?, ...
+//! client.close(session)?;
+//! server.shutdown()?;
+//! # Ok::<(), linkage::types::LinkageError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use server::{LinkageServer, ServerConfig};
+pub use session::{ServerStats, Session, SessionManager};

@@ -1,0 +1,660 @@
+//! Sessions and the [`SessionManager`]: per-session byte accounting, a
+//! global state-bytes budget, LRU eviction of idle sessions to disk and
+//! transparent rehydration.
+//!
+//! A **session** wraps an incrementally fed [`Pipeline`] (serial or
+//! sharded — the manager only sees the boxed engine behind a
+//! [`MatchStream`]) plus the feed log the pipeline has been given so
+//! far.  The log is what makes eviction possible: the engine state goes
+//! to disk via [`MatchStream::snapshot`] (PR 7's bit-identical-resume
+//! contract), and the log goes to a sidecar file so rehydration can
+//! rebuild the session input, replay the log into it, and let
+//! [`Pipeline::resume`] fast-forward past the consumed prefix.  The
+//! rehydrated stream then yields exactly the events the evicted session
+//! had not yet delivered.
+//!
+//! Admission control: the manager enforces a live-session cap and a
+//! global state-bytes budget.  Both are relieved by evicting the least
+//! recently used *idle* session (not checked out by a worker, not yet
+//! finished); when nothing can be evicted the request is rejected with
+//! a typed [`LinkageError::Busy`] / [`LinkageError::OverBudget`].
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use linkage::api::{MatchEvent, MatchStream, Pipeline, PipelineConfig, SessionInput};
+use linkage::types::snapshot::{Decoder, Encoder, SnapshotBuilder, SnapshotFile};
+use linkage::types::wire::{get_sided_record, put_sided_record};
+use linkage::types::{LinkageError, Result, SidedRecord};
+
+use crate::proto::{wire_event, WireEvent};
+
+/// Section kind of the eviction sidecar's metadata payload (config,
+/// fingerprint, input-finished flag, pushed count).  Outside the
+/// snapshot container's own `1..=8` registry on purpose: the sidecar is
+/// a separate file reusing the same container format.
+pub const FEED_META_KIND: u32 = 64;
+
+/// Section kind of the eviction sidecar's feed log (the full sequence
+/// of records ever pushed into the session, in push order).
+pub const FEED_LOG_KIND: u32 = 65;
+
+/// Estimated resident bytes of one fed record: values plus per-record
+/// bookkeeping.  The currency of the admission budget — deliberately an
+/// estimate; the budget bounds magnitude, not exact allocation.
+pub fn record_bytes(record: &SidedRecord) -> u64 {
+    let values: usize = record
+        .record
+        .values
+        .iter()
+        .map(|v| match v {
+            linkage::types::Value::Str(s) => s.len() + 16,
+            _ => 16,
+        })
+        .sum();
+    32 + values as u64
+}
+
+/// One live linkage session.
+pub struct Session {
+    id: u64,
+    config: PipelineConfig,
+    fingerprint: u32,
+    stream: MatchStream,
+    input: SessionInput,
+    /// Every record ever pushed, in push order — retained until the
+    /// session finishes so eviction can persist it for resume.
+    log: Vec<SidedRecord>,
+    log_bytes: u64,
+    /// `FIN` received: the input is complete.
+    fin: bool,
+    /// The `Finished` event was delivered; the session is drained.
+    done: bool,
+    /// `done` has been folded into the manager's `finished` counter.
+    done_counted: bool,
+    last_touch: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("fingerprint", &self.fingerprint)
+            .field("fed", &self.input.pushed())
+            .field("fin", &self.fin)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    fn build(id: u64, config: PipelineConfig, fingerprint: u32) -> Result<Self> {
+        let (pipeline, input) = Pipeline::builder().config(config.clone()).session()?;
+        let stream = pipeline.run()?;
+        Ok(Self {
+            id,
+            config,
+            fingerprint,
+            stream,
+            input,
+            log: Vec::new(),
+            log_bytes: 0,
+            fin: false,
+            done: false,
+            done_counted: false,
+            last_touch: 0,
+        })
+    }
+
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The configuration fingerprint declared at `OPEN`.
+    pub fn fingerprint(&self) -> u32 {
+        self.fingerprint
+    }
+
+    /// Estimated resident bytes this session holds against the budget.
+    pub fn state_bytes(&self) -> u64 {
+        self.log_bytes
+    }
+
+    /// Total records fed so far.
+    pub fn fed(&self) -> u64 {
+        self.input.pushed()
+    }
+
+    /// Whether the input was declared complete.
+    pub fn is_fin(&self) -> bool {
+        self.fin
+    }
+
+    /// Whether the final `Finished` event was delivered.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// True exactly once, the first time this is called after the
+    /// session finished — so the manager's `finished` counter counts
+    /// sessions, not check-ins.
+    fn freshly_done(&mut self) -> bool {
+        if self.done && !self.done_counted {
+            self.done_counted = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Append a batch of records to the session's input and advance the
+    /// engine over the newly available prefix.  Returns the bytes the
+    /// batch added to the session's accounting.
+    pub fn feed(&mut self, records: Vec<SidedRecord>) -> Result<u64> {
+        if self.fin {
+            return Err(LinkageError::protocol(
+                "FEED after FIN: the session input is complete",
+            ));
+        }
+        let mut added = 0u64;
+        for record in records {
+            added += record_bytes(&record);
+            self.input.push_sided(record.clone())?;
+            self.log.push(record);
+        }
+        self.log_bytes += added;
+        self.stream.advance(self.input.pushed())?;
+        Ok(added)
+    }
+
+    /// Declare the input complete.  The remaining events (through
+    /// `Finished`) become drainable via [`Self::poll`].
+    pub fn fin(&mut self) {
+        if !self.fin {
+            self.input.finish();
+            self.fin = true;
+        }
+    }
+
+    /// Drain up to `max` ready events.  Before `FIN` only events that
+    /// need no further input are returned; after `FIN` the stream drains
+    /// to its `Finished` event, which frees the feed log.  Returns the
+    /// events plus the bytes released (nonzero only when the session
+    /// finishes).
+    pub fn poll(&mut self, max: usize) -> Result<(Vec<WireEvent>, u64)> {
+        let mut events = Vec::new();
+        let mut released = 0u64;
+        while events.len() < max && !self.done {
+            let next = if self.fin {
+                self.stream.next()
+            } else {
+                match self.stream.next_ready() {
+                    Some(event) => Some(event),
+                    None => break,
+                }
+            };
+            match next {
+                Some(Ok(event)) => {
+                    if matches!(event, MatchEvent::Finished(_)) {
+                        self.done = true;
+                        released = self.log_bytes;
+                        self.log_bytes = 0;
+                        self.log = Vec::new();
+                    }
+                    events.push(wire_event(&event));
+                }
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok((events, released))
+    }
+
+    /// Persist this session to `snap_path` (engine + stream, via
+    /// [`MatchStream::snapshot`]) and `feed_path` (config + feed log
+    /// sidecar), consuming it.  Only unfinished sessions are evictable.
+    pub fn evict_to(mut self, snap_path: &Path, feed_path: &Path) -> Result<()> {
+        if self.done {
+            return Err(LinkageError::snapshot(
+                "a finished session has nothing to evict",
+            ));
+        }
+        self.stream.snapshot(snap_path)?;
+        let mut builder = SnapshotBuilder::new();
+        let mut meta = Encoder::new();
+        crate::proto::encode_config(&mut meta, &self.config);
+        meta.put_u32(self.fingerprint);
+        meta.put_bool(self.fin);
+        meta.put_u64(self.input.pushed());
+        builder.push_section(FEED_META_KIND, meta.finish());
+        let mut log = Encoder::new();
+        log.put_u32(self.log.len() as u32);
+        for record in &self.log {
+            put_sided_record(&mut log, record);
+        }
+        builder.push_section(FEED_LOG_KIND, log.finish());
+        if let Err(e) = builder.write_to(feed_path) {
+            // Never leave a half-pair behind: the snapshot without its
+            // sidecar (or vice versa) is unusable.
+            let _ = std::fs::remove_file(snap_path);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Rebuild a session from the files written by [`Self::evict_to`]:
+    /// re-declare the pipeline from the sidecar's config, replay the
+    /// feed log into a fresh session input, and let [`Pipeline::resume`]
+    /// fast-forward the engine past the consumed prefix.  The files are
+    /// removed on success.
+    pub fn rehydrate(id: u64, snap_path: &Path, feed_path: &Path) -> Result<Self> {
+        let sidecar = SnapshotFile::read_from(feed_path)?;
+        let mut meta = Decoder::new(sidecar.section(FEED_META_KIND)?, "FEED_META");
+        let config = crate::proto::decode_config(&mut meta)?;
+        let fingerprint = meta.get_u32()?;
+        let fin = meta.get_bool()?;
+        let pushed = meta.get_u64()?;
+        meta.finish()?;
+        let mut log_dec = Decoder::new(sidecar.section(FEED_LOG_KIND)?, "FEED_LOG");
+        let count = log_dec.get_u32()? as usize;
+        let mut log = Vec::with_capacity(count);
+        for _ in 0..count {
+            log.push(get_sided_record(&mut log_dec)?);
+        }
+        log_dec.finish()?;
+        if pushed != log.len() as u64 {
+            return Err(LinkageError::snapshot(format!(
+                "feed sidecar of session {id} claims {pushed} pushed records but logs {}",
+                log.len()
+            )));
+        }
+
+        let (pipeline, input) = Pipeline::builder().config(config.clone()).session()?;
+        let mut log_bytes = 0u64;
+        for record in &log {
+            log_bytes += record_bytes(record);
+            input.push_sided(record.clone())?;
+        }
+        if fin {
+            input.finish();
+        }
+        let stream = pipeline.resume(snap_path)?;
+        std::fs::remove_file(snap_path)?;
+        std::fs::remove_file(feed_path)?;
+        Ok(Self {
+            id,
+            config,
+            fingerprint,
+            stream,
+            input,
+            log,
+            log_bytes,
+            fin,
+            done: false,
+            done_counted: false,
+            last_touch: 0,
+        })
+    }
+}
+
+/// A session's slot in the manager's table.
+enum Slot {
+    /// In memory, idle.
+    Live(Box<Session>),
+    /// Checked out by a worker processing a request.
+    Taken,
+    /// On disk under the eviction directory.
+    Evicted,
+}
+
+/// Counters the `STATS` request reports (plus the budget configuration,
+/// so a client can see the admission envelope it is playing against).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServerStats {
+    /// Sessions currently in memory (idle or checked out).
+    pub live_sessions: u64,
+    /// Sessions currently evicted to disk.
+    pub evicted_sessions: u64,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions that delivered their `Finished` event.
+    pub finished: u64,
+    /// Sessions explicitly closed.
+    pub closed: u64,
+    /// Idle sessions evicted to disk (lifetime count).
+    pub evictions: u64,
+    /// Evicted sessions rehydrated on access (lifetime count).
+    pub rehydrations: u64,
+    /// Requests rejected with `BUSY`.
+    pub rejected_busy: u64,
+    /// Requests rejected with `OVER_BUDGET`.
+    pub rejected_over_budget: u64,
+    /// Estimated resident session bytes right now.
+    pub state_bytes: u64,
+    /// The configured state-bytes budget.
+    pub budget_bytes: u64,
+    /// The configured live-session cap.
+    pub max_sessions: u64,
+}
+
+impl ServerStats {
+    /// Encode as the `STATS` reply payload (twelve `u64`s, field
+    /// order).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        for v in [
+            self.live_sessions,
+            self.evicted_sessions,
+            self.opened,
+            self.finished,
+            self.closed,
+            self.evictions,
+            self.rehydrations,
+            self.rejected_busy,
+            self.rejected_over_budget,
+            self.state_bytes,
+            self.budget_bytes,
+            self.max_sessions,
+        ] {
+            e.put_u64(v);
+        }
+        e.finish()
+    }
+
+    /// Decode a `STATS` reply payload.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(payload, "STATS");
+        let stats = Self {
+            live_sessions: d.get_u64()?,
+            evicted_sessions: d.get_u64()?,
+            opened: d.get_u64()?,
+            finished: d.get_u64()?,
+            closed: d.get_u64()?,
+            evictions: d.get_u64()?,
+            rehydrations: d.get_u64()?,
+            rejected_busy: d.get_u64()?,
+            rejected_over_budget: d.get_u64()?,
+            state_bytes: d.get_u64()?,
+            budget_bytes: d.get_u64()?,
+            max_sessions: d.get_u64()?,
+        };
+        d.finish()?;
+        Ok(stats)
+    }
+}
+
+/// The session table: slots, accounting, admission and eviction.
+///
+/// One instance lives behind a mutex in the server; workers check
+/// sessions *out* for the duration of a request (so feeding one session
+/// never blocks requests on another) and check them back in with the
+/// accounting delta.
+pub struct SessionManager {
+    slots: HashMap<u64, Slot>,
+    next_id: u64,
+    clock: u64,
+    state_bytes: u64,
+    max_sessions: usize,
+    budget_bytes: u64,
+    evict_dir: PathBuf,
+    stats: ServerStats,
+}
+
+impl SessionManager {
+    /// An empty table with the given admission envelope.  Scans
+    /// `evict_dir` for sessions a previous process left behind (graceful
+    /// shutdown persists unfinished sessions there) and registers them
+    /// as evicted, so they rehydrate transparently on first touch.
+    pub fn new(max_sessions: usize, budget_bytes: u64, evict_dir: PathBuf) -> Result<Self> {
+        std::fs::create_dir_all(&evict_dir)?;
+        let mut slots = HashMap::new();
+        let mut next_id = 1;
+        let mut evicted = 0;
+        for entry in std::fs::read_dir(&evict_dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("session-")
+                .and_then(|s| s.strip_suffix(".snap"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                slots.insert(id, Slot::Evicted);
+                next_id = next_id.max(id + 1);
+                evicted += 1;
+            }
+        }
+        let mut manager = Self {
+            slots,
+            next_id,
+            clock: 0,
+            state_bytes: 0,
+            max_sessions: max_sessions.max(1),
+            budget_bytes,
+            evict_dir,
+            stats: ServerStats::default(),
+        };
+        manager.stats.evicted_sessions = evicted;
+        Ok(manager)
+    }
+
+    fn snap_path(&self, id: u64) -> PathBuf {
+        self.evict_dir.join(format!("session-{id}.snap"))
+    }
+
+    fn feed_path(&self, id: u64) -> PathBuf {
+        self.evict_dir.join(format!("session-{id}.feed"))
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|(_, s)| matches!(s, Slot::Live(_) | Slot::Taken))
+            .count()
+    }
+
+    /// The least recently used idle (live, unfinished) session, if any.
+    fn lru_idle(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|(id, slot)| match slot {
+                Slot::Live(s) if !s.is_done() => Some((*id, s.last_touch)),
+                _ => None,
+            })
+            .min_by_key(|(_, touch)| *touch)
+            .map(|(id, _)| id)
+    }
+
+    /// Evict the LRU idle session to disk.  `Ok(false)` when nothing is
+    /// evictable.
+    fn evict_one(&mut self) -> Result<bool> {
+        let Some(id) = self.lru_idle() else {
+            return Ok(false);
+        };
+        let Some(Slot::Live(session)) = self.slots.remove(&id) else {
+            unreachable!("lru_idle returned a non-live slot");
+        };
+        let bytes = session.state_bytes();
+        session.evict_to(&self.snap_path(id), &self.feed_path(id))?;
+        self.slots.insert(id, Slot::Evicted);
+        self.state_bytes = self.state_bytes.saturating_sub(bytes);
+        self.stats.evictions += 1;
+        self.stats.evicted_sessions += 1;
+        self.stats.live_sessions = self.stats.live_sessions.saturating_sub(1);
+        Ok(true)
+    }
+
+    /// Make room for `incoming` more bytes, evicting idle sessions LRU
+    /// first; typed [`LinkageError::OverBudget`] when the budget cannot
+    /// be met.
+    pub fn reserve_bytes(&mut self, incoming: u64) -> Result<()> {
+        while self.state_bytes + incoming > self.budget_bytes {
+            if !self.evict_one()? {
+                self.stats.rejected_over_budget += 1;
+                return Err(LinkageError::over_budget(format!(
+                    "{incoming} incoming bytes would exceed the {} byte budget \
+                     ({} resident, nothing idle to evict)",
+                    self.budget_bytes, self.state_bytes
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Admit a new session.  Typed [`LinkageError::Busy`] when the live
+    /// cap is reached and nothing idle can be evicted.
+    pub fn open(&mut self, config: PipelineConfig, fingerprint: u32) -> Result<u64> {
+        let declared = config.fingerprint();
+        if declared != fingerprint {
+            return Err(LinkageError::protocol(format!(
+                "config fingerprint mismatch: client sent {fingerprint:#010x}, decoded \
+                 config fingerprints as {declared:#010x} — client and server disagree \
+                 about the config codec"
+            )));
+        }
+        while self.live_count() >= self.max_sessions {
+            if !self.evict_one()? {
+                self.stats.rejected_busy += 1;
+                return Err(LinkageError::busy(format!(
+                    "session table full ({} live, cap {})",
+                    self.live_count(),
+                    self.max_sessions
+                )));
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut session = Session::build(id, config, fingerprint)?;
+        session.last_touch = self.tick();
+        self.slots.insert(id, Slot::Live(Box::new(session)));
+        self.stats.opened += 1;
+        self.stats.live_sessions += 1;
+        Ok(id)
+    }
+
+    /// Check a session out for the duration of a request, rehydrating it
+    /// from disk if it was evicted.  While checked out, other requests
+    /// for the same session are rejected `Busy`.
+    pub fn checkout(&mut self, id: u64) -> Result<Box<Session>> {
+        match self.slots.get(&id) {
+            None => Err(LinkageError::protocol(format!("no such session: {id}"))),
+            Some(Slot::Taken) => {
+                self.stats.rejected_busy += 1;
+                Err(LinkageError::busy(format!(
+                    "session {id} is processing another request"
+                )))
+            }
+            Some(Slot::Evicted) => {
+                let session = Session::rehydrate(id, &self.snap_path(id), &self.feed_path(id))?;
+                let bytes = session.state_bytes();
+                self.stats.evicted_sessions = self.stats.evicted_sessions.saturating_sub(1);
+                self.stats.rehydrations += 1;
+                self.stats.live_sessions += 1;
+                self.slots.insert(id, Slot::Taken);
+                // The rehydrated bytes count against the budget again;
+                // evict others if the table meanwhile filled up.
+                self.state_bytes += bytes;
+                while self.state_bytes > self.budget_bytes && self.evict_one()? {}
+                Ok(Box::new(session))
+            }
+            Some(Slot::Live(_)) => {
+                let Some(Slot::Live(mut session)) = self.slots.insert(id, Slot::Taken) else {
+                    unreachable!("slot changed under the lock");
+                };
+                session.last_touch = self.tick();
+                Ok(session)
+            }
+        }
+    }
+
+    /// Return a checked-out session, folding `delta` bytes into the
+    /// accounting (positive after a feed, negative after a finish).
+    pub fn checkin(&mut self, mut session: Box<Session>, delta: i64) {
+        let id = session.id();
+        session.last_touch = self.tick();
+        if session.freshly_done() {
+            self.stats.finished += 1;
+        }
+        self.state_bytes = if delta >= 0 {
+            self.state_bytes + delta as u64
+        } else {
+            self.state_bytes.saturating_sub((-delta) as u64)
+        };
+        self.slots.insert(id, Slot::Live(session));
+    }
+
+    /// Drop a checked-out session that errored mid-request: its engine
+    /// state is unusable, so the slot is released rather than checked
+    /// back in.
+    pub fn discard(&mut self, session: Box<Session>) {
+        let bytes = session.state_bytes();
+        self.slots.remove(&session.id());
+        self.state_bytes = self.state_bytes.saturating_sub(bytes);
+        self.stats.closed += 1;
+        self.stats.live_sessions = self.stats.live_sessions.saturating_sub(1);
+    }
+
+    /// The `CLOSE` request: drop the session wherever it lives.  An
+    /// evicted session is closed by deleting its files — no pointless
+    /// rehydration.
+    pub fn close(&mut self, id: u64) -> Result<()> {
+        match self.slots.get(&id) {
+            None => Err(LinkageError::protocol(format!("no such session: {id}"))),
+            Some(Slot::Taken) => {
+                self.stats.rejected_busy += 1;
+                Err(LinkageError::busy(format!(
+                    "session {id} is processing another request"
+                )))
+            }
+            Some(Slot::Evicted) => {
+                self.slots.remove(&id);
+                std::fs::remove_file(self.snap_path(id))?;
+                std::fs::remove_file(self.feed_path(id))?;
+                self.stats.closed += 1;
+                self.stats.evicted_sessions = self.stats.evicted_sessions.saturating_sub(1);
+                Ok(())
+            }
+            Some(Slot::Live(_)) => {
+                let Some(Slot::Live(session)) = self.slots.remove(&id) else {
+                    unreachable!("slot changed under the lock");
+                };
+                self.state_bytes = self.state_bytes.saturating_sub(session.state_bytes());
+                self.stats.closed += 1;
+                self.stats.live_sessions = self.stats.live_sessions.saturating_sub(1);
+                Ok(())
+            }
+        }
+    }
+
+    /// Count a `Busy` rejection raised outside the manager (accept
+    /// queue, shutdown gate).
+    pub fn count_busy(&mut self) {
+        self.stats.rejected_busy += 1;
+    }
+
+    /// Snapshot every live unfinished session to the eviction directory
+    /// (graceful shutdown).  Returns how many were persisted.
+    pub fn evict_all(&mut self) -> Result<usize> {
+        let mut persisted = 0;
+        while self.lru_idle().is_some() {
+            self.evict_one()?;
+            persisted += 1;
+        }
+        Ok(persisted)
+    }
+
+    /// The current counters.
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.stats.clone();
+        stats.state_bytes = self.state_bytes;
+        stats.budget_bytes = self.budget_bytes;
+        stats.max_sessions = self.max_sessions as u64;
+        stats
+    }
+}

@@ -1,0 +1,305 @@
+//! End-to-end tests of the linkage server: protocol round trips,
+//! admission control, eviction/rehydration transparency, and graceful
+//! shutdown with no session lost mid-`FEED`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use linkage::api::{Pipeline, PipelineConfig};
+use linkage::types::{LinkageError, PerSide, Side, SidedRecord};
+use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+use linkage_server::proto::wire_event;
+use linkage_server::proto::WireEvent;
+use linkage_server::{Client, LinkageServer, ServerConfig, SessionManager};
+
+/// A fresh scratch directory per call (no `Date::now` games — pid plus
+/// a counter is unique enough inside one test process).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "linkage-server-test-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The session declaration every test uses: datagen's key column, an
+/// explicit reference size (sessions cannot infer one).
+fn session_config(reference: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::default();
+    config.keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
+    config.reference_size = Some(reference);
+    config
+}
+
+/// The deterministic feed order used throughout: every parent, then the
+/// children in stream order (the symmetric join accepts any interleave;
+/// what matters is that server runs and solo runs see the same one).
+fn feed_sequence(data: &GeneratedData) -> Vec<SidedRecord> {
+    data.parents
+        .records()
+        .iter()
+        .map(|r| SidedRecord::new(Side::Left, r.clone()))
+        .chain(
+            data.children
+                .records()
+                .iter()
+                .map(|r| SidedRecord::new(Side::Right, r.clone())),
+        )
+        .collect()
+}
+
+/// Ground truth: run the same config over the same feed sequence as a
+/// direct in-process session (no server) and collect every event.
+fn solo_events(config: &PipelineConfig, sequence: &[SidedRecord]) -> Vec<WireEvent> {
+    let (pipeline, input) = Pipeline::builder()
+        .config(config.clone())
+        .session()
+        .unwrap();
+    let stream = pipeline.run().unwrap();
+    for record in sequence {
+        input.push_sided(record.clone()).unwrap();
+    }
+    input.finish();
+    stream
+        .map(|event| wire_event(&event.unwrap()))
+        .collect::<Vec<_>>()
+}
+
+fn start_server(tag: &str, mutate: impl FnOnce(&mut ServerConfig)) -> LinkageServer {
+    let mut config = ServerConfig::default();
+    config.evict_dir = Some(scratch_dir(tag));
+    mutate(&mut config);
+    LinkageServer::start(config).unwrap()
+}
+
+#[test]
+fn server_round_trip_is_bit_identical_to_a_direct_session() {
+    let data = generate(&DatagenConfig::mid_stream_dirty(200, 11)).unwrap();
+    let config = session_config(data.parents.len() as u64);
+    let sequence = feed_sequence(&data);
+    let expected = solo_events(&config, &sequence);
+    assert!(
+        expected.iter().any(|e| matches!(e, WireEvent::Switched(_))),
+        "the workload must exercise the mid-stream switch"
+    );
+
+    let server = start_server("roundtrip", |_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let session = client.open(&config).unwrap();
+
+    let mut got = Vec::new();
+    for batch in sequence.chunks(64) {
+        client.feed(session, batch).unwrap();
+        // Interleave polling with feeding: only ready events may come
+        // back, and they must be a prefix of the solo sequence.
+        got.extend(client.poll(session, 32).unwrap());
+    }
+    got.extend(client.drain(session, 128).unwrap());
+    client.close(session).unwrap();
+
+    assert_eq!(got, expected);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.opened, 1);
+    assert_eq!(stats.finished, 1);
+    assert_eq!(stats.closed, 1);
+    assert_eq!(stats.live_sessions, 0);
+    assert_eq!(stats.state_bytes, 0, "a drained session frees its bytes");
+    assert_eq!(server.shutdown().unwrap(), 0);
+}
+
+#[test]
+fn eviction_and_rehydration_are_transparent_to_the_client() {
+    let data = generate(&DatagenConfig::mid_stream_dirty(120, 23)).unwrap();
+    let config = session_config(data.parents.len() as u64);
+    let sequence = feed_sequence(&data);
+    let expected = solo_events(&config, &sequence);
+
+    // Budget sized so two part-fed sessions fit but a third feed forces
+    // the LRU one to disk.
+    let bytes: u64 = sequence
+        .iter()
+        .map(linkage_server::session::record_bytes)
+        .sum();
+    let server = start_server("evict", |c| c.budget_bytes = bytes + bytes / 2);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let victim = client.open(&config).unwrap();
+    let hog = client.open(&config).unwrap();
+    client.feed(victim, &sequence).unwrap();
+    // Feeding the hog the same volume overflows the budget; the victim
+    // is the LRU idle session and gets evicted.
+    client.feed(hog, &sequence).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.evictions, 1, "the victim must have been evicted");
+    assert_eq!(stats.evicted_sessions, 1);
+
+    // Draining the victim transparently rehydrates it, and the event
+    // sequence is exactly what an uninterrupted run yields.
+    let got = client.drain(victim, 256).unwrap();
+    assert_eq!(got, expected);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rehydrations, 1);
+
+    client.close(victim).unwrap();
+    client.close(hog).unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn closing_an_evicted_session_deletes_its_files() {
+    let data = generate(&DatagenConfig::mid_stream_dirty(60, 5)).unwrap();
+    let config = session_config(data.parents.len() as u64);
+    let sequence = feed_sequence(&data);
+    let bytes: u64 = sequence
+        .iter()
+        .map(linkage_server::session::record_bytes)
+        .sum();
+
+    let dir = scratch_dir("close-evicted");
+    let server = start_server("unused", |c| {
+        c.evict_dir = Some(dir.clone());
+        c.budget_bytes = bytes + bytes / 2;
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let victim = client.open(&config).unwrap();
+    let hog = client.open(&config).unwrap();
+    client.feed(victim, &sequence).unwrap();
+    client.feed(hog, &sequence).unwrap();
+    assert_eq!(client.stats().unwrap().evicted_sessions, 1);
+    assert!(std::fs::read_dir(&dir).unwrap().count() >= 2);
+
+    client.close(victim).unwrap();
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+    assert_eq!(client.stats().unwrap().evicted_sessions, 0);
+    client.close(hog).unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_loses_no_session_mid_feed() {
+    let data = generate(&DatagenConfig::mid_stream_dirty(300, 31)).unwrap();
+    let config = session_config(data.parents.len() as u64);
+    let sequence = feed_sequence(&data);
+    let expected = solo_events(&config, &sequence);
+
+    let dir = scratch_dir("graceful");
+    let server = start_server("unused", |c| c.evict_dir = Some(dir.clone()));
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client.open(&config).unwrap();
+
+    // Feed in small batches from another thread while the main thread
+    // shuts the server down.  Each `FEED` is atomic — it is either fully
+    // applied and acked, or rejected/cut whole — so the ack count is
+    // exactly the persisted prefix.
+    let feeder_sequence = sequence.clone();
+    let feeder = std::thread::spawn(move || {
+        let mut accepted = 0u64;
+        for batch in feeder_sequence.chunks(8) {
+            match client.feed(session, batch) {
+                Ok(ack) => accepted = ack.accepted,
+                Err(_) => break, // connection cut by shutdown
+            }
+        }
+        accepted
+    });
+    let persisted = server.shutdown().unwrap();
+    let accepted = feeder.join().unwrap() as usize;
+    assert_eq!(persisted, 1, "the in-flight session must be persisted");
+    assert!(accepted <= sequence.len());
+
+    // A new process pointed at the same eviction directory adopts the
+    // session; feeding the un-acked remainder and draining yields the
+    // full solo event sequence — nothing was lost, nothing duplicated.
+    let server = start_server("unused", |c| c.evict_dir = Some(dir));
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.feed(session, &sequence[accepted..]).unwrap();
+    let got = client.drain(session, 256).unwrap();
+    assert_eq!(got, expected);
+    client.close(session).unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn open_rejects_bad_configs_and_unknown_sessions_with_typed_errors() {
+    let server = start_server("typed-errors", |_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A config that fails validation server-side (no reference size)
+    // comes back as the BAD_REQUEST family, message intact.
+    let config = PipelineConfig::default();
+    match client.open(&config) {
+        Err(LinkageError::Protocol(m)) => assert!(m.contains("reference_size")),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+
+    // Unknown session ids are protocol errors, not hangs.
+    match client.poll(999, 16) {
+        Err(LinkageError::Protocol(m)) => assert!(m.contains("no such session")),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn manager_rejects_busy_and_over_budget_with_typed_errors() {
+    let data = generate(&DatagenConfig::mid_stream_dirty(40, 3)).unwrap();
+    let config = session_config(data.parents.len() as u64);
+    let dir = scratch_dir("manager");
+    let mut manager = SessionManager::new(2, 4096, dir).unwrap();
+
+    let a = manager.open(config.clone(), config.fingerprint()).unwrap();
+    let b = manager.open(config.clone(), config.fingerprint()).unwrap();
+
+    // Both sessions checked out: nothing is idle, so admission of a
+    // third is Busy, not an eviction.
+    let sa = manager.checkout(a).unwrap();
+    let sb = manager.checkout(b).unwrap();
+    match manager.open(config.clone(), config.fingerprint()) {
+        Err(LinkageError::Busy(_)) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Nothing is idle, so a reservation beyond the budget is OverBudget.
+    match manager.reserve_bytes(1 << 20) {
+        Err(LinkageError::OverBudget(_)) => {}
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+
+    // A checked-out session blocks concurrent checkout (Busy) until it
+    // is checked back in.
+    match manager.checkout(a) {
+        Err(LinkageError::Busy(_)) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    manager.checkin(sa, 0);
+    manager.checkin(sb, 0);
+    assert!(manager.checkout(a).is_ok());
+
+    let stats = manager.stats();
+    assert!(stats.rejected_busy >= 2);
+    assert!(stats.rejected_over_budget >= 1);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_latches_into_graceful_shutdown() {
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+
+    let server = start_server("sigterm", |c| c.handle_sigterm = true);
+    // SAFETY: raising SIGTERM at ourselves; the server installed a
+    // handler that latches a flag, so the process does not die.
+    unsafe {
+        raise(SIGTERM);
+    }
+    // `wait` observes the latch, drains and returns instead of blocking.
+    assert_eq!(server.wait().unwrap(), 0);
+    linkage_server::server::sig::reset();
+}

@@ -49,6 +49,16 @@ pub enum LinkageError {
     /// (truncation, checksum mismatch, unsupported format version, or a
     /// payload that contradicts the pipeline it is being restored into).
     Snapshot(String),
+    /// The server's bounded accept queue or session table is full; the
+    /// request was rejected without being processed.  Retryable.
+    Busy(String),
+    /// Admitting (or growing) a session would exceed the server's global
+    /// state-bytes budget and no idle session could be evicted to make
+    /// room.  Retryable once load drains.
+    OverBudget(String),
+    /// A wire-protocol frame or payload was malformed (bad magic, unknown
+    /// message kind, oversized frame, truncated or trailing payload).
+    Protocol(String),
 }
 
 impl LinkageError {
@@ -96,6 +106,21 @@ impl LinkageError {
     pub fn snapshot(msg: impl fmt::Display) -> Self {
         Self::Snapshot(msg.to_string())
     }
+
+    /// Build a [`LinkageError::Busy`] from anything displayable.
+    pub fn busy(msg: impl fmt::Display) -> Self {
+        Self::Busy(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::OverBudget`] from anything displayable.
+    pub fn over_budget(msg: impl fmt::Display) -> Self {
+        Self::OverBudget(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::Protocol`] from anything displayable.
+    pub fn protocol(msg: impl fmt::Display) -> Self {
+        Self::Protocol(msg.to_string())
+    }
 }
 
 impl fmt::Display for LinkageError {
@@ -114,6 +139,9 @@ impl fmt::Display for LinkageError {
             Self::Execution(m) => write!(f, "execution error: {m}"),
             Self::Io(m) => write!(f, "io error: {m}"),
             Self::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            Self::Busy(m) => write!(f, "busy: {m}"),
+            Self::OverBudget(m) => write!(f, "over budget: {m}"),
+            Self::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -176,6 +204,27 @@ mod tests {
         assert_eq!(
             LinkageError::snapshot("bad crc").to_string(),
             "snapshot error: bad crc"
+        );
+        assert!(matches!(LinkageError::busy("x"), LinkageError::Busy(_)));
+        assert!(matches!(
+            LinkageError::over_budget("x"),
+            LinkageError::OverBudget(_)
+        ));
+        assert!(matches!(
+            LinkageError::protocol("x"),
+            LinkageError::Protocol(_)
+        ));
+        assert_eq!(
+            LinkageError::busy("accept queue full").to_string(),
+            "busy: accept queue full"
+        );
+        assert_eq!(
+            LinkageError::over_budget("8 MiB > 4 MiB").to_string(),
+            "over budget: 8 MiB > 4 MiB"
+        );
+        assert_eq!(
+            LinkageError::protocol("bad frame").to_string(),
+            "protocol error: bad frame"
         );
     }
 

@@ -39,6 +39,7 @@ pub mod side;
 pub mod snapshot;
 pub mod stream;
 pub mod value;
+pub mod wire;
 
 pub use error::{LinkageError, Result};
 pub use matchpair::{MatchKind, MatchPair, MatchSet};

@@ -1,0 +1,315 @@
+//! Length-prefixed frame layer of the `linkage-server` line protocol.
+//!
+//! This module owns the transport-independent half of the wire format:
+//! the frame envelope, the message-kind and error-code registries, and
+//! the payload codecs for the types defined in this crate
+//! ([`SidedRecord`], [`LinkageError`]).  Payload codecs for facade
+//! types (`PipelineConfig`, `MatchEvent`) live in the `linkage-server`
+//! crate, which can see them; both reuse the [`crate::snapshot`] encoder and
+//! decoder primitives so every wire integer is little-endian and every
+//! string is a length-prefixed UTF-8 `str`, exactly as on disk.
+//!
+//! The normative byte-level specification is `docs/server.md`; a test
+//! parses the constants below out of that document and compares them to
+//! this module, so the spec cannot silently drift.
+//!
+//! # Frame envelope
+//!
+//! ```text
+//! offset 0   body length   u32 LE   = 1 + payload length
+//! offset 4   message kind  u8       (see [`msg`])
+//! offset 5   payload       body length - 1 bytes
+//! ```
+//!
+//! A frame body is capped at [`MAX_FRAME_BYTES`]; readers reject larger
+//! declared lengths *before* allocating, so a corrupt or hostile peer
+//! cannot force an unbounded allocation.
+
+use std::io::{Read, Write};
+
+use crate::error::{LinkageError, Result};
+use crate::record::SidedRecord;
+use crate::side::Side;
+use crate::snapshot::{Decoder, Encoder};
+
+/// Protocol version, carried in every `OPEN` request.  A server accepts
+/// exactly its own version; a mismatch is a typed `BAD_REQUEST`.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Maximum frame *body* (kind byte + payload) a reader will accept.
+/// Large enough for a generous `FEED` batch, small enough to bound the
+/// allocation a declared length can force.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Message kinds — the `u8` discriminant at offset 4 of every frame.
+///
+/// Requests occupy `1..=7`, responses `129..=134` plus the error frame
+/// at `255`; the disjoint ranges make a captured byte stream
+/// self-describing about direction.
+pub mod msg {
+    /// Request: create a session (`PipelineConfig` + fingerprint).
+    pub const OPEN: u8 = 1;
+    /// Request: append a batch of sided records to a session's input.
+    pub const FEED: u8 = 2;
+    /// Request: drain up to `max` ready match events.
+    pub const POLL: u8 = 3;
+    /// Request: declare the session's input complete (end of stream).
+    pub const FIN: u8 = 4;
+    /// Request: discard a session and free its state.
+    pub const CLOSE: u8 = 5;
+    /// Request: server-wide counters.
+    pub const STATS: u8 = 6;
+    /// Request: drain, snapshot unfinished sessions, and exit.
+    pub const SHUTDOWN: u8 = 7;
+
+    /// Response to [`OPEN`]: the assigned session id.
+    pub const OPENED: u8 = 129;
+    /// Response to [`FEED`]/[`FIN`]: per-session byte accounting.
+    pub const FED: u8 = 130;
+    /// Response to [`POLL`]: a batch of match events.
+    pub const EVENTS: u8 = 131;
+    /// Response to [`CLOSE`]: the session is gone.
+    pub const CLOSED: u8 = 132;
+    /// Response to [`STATS`]: server-wide counters.
+    pub const STATS_REPLY: u8 = 133;
+    /// Response to [`SHUTDOWN`]: acknowledged, server is exiting.
+    pub const BYE: u8 = 134;
+    /// Response to anything: a typed error (`u32` code + message).
+    pub const ERR: u8 = 255;
+
+    /// Human-readable name of a message kind (diagnostics).
+    pub fn name(kind: u8) -> &'static str {
+        match kind {
+            OPEN => "OPEN",
+            FEED => "FEED",
+            POLL => "POLL",
+            FIN => "FIN",
+            CLOSE => "CLOSE",
+            STATS => "STATS",
+            SHUTDOWN => "SHUTDOWN",
+            OPENED => "OPENED",
+            FED => "FED",
+            EVENTS => "EVENTS",
+            CLOSED => "CLOSED",
+            STATS_REPLY => "STATS_REPLY",
+            BYE => "BYE",
+            ERR => "ERR",
+            _ => "UNKNOWN",
+        }
+    }
+}
+
+/// Error codes — the `u32` at offset 0 of an [`msg::ERR`] payload.
+pub mod code {
+    /// Malformed request: bad frame, unknown kind, version mismatch,
+    /// fingerprint mismatch, or an undecodable payload.
+    pub const BAD_REQUEST: u32 = 1;
+    /// The accept queue or session table is full.  Retryable.
+    pub const BUSY: u32 = 2;
+    /// Admission would exceed the state-bytes budget and nothing idle
+    /// could be evicted.  Retryable once load drains.
+    pub const OVER_BUDGET: u32 = 3;
+    /// The named session does not exist (never opened, or closed).
+    pub const NO_SUCH_SESSION: u32 = 4;
+    /// The server is shutting down and accepts no new work.
+    pub const SHUTTING_DOWN: u32 = 5;
+    /// An internal pipeline error; the message carries the detail.
+    pub const INTERNAL: u32 = 6;
+}
+
+/// Write one frame: `u32` body length, kind byte, payload.
+///
+/// Does not flush — callers batch frames and flush per request.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<()> {
+    let body = payload.len() as u64 + 1;
+    if body > MAX_FRAME_BYTES as u64 {
+        return Err(LinkageError::protocol(format!(
+            "outgoing {} frame body of {body} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            msg::name(kind)
+        )));
+    }
+    w.write_all(&(body as u32).to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame, returning its kind byte and payload.
+///
+/// A peer that closes the connection cleanly *between* frames yields a
+/// [`LinkageError::Io`]; a close *inside* a frame, a zero-length body or
+/// a body above [`MAX_FRAME_BYTES`] yield [`LinkageError::Protocol`].
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>)> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let body = u32::from_le_bytes(len);
+    if body == 0 {
+        return Err(LinkageError::protocol("zero-length frame body"));
+    }
+    if body > MAX_FRAME_BYTES {
+        return Err(LinkageError::protocol(format!(
+            "declared frame body of {body} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)
+        .map_err(|e| LinkageError::protocol(format!("connection closed inside a frame: {e}")))?;
+    let mut payload = vec![0u8; body as usize - 1];
+    r.read_exact(&mut payload)
+        .map_err(|e| LinkageError::protocol(format!("connection closed inside a frame: {e}")))?;
+    Ok((kind[0], payload))
+}
+
+/// Append a sided record to a payload: `u8` side (0 = left, 1 = right)
+/// followed by the record in the snapshot `record` layout.
+pub fn put_sided_record(enc: &mut Encoder, rec: &SidedRecord) {
+    enc.put_u8(match rec.side {
+        Side::Left => 0,
+        Side::Right => 1,
+    });
+    enc.put_record(&rec.record);
+}
+
+/// Decode a sided record written by [`put_sided_record`].
+pub fn get_sided_record(dec: &mut Decoder<'_>) -> Result<SidedRecord> {
+    let side = match dec.get_u8()? {
+        0 => Side::Left,
+        1 => Side::Right,
+        other => {
+            return Err(LinkageError::protocol(format!(
+                "invalid side byte {other} in sided record"
+            )))
+        }
+    };
+    Ok(SidedRecord::new(side, dec.get_record()?))
+}
+
+/// The wire error code a server reports for this error.
+pub fn error_code(err: &LinkageError) -> u32 {
+    match err {
+        LinkageError::Busy(_) => code::BUSY,
+        LinkageError::OverBudget(_) => code::OVER_BUDGET,
+        // A bad configuration is the client's request being wrong, not
+        // the server failing — both surface as BAD_REQUEST.
+        LinkageError::Protocol(_) | LinkageError::Config(_) => code::BAD_REQUEST,
+        _ => code::INTERNAL,
+    }
+}
+
+/// Encode an [`msg::ERR`] payload: `u32` code + message string.
+pub fn encode_error(code: u32, message: &str) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u32(code);
+    enc.put_str(message);
+    enc.finish()
+}
+
+/// Decode an [`msg::ERR`] payload back into the typed error the code
+/// stands for, so a client surfaces the same variant the server raised.
+pub fn decode_error(payload: &[u8]) -> LinkageError {
+    let mut dec = Decoder::new(payload, "ERR");
+    let decoded = (|| -> Result<LinkageError> {
+        let code = dec.get_u32()?;
+        let message = dec.get_str()?.to_string();
+        dec.finish()?;
+        Ok(match code {
+            code::BUSY => LinkageError::busy(message),
+            code::OVER_BUDGET => LinkageError::over_budget(message),
+            code::BAD_REQUEST => LinkageError::protocol(message),
+            code::NO_SUCH_SESSION => LinkageError::protocol(format!("no such session: {message}")),
+            code::SHUTTING_DOWN => LinkageError::busy(format!("shutting down: {message}")),
+            _ => LinkageError::execution(message),
+        })
+    })();
+    decoded.unwrap_or_else(|e| LinkageError::protocol(format!("undecodable ERR payload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::value::Value;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg::OPEN, b"hello").unwrap();
+        write_frame(&mut buf, msg::POLL, b"").unwrap();
+        let mut cursor = &buf[..];
+        let (kind, payload) = read_frame(&mut cursor).unwrap();
+        assert_eq!((kind, payload.as_slice()), (msg::OPEN, &b"hello"[..]));
+        let (kind, payload) = read_frame(&mut cursor).unwrap();
+        assert_eq!((kind, payload.as_slice()), (msg::POLL, &b""[..]));
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_io_inside_is_protocol() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut { empty }),
+            Err(LinkageError::Io(_))
+        ));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg::FEED, b"abcdef").unwrap();
+        let truncated = &buf[..buf.len() - 2];
+        assert!(matches!(
+            read_frame(&mut { truncated }),
+            Err(LinkageError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_and_empty_bodies_are_rejected() {
+        let mut buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        buf.push(msg::FEED);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(LinkageError::Protocol(_))
+        ));
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut zero.as_slice()),
+            Err(LinkageError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn sided_records_round_trip() {
+        let rec = SidedRecord::new(
+            Side::Right,
+            Record::new(7, vec![Value::string("ann arbor"), Value::Int(3)]),
+        );
+        let mut enc = Encoder::new();
+        put_sided_record(&mut enc, &rec);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, "test");
+        let back = get_sided_record(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn errors_round_trip_through_their_codes() {
+        for (err, expected_code) in [
+            (LinkageError::busy("queue full"), code::BUSY),
+            (LinkageError::over_budget("too big"), code::OVER_BUDGET),
+            (LinkageError::protocol("bad kind"), code::BAD_REQUEST),
+            (LinkageError::execution("worker died"), code::INTERNAL),
+        ] {
+            assert_eq!(error_code(&err), expected_code);
+        }
+        let payload = encode_error(code::BUSY, "queue full");
+        assert_eq!(decode_error(&payload), LinkageError::busy("queue full"));
+        let payload = encode_error(code::OVER_BUDGET, "x");
+        assert_eq!(decode_error(&payload), LinkageError::over_budget("x"));
+        assert!(matches!(decode_error(b"\x01"), LinkageError::Protocol(_)));
+    }
+
+    #[test]
+    fn message_kind_names_are_stable() {
+        assert_eq!(msg::name(msg::OPEN), "OPEN");
+        assert_eq!(msg::name(msg::ERR), "ERR");
+        assert_eq!(msg::name(42), "UNKNOWN");
+    }
+}

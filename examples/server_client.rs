@@ -1,0 +1,120 @@
+//! The linkage **service** end to end in one process: start a
+//! `linkage-server`, open two independent sessions over its TCP line
+//! protocol, feed them incrementally, drain their match streams
+//! (including the mid-stream switch), print the server's `STATS`, and
+//! shut down gracefully.
+//!
+//! Run with: `cargo run --release --example server_client`
+
+use linkage::api::PipelineConfig;
+use linkage::datagen::{generate, DatagenConfig, GeneratedData};
+use linkage::types::{PerSide, Result, Side, SidedRecord};
+use linkage_server::proto::WireEvent;
+use linkage_server::{Client, LinkageServer, ServerConfig};
+
+fn main() -> Result<()> {
+    // A server on an ephemeral port.  A real deployment would pin the
+    // address, enable `handle_sigterm`, and point `evict_dir` somewhere
+    // stable so sessions survive restarts.
+    let mut server_config = ServerConfig::default();
+    server_config.handle_sigterm = true;
+    let server = LinkageServer::start(server_config)?;
+    println!("server listening on {}", server.addr());
+
+    let mut client = Client::connect(server.addr())?;
+
+    // Two sessions with different workloads, interleaved over one
+    // connection.  Each ships its pipeline config at OPEN.
+    let mut sessions = Vec::new();
+    for seed in [7u64, 23] {
+        let data = generate(&DatagenConfig::mid_stream_dirty(200, seed))?;
+        let mut config = PipelineConfig::default();
+        config.keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
+        config.reference_size = Some(data.parents.len() as u64);
+        let id = client.open(&config)?;
+        println!("opened session {id} (seed {seed})");
+        sessions.push((id, data));
+    }
+
+    // Feed both sessions in alternating batches — the server multiplexes
+    // them over its worker pool — polling ready events as we go.
+    let feeds: Vec<(u64, Vec<SidedRecord>)> = sessions
+        .iter()
+        .map(|(id, data)| {
+            let sequence: Vec<SidedRecord> = data
+                .parents
+                .records()
+                .iter()
+                .map(|r| SidedRecord::new(Side::Left, r.clone()))
+                .chain(
+                    data.children
+                        .records()
+                        .iter()
+                        .map(|r| SidedRecord::new(Side::Right, r.clone())),
+                )
+                .collect();
+            (*id, sequence)
+        })
+        .collect();
+    let mut early: Vec<Vec<WireEvent>> = vec![Vec::new(); feeds.len()];
+    let batch = 64;
+    let longest = feeds.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for start in (0..longest).step_by(batch) {
+        for (k, (id, sequence)) in feeds.iter().enumerate() {
+            if start < sequence.len() {
+                let end = (start + batch).min(sequence.len());
+                let ack = client.feed(*id, &sequence[start..end])?;
+                early[k].extend(client.poll(*id, 32)?);
+                if end == sequence.len() {
+                    println!(
+                        "session {id}: fed all {} records ({} server-resident bytes)",
+                        ack.accepted, ack.state_bytes
+                    );
+                }
+            }
+        }
+    }
+
+    // Declare both inputs finished and drain to the final report.
+    for (k, (id, _)) in feeds.iter().enumerate() {
+        let mut events = std::mem::take(&mut early[k]);
+        events.extend(client.drain(*id, 128)?);
+        let mut matches = 0usize;
+        let mut switched = None;
+        for event in &events {
+            match event {
+                WireEvent::Match(_) => matches += 1,
+                WireEvent::Switched(s) => switched = Some(s.after_tuples),
+                WireEvent::Finished(report) => {
+                    println!(
+                        "session {id}: {} matches ({} exact, {} approximate), \
+                         switched at {:?} consumed tuples, engine {}",
+                        matches,
+                        report.emitted_exact,
+                        report.emitted_approximate,
+                        switched,
+                        report.engine,
+                    );
+                }
+            }
+        }
+        client.close(*id)?;
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "server stats: opened={} finished={} closed={} evictions={} \
+         rehydrations={} rejected_busy={} rejected_over_budget={}",
+        stats.opened,
+        stats.finished,
+        stats.closed,
+        stats.evictions,
+        stats.rehydrations,
+        stats.rejected_busy,
+        stats.rejected_over_budget,
+    );
+
+    let persisted = server.shutdown()?;
+    println!("server shut down cleanly ({persisted} sessions persisted)");
+    Ok(())
+}

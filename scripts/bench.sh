@@ -3,11 +3,16 @@
 # shard-count scaling sweep, and write the next BENCH_<n>.json trajectory
 # file (which embeds probe_ns_per_tuple / insert_ns_per_tuple).
 #
-# Usage: scripts/bench.sh [--smoke|--full] [--out PATH] [--baseline PATH]
-#                         [--max-regression FRACTION] [--summary PATH]
+# Usage: scripts/bench.sh [--smoke|--full] [--server] [--out PATH]
+#                         [--baseline PATH] [--max-regression FRACTION]
+#                         [--summary PATH]
 #
 #   --smoke           seconds-long sweep for CI (default)
 #   --full            the order-of-magnitude-larger local sweep
+#   --server          also drive the linkage-server mixed-traffic model
+#                     and embed + gate sessions_per_s / request_p50_ms /
+#                     request_p99_ms (gates skip with a note against
+#                     baselines that predate the server subsystem)
 #   --out PATH        output file; default: the first unused BENCH_<n>.json
 #                     (n starts at 2 — the PR that introduced the pipeline)
 #   --baseline PATH   gate headline throughput AND the probe-kernel
@@ -34,6 +39,7 @@ EXTRA=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke|--full) MODE="$1"; shift ;;
+    --server) EXTRA+=("$1"); shift ;;
     --out) OUT="$2"; shift 2 ;;
     --baseline|--max-regression|--min-speedup|--summary) EXTRA+=("$1" "$2"); shift 2 ;;
     *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;

@@ -11,7 +11,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CRATES=(linkage linkage-types linkage-text linkage-stats linkage-operators
-        linkage-core linkage-exec linkage-datagen linkage-experiments)
+        linkage-core linkage-exec linkage-datagen linkage-server
+        linkage-experiments)
 
 # A dedicated target dir keeps stale docs out of the surface: wipe only
 # the rendered docs so compiled dependency artifacts stay cached.

@@ -10,13 +10,14 @@ use linkage_types::{DataType, InterleavePolicy, LinkageError, PerSide, Result, S
 
 use crate::api::config::{ExecutionMode, PipelineConfig};
 use crate::api::engine::JoinEngine;
+use crate::api::session::SessionInput;
 use crate::api::source::Source;
 use crate::api::stream::{MatchStream, RunOutcome};
 
 /// A built, ready-to-run linkage pipeline over an engine-agnostic
 /// [`JoinEngine`].
 pub struct Pipeline {
-    engine: Box<dyn JoinEngine>,
+    engine: Box<dyn JoinEngine + Send>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -330,7 +331,7 @@ impl PipelineBuilder {
         // Exhaustive on purpose: `ExecutionMode` is `#[non_exhaustive]`
         // only for downstream crates — adding a variant here must fail to
         // compile until it gets an engine.
-        let engine: Box<dyn JoinEngine> = match self.config.execution {
+        let engine: Box<dyn JoinEngine + Send> = match self.config.execution {
             ExecutionMode::Sharded { shards } => Box::new(ParallelJoin::new(
                 scan,
                 self.config.parallel(shards, reference),
@@ -341,6 +342,51 @@ impl PipelineBuilder {
             )),
         };
         Ok(Pipeline { engine })
+    }
+
+    /// Build an incrementally fed pipeline for a long-lived session:
+    /// instead of declaring sources, the returned [`SessionInput`] handle
+    /// feeds records in batches (and eventually declares the input
+    /// finished), while the [`Pipeline`] is driven through
+    /// [`MatchStream::advance`] / [`MatchStream::next_ready`].
+    ///
+    /// Two extra rules versus [`build`](Self::build): no sources may be
+    /// declared (records arrive through the handle), and
+    /// [`reference_size`](Self::reference_size) must be set explicitly —
+    /// with an unbounded input there is nothing to infer it from, and
+    /// pinning it keeps the configuration identity stable across
+    /// snapshot, eviction and [`Pipeline::resume`].
+    ///
+    /// [`MatchStream::advance`]: crate::api::MatchStream::advance
+    /// [`MatchStream::next_ready`]: crate::api::MatchStream::next_ready
+    pub fn session(self) -> Result<(Pipeline, SessionInput)> {
+        self.config.validate()?;
+        if self.mixed_sources || !matches!(self.inputs, Inputs::None) {
+            return Err(LinkageError::config(
+                "a session pipeline takes no sources — records arrive \
+                 through the SessionInput handle",
+            ));
+        }
+        if self.config.reference_size.is_none() {
+            return Err(LinkageError::config(
+                "a session pipeline requires an explicit .reference_size(...) \
+                 — an incrementally fed input has no inferable size",
+            ));
+        }
+        let reference = self.config.reference_size.unwrap_or(1).max(1);
+        let input = SessionInput::new();
+        let stream = input.stream();
+        let engine: Box<dyn JoinEngine + Send> = match self.config.execution {
+            ExecutionMode::Sharded { shards } => Box::new(ParallelJoin::new(
+                stream,
+                self.config.parallel(shards, reference),
+            )),
+            ExecutionMode::Serial => Box::new(AdaptiveJoin::new(
+                SwitchJoin::new(stream, self.config.switch_join()),
+                self.config.controller(reference),
+            )),
+        };
+        Ok((Pipeline { engine }, input))
     }
 
     /// [`build`](Self::build) then [`Pipeline::run`].

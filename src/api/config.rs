@@ -102,6 +102,16 @@ impl Default for PipelineConfig {
 }
 
 impl PipelineConfig {
+    /// Fingerprint this configuration: CRC-32 of its canonical `Debug`
+    /// rendering — the same identity scheme the snapshot `META` section
+    /// uses.  The `linkage-server` protocol carries it in every `OPEN`
+    /// request, so a client and server silently disagreeing about a
+    /// config codec is caught as a typed mismatch, never a garbled
+    /// session.
+    pub fn fingerprint(&self) -> u32 {
+        linkage_types::snapshot::crc32(format!("{self:?}").as_bytes())
+    }
+
     /// Check the configuration for internal consistency.
     pub fn validate(&self) -> Result<()> {
         if !(0.0..=1.0).contains(&self.theta_sim) {

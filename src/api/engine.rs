@@ -71,6 +71,32 @@ pub trait JoinEngine {
             self.engine_name()
         )))
     }
+
+    /// Consume input — running the engine's control loop — as far as is
+    /// safe given that only `available` total input tuples exist so far,
+    /// without emitting anything: produced pairs stay buffered for
+    /// [`Self::next_match`] / [`Self::buffered_matches`].  The driver of
+    /// an incrementally fed ([session](crate::api::PipelineBuilder::session))
+    /// pipeline calls this after each feed; each engine advances by its
+    /// own granularity (per tuple serially, per whole epoch sharded) and
+    /// is careful never to observe a premature end of input, which is
+    /// what keeps the eventual output bit-identical to a solo run.
+    ///
+    /// The default is a typed error, so engines without incremental
+    /// support remain drop-ins.
+    fn advance_input(&mut self, available: u64) -> Result<()> {
+        let _ = available;
+        Err(LinkageError::execution(format!(
+            "the {} engine does not support incremental sessions",
+            self.engine_name()
+        )))
+    }
+
+    /// Match pairs already produced and buffered inside the engine —
+    /// pairs [`Self::next_match`] can return without touching the input.
+    fn buffered_matches(&self) -> usize {
+        0
+    }
 }
 
 /// Fingerprint a configuration for the `META` section: CRC-32 of its
@@ -242,6 +268,14 @@ impl<I: Operator<Item = SidedRecord>> JoinEngine for AdaptiveJoin<I> {
         }
     }
 
+    fn advance_input(&mut self, available: u64) -> Result<()> {
+        AdaptiveJoin::advance_to(self, available)
+    }
+
+    fn buffered_matches(&self) -> usize {
+        AdaptiveJoin::buffered(self)
+    }
+
     fn snapshot_state(&mut self, builder: &mut SnapshotBuilder) -> Result<()> {
         if Operator::state(self) != OperatorState::Open {
             return Err(LinkageError::snapshot("snapshot requires an open engine"));
@@ -409,6 +443,14 @@ impl<I: Operator<Item = SidedRecord>> JoinEngine for ParallelJoin<I> {
             switch_latency: report.switch_latency,
             shard_stats: report.shards,
         }
+    }
+
+    fn advance_input(&mut self, available: u64) -> Result<()> {
+        ParallelJoin::advance_to(self, available)
+    }
+
+    fn buffered_matches(&self) -> usize {
+        ParallelJoin::buffered(self)
     }
 
     fn snapshot_state(&mut self, builder: &mut SnapshotBuilder) -> Result<()> {

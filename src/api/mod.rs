@@ -118,12 +118,14 @@
 mod builder;
 mod config;
 mod engine;
+mod session;
 mod source;
 mod stream;
 
 pub use builder::{Pipeline, PipelineBuilder};
 pub use config::{ExecutionMode, PipelineConfig};
 pub use engine::{JoinEngine, RunReport};
+pub use session::SessionInput;
 pub use source::Source;
 pub use stream::{MatchEvent, MatchStream, RunOutcome};
 

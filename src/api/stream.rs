@@ -34,7 +34,7 @@ pub enum MatchEvent {
 /// iterator is fused (returns `None`).  The engine is closed before the
 /// final event is yielded, so shard statistics are complete.
 pub struct MatchStream {
-    engine: Box<dyn JoinEngine>,
+    engine: Box<dyn JoinEngine + Send>,
     // (Debug is implemented manually: the engine box is opaque.)
     /// A pair pulled by the very call that performed the switch, held
     /// back so the `Switched` notification precedes it in the stream.
@@ -54,7 +54,7 @@ impl std::fmt::Debug for MatchStream {
 }
 
 impl MatchStream {
-    pub(crate) fn new(engine: Box<dyn JoinEngine>) -> Self {
+    pub(crate) fn new(engine: Box<dyn JoinEngine + Send>) -> Self {
         Self {
             engine,
             stashed: None,
@@ -66,7 +66,7 @@ impl MatchStream {
     /// Rebuild a stream from restored engine + stream state, so a resumed
     /// run continues the event sequence exactly where the snapshot cut it.
     pub(crate) fn resumed(
-        engine: Box<dyn JoinEngine>,
+        engine: Box<dyn JoinEngine + Send>,
         stashed: Option<MatchPair>,
         switch_emitted: bool,
     ) -> Self {
@@ -132,6 +132,68 @@ impl MatchStream {
         let event = self.engine.switch_event()?;
         self.switch_emitted = true;
         Some(event)
+    }
+
+    /// Advance an incrementally fed
+    /// ([session](crate::api::PipelineBuilder::session)) pipeline as far
+    /// as is safe given that `available` total input tuples exist so far
+    /// — typically
+    /// [`SessionInput::pushed`](crate::api::SessionInput::pushed) after
+    /// a feed.  Produced events stay buffered for
+    /// [`next_ready`](Self::next_ready).  A no-op on a finished stream.
+    pub fn advance(&mut self, available: u64) -> Result<()> {
+        if self.done {
+            return Ok(());
+        }
+        self.engine.advance_input(available)
+    }
+
+    /// The next event that is ready *without touching the input*, or
+    /// `None` when producing one would require more input — feed and
+    /// [`advance`](Self::advance), or finish the session's input and
+    /// drain through the ordinary [`Iterator::next`], which is the only
+    /// path that can yield [`MatchEvent::Finished`].
+    ///
+    /// Unlike `Iterator::next`, a `None` here does **not** mean the
+    /// stream ended, and the event sequence the two entry points jointly
+    /// produce is identical to what `Iterator::next` alone would have
+    /// produced: both pop from the same engine buffer, in order.
+    pub fn next_ready(&mut self) -> Option<Result<MatchEvent>> {
+        if self.done {
+            return None;
+        }
+        if let Some(event) = self.pending_switch() {
+            return Some(Ok(MatchEvent::Switched(event)));
+        }
+        if let Some(pair) = self.stashed.take() {
+            return Some(Ok(MatchEvent::Match(pair)));
+        }
+        if self.engine.buffered_matches() == 0 {
+            return None;
+        }
+        // At least one pair is buffered: this pull pops it without
+        // reading the input, so the match arms mirror `Iterator::next`.
+        match self.engine.next_match() {
+            Ok(Some(pair)) => {
+                // Popping the first post-switch pair is what settles the
+                // pre-switch accounting and makes the switch visible:
+                // hold the pair back so `Switched` goes out first,
+                // exactly as in `Iterator::next`.
+                if let Some(event) = self.pending_switch() {
+                    self.stashed = Some(pair);
+                    return Some(Ok(MatchEvent::Switched(event)));
+                }
+                Some(Ok(MatchEvent::Match(pair)))
+            }
+            // Unreachable while pairs are buffered; treat it as "not
+            // ready" rather than inventing an early finish.
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                let _ = self.engine.close();
+                Some(Err(e))
+            }
+        }
     }
 }
 

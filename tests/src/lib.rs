@@ -37,7 +37,14 @@
 //!   workload, sharding, epoching and cut position); every truncation and
 //!   every single-byte corruption of a snapshot file is rejected with a
 //!   typed error, never a panic, and `docs/format.md`'s version constant
-//!   is checked against the code.
+//!   is checked against the code;
+//! * `server_service` — the `linkage-server` session service: the
+//!   eviction/rehydration round trip is bit-identical across the §3.3
+//!   switch boundary (cut × poll-depth sweep around a forced switch),
+//!   K interleaved sessions over a live server match K solo in-process
+//!   runs under budget-forced eviction (property-based), and
+//!   `docs/server.md`'s constants and kind/code tables are checked
+//!   against the code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -1356,5 +1363,283 @@ mod snapshot_resume {
             format!("{:?}", std::str::from_utf8(&MAGIC).unwrap()),
             "docs/format.md magic is out of date"
         );
+    }
+}
+
+#[cfg(test)]
+mod server_service {
+    //! The `linkage-server` session service against in-process ground
+    //! truth: eviction round trips across the §3.3 switch boundary,
+    //! interleaved multi-session isolation, and the `docs/server.md`
+    //! spec constants.
+
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use linkage::api::{Pipeline, PipelineConfig, SwitchPolicy};
+    use linkage_datagen::{generate, DatagenConfig, GeneratedData};
+    use linkage_server::proto::{wire_event, WireEvent};
+    use linkage_server::session::record_bytes;
+    use linkage_server::{Client, LinkageServer, ServerConfig, SessionManager};
+    use linkage_types::{PerSide, Side, SidedRecord};
+    use proptest::prelude::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "linkage-tests-server-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn session_config(reference: u64) -> PipelineConfig {
+        let mut config = PipelineConfig::default();
+        config.keys = PerSide::new(GeneratedData::KEY_COLUMN, GeneratedData::KEY_COLUMN);
+        config.reference_size = Some(reference);
+        config
+    }
+
+    /// The canonical feed order used throughout: parents, then children
+    /// in stream order.
+    fn feed_sequence(data: &GeneratedData) -> Vec<SidedRecord> {
+        data.parents
+            .records()
+            .iter()
+            .map(|r| SidedRecord::new(Side::Left, r.clone()))
+            .chain(
+                data.children
+                    .records()
+                    .iter()
+                    .map(|r| SidedRecord::new(Side::Right, r.clone())),
+            )
+            .collect()
+    }
+
+    /// Ground truth: the same config over the same feed order as a
+    /// direct in-process session, every event collected.
+    fn solo_events(config: &PipelineConfig, sequence: &[SidedRecord]) -> Vec<WireEvent> {
+        let (pipeline, input) = Pipeline::builder()
+            .config(config.clone())
+            .session()
+            .expect("session build");
+        let stream = pipeline.run().expect("session run");
+        for record in sequence {
+            input.push_sided(record.clone()).expect("push");
+        }
+        input.finish();
+        stream
+            .map(|event| wire_event(&event.expect("event")))
+            .collect()
+    }
+
+    /// Evicting a session parked right around the §3.3 exact →
+    /// approximate switch — one tuple before, at, and one after the
+    /// forced switch point, with 0/1/3 events already delivered — and
+    /// rehydrating it yields the bit-identical full event sequence.
+    #[test]
+    fn eviction_round_trip_is_bit_identical_across_the_switch_boundary() {
+        let data = generate(&DatagenConfig::mid_stream_dirty(80, 17)).expect("datagen");
+        let sequence = feed_sequence(&data);
+        let switch_at = (sequence.len() / 2) as u64;
+        let mut config = session_config(data.parents.len() as u64);
+        config.switch_policy = SwitchPolicy::ForceAt(switch_at);
+        let expected = solo_events(&config, &sequence);
+        assert!(
+            expected.iter().any(|e| matches!(e, WireEvent::Switched(_))),
+            "the forced switch must appear in the event stream"
+        );
+
+        for cut in [switch_at - 1, switch_at, switch_at + 1] {
+            for polled in [0usize, 1, 3] {
+                let dir = scratch_dir("switch-evict");
+                let mut manager = SessionManager::new(2, u64::MAX, dir).expect("manager");
+                let id = manager
+                    .open(config.clone(), config.fingerprint())
+                    .expect("open");
+
+                // Feed up to the cut, deliver a few events, park.
+                let mut session = manager.checkout(id).expect("checkout");
+                let added = session
+                    .feed(sequence[..cut as usize].to_vec())
+                    .expect("feed prefix");
+                let (mut got, _) = session.poll(polled).expect("poll prefix");
+                manager.checkin(session, added as i64);
+
+                // Evict mid-stream, then transparently rehydrate.
+                assert_eq!(manager.evict_all().expect("evict"), 1);
+                let mut session = manager.checkout(id).expect("rehydrate");
+                session
+                    .feed(sequence[cut as usize..].to_vec())
+                    .expect("feed rest");
+                session.fin();
+                loop {
+                    let (events, _) = session.poll(64).expect("drain");
+                    assert!(!events.is_empty(), "drain stalled before Finished");
+                    let done = events.iter().any(|e| matches!(e, WireEvent::Finished(_)));
+                    got.extend(events);
+                    if done {
+                        break;
+                    }
+                }
+                manager.checkin(session, 0);
+                assert_eq!(got, expected, "cut={cut} polled={polled}");
+            }
+        }
+    }
+
+    proptest! {
+        /// K sessions interleaved over one live server — fed round-robin
+        /// in batches, polled between feeds, with a budget tight enough
+        /// that idle sessions get evicted and rehydrated mid-run — each
+        /// emit the bit-identical event sequence of their solo run.
+        #[test]
+        fn interleaved_server_sessions_match_solo_runs(
+            seeds in proptest::collection::vec(0u64..1000, 2..4usize),
+            batch in 8usize..32,
+        ) {
+            let workloads: Vec<GeneratedData> = seeds
+                .iter()
+                .map(|&s| {
+                    generate(&DatagenConfig::mid_stream_dirty(
+                        60 + (s % 3) as usize * 20,
+                        s,
+                    ))
+                    .expect("datagen")
+                })
+                .collect();
+            let configs: Vec<PipelineConfig> = workloads
+                .iter()
+                .map(|d| session_config(d.parents.len() as u64))
+                .collect();
+            let sequences: Vec<Vec<SidedRecord>> =
+                workloads.iter().map(feed_sequence).collect();
+            let expected: Vec<Vec<WireEvent>> = configs
+                .iter()
+                .zip(&sequences)
+                .map(|(c, s)| solo_events(c, s))
+                .collect();
+
+            // Budget: the largest single session fits, the set does not
+            // — so idle sessions must cycle through disk.
+            let session_bytes: Vec<u64> = sequences
+                .iter()
+                .map(|s| s.iter().map(record_bytes).sum())
+                .collect();
+            let mut server_config = ServerConfig::default();
+            server_config.evict_dir = Some(scratch_dir("prop"));
+            server_config.budget_bytes =
+                session_bytes.iter().copied().max().unwrap_or(0) + 64;
+            server_config.max_sessions = sequences.len();
+            let server = LinkageServer::start(server_config).expect("server");
+            let mut client = Client::connect(server.addr()).expect("connect");
+
+            let ids: Vec<u64> = configs
+                .iter()
+                .map(|c| client.open(c).expect("open"))
+                .collect();
+            let mut got: Vec<Vec<WireEvent>> = vec![Vec::new(); ids.len()];
+            let mut offsets = vec![0usize; ids.len()];
+            loop {
+                let mut progressed = false;
+                for (k, &id) in ids.iter().enumerate() {
+                    if offsets[k] < sequences[k].len() {
+                        let end = (offsets[k] + batch).min(sequences[k].len());
+                        client
+                            .feed(id, &sequences[k][offsets[k]..end])
+                            .expect("feed");
+                        offsets[k] = end;
+                        got[k].extend(client.poll(id, 16).expect("poll"));
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            for (k, &id) in ids.iter().enumerate() {
+                got[k].extend(client.drain(id, 128).expect("drain"));
+                assert_eq!(got[k], expected[k], "session {k} diverged from its solo run");
+                client.close(id).expect("close");
+            }
+            let stats = client.stats().expect("stats");
+            prop_assert!(
+                stats.evictions >= 1,
+                "the budget must have forced at least one eviction (stats: {stats:?})"
+            );
+            prop_assert!(stats.rehydrations >= 1);
+            server.shutdown().expect("shutdown");
+        }
+    }
+
+    /// `docs/server.md` is normative: its constants and its message-kind
+    /// and error-code tables must match the code.
+    #[test]
+    fn server_spec_constants_match_the_code() {
+        use linkage_types::wire::{code, msg, MAX_FRAME_BYTES, WIRE_VERSION};
+
+        let spec =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../docs/server.md"))
+                .expect("docs/server.md must exist");
+        let constant = |name: &str| -> u32 {
+            spec.lines()
+                .find_map(|l| l.strip_prefix(&format!("`{name}` = ")))
+                .unwrap_or_else(|| panic!("spec must declare `{name}` = N"))
+                .trim()
+                .parse()
+                .expect("spec constant must be an integer")
+        };
+        assert_eq!(
+            constant("WIRE_VERSION"),
+            WIRE_VERSION,
+            "docs/server.md is out of date"
+        );
+        assert_eq!(constant("MAX_FRAME_BYTES"), MAX_FRAME_BYTES);
+
+        // Table rows look like "| `OPEN`    | 1    | ..." — the second
+        // cell is the byte/code value.
+        let tabulated = |name: &str| -> u32 {
+            spec.lines()
+                .find_map(|l| {
+                    let l = l.trim();
+                    l.strip_prefix(&format!("| `{name}`"))?
+                        .split('|')
+                        .nth(1)?
+                        .trim()
+                        .parse()
+                        .ok()
+                })
+                .unwrap_or_else(|| panic!("spec must tabulate `{name}`"))
+        };
+        for (name, byte) in [
+            ("OPEN", msg::OPEN),
+            ("FEED", msg::FEED),
+            ("POLL", msg::POLL),
+            ("FIN", msg::FIN),
+            ("CLOSE", msg::CLOSE),
+            ("STATS", msg::STATS),
+            ("SHUTDOWN", msg::SHUTDOWN),
+            ("OPENED", msg::OPENED),
+            ("FED", msg::FED),
+            ("EVENTS", msg::EVENTS),
+            ("CLOSED", msg::CLOSED),
+            ("STATS_REPLY", msg::STATS_REPLY),
+            ("BYE", msg::BYE),
+            ("ERR", msg::ERR),
+        ] {
+            assert_eq!(tabulated(name), byte as u32, "message kind `{name}`");
+        }
+        for (name, value) in [
+            ("BAD_REQUEST", code::BAD_REQUEST),
+            ("BUSY", code::BUSY),
+            ("OVER_BUDGET", code::OVER_BUDGET),
+            ("NO_SUCH_SESSION", code::NO_SUCH_SESSION),
+            ("SHUTTING_DOWN", code::SHUTTING_DOWN),
+            ("INTERNAL", code::INTERNAL),
+        ] {
+            assert_eq!(tabulated(name), value, "error code `{name}`");
+        }
     }
 }
