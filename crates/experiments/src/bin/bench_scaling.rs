@@ -292,10 +292,16 @@ fn main() -> ExitCode {
                     eprintln!("bench_scaling: baseline {path} has no sessions_per_s; gate skipped")
                 }
             }
-            let latency_gates = [
+            let mut latency_gates = vec![
                 ("request_p50_ms", server.request_p50_ms),
                 ("request_p99_ms", server.request_p99_ms),
             ];
+            // The faulty-mode point gates only when this build measured
+            // it (fault injection compiled in); baselines that predate
+            // it skip with a note like every other new metric.
+            if let Some(faulty) = server.faulty_request_p99_ms {
+                latency_gates.push(("faulty_request_p99_ms", faulty));
+            }
             for (key, current) in latency_gates {
                 match extract_number(baseline_text, key) {
                     Some(baseline) => {

@@ -555,6 +555,11 @@ pub fn scaling_report(run: &ScalingRun, mode: &str, git_sha: &str) -> JsonValue 
                 "server_requests".into(),
                 JsonValue::num(server.requests as f64),
             ));
+            // Present only when the bench was built with fault injection
+            // (`--features fault`): absent reads as "not measured".
+            if let Some(p99) = server.faulty_request_p99_ms {
+                fields.push(("faulty_request_p99_ms".into(), JsonValue::num(p99)));
+            }
         }
     }
     report
@@ -699,6 +704,7 @@ mod tests {
             elapsed: Duration::from_secs(2),
             request_p50_ms: 1.5,
             request_p99_ms: 9.0,
+            faulty_request_p99_ms: None,
         });
         let text = scaling_report(&run, "smoke", "deadbeef").render();
         assert_eq!(extract_number(&text, "sessions_per_s"), Some(2.0));
@@ -706,6 +712,13 @@ mod tests {
         assert_eq!(extract_number(&text, "request_p99_ms"), Some(9.0));
         assert_eq!(extract_number(&text, "server_sessions"), Some(4.0));
         assert_eq!(extract_number(&text, "server_requests"), Some(100.0));
+        assert!(
+            !text.contains("faulty_request_p99_ms"),
+            "an unmeasured faulty point must be absent, not zero"
+        );
+        run.server.as_mut().unwrap().faulty_request_p99_ms = Some(12.5);
+        let text = scaling_report(&run, "smoke", "deadbeef").render();
+        assert_eq!(extract_number(&text, "faulty_request_p99_ms"), Some(12.5));
     }
 
     #[test]

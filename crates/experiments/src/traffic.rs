@@ -22,6 +22,8 @@ use linkage::api::PipelineConfig;
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
 use linkage_server::proto::WireEvent;
 use linkage_server::{Client, LinkageServer, ServerConfig};
+#[cfg(feature = "fault")]
+use linkage_server::{RetryClient, RetryPolicy};
 use linkage_types::{LinkageError, PerSide, Result, Side, SidedRecord};
 
 /// Configuration of one mixed-traffic run.
@@ -85,6 +87,14 @@ pub struct ServerBench {
     pub request_p50_ms: f64,
     /// 99th-percentile request latency (nearest rank), milliseconds.
     pub request_p99_ms: f64,
+    /// 99th-percentile *logical-operation* latency of the faulty-mode
+    /// point: the same traffic driven through a [`RetryClient`](linkage_server::RetryClient) against
+    /// a server injecting a 1% connection drop on every request
+    /// (`server.drop.recv`, `Probability { permille: 10 }`).  Each
+    /// operation is timed end to end **including** its retries, so the
+    /// number is the latency a self-healing caller actually observes
+    /// under faults.  `None` unless built with `--features fault`.
+    pub faulty_request_p99_ms: Option<f64>,
 }
 
 impl ServerBench {
@@ -150,6 +160,115 @@ fn drive_sessions(
     }
 }
 
+/// Time one operation and append its wall clock to the latency list.
+#[cfg(feature = "fault")]
+fn clocked<T>(latencies: &mut Vec<f64>, op: impl FnOnce() -> Result<T>) -> Result<T> {
+    let start = Instant::now();
+    let out = op()?;
+    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+    Ok(out)
+}
+
+/// One retry-client thread's work for the faulty-mode point: the same
+/// session loop as [`drive_sessions`], but each step is a *logical*
+/// operation through the self-healing [`RetryClient`](linkage_server::RetryClient) — its wall clock
+/// includes any reconnects and replays the injected drops force.
+#[cfg(feature = "fault")]
+fn drive_faulty_sessions(
+    addr: &str,
+    work: &[(PipelineConfig, Vec<SidedRecord>)],
+    next: &AtomicUsize,
+    batch: usize,
+) -> Result<Vec<f64>> {
+    let mut policy = RetryPolicy::default();
+    policy.backoff_base = Duration::from_micros(200);
+    policy.backoff_max = Duration::from_millis(5);
+    let mut client = RetryClient::connect(addr, policy);
+    let mut latencies = Vec::new();
+    loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        let Some((config, sequence)) = work.get(index) else {
+            return Ok(latencies);
+        };
+        let handle = clocked(&mut latencies, || client.open(config))?;
+        for chunk in sequence.chunks(batch) {
+            clocked(&mut latencies, || client.feed(handle, chunk))?;
+            clocked(&mut latencies, || client.poll(handle, 16))?;
+        }
+        clocked(&mut latencies, || client.finish(handle))?;
+        let mut finished = false;
+        while !finished {
+            let events = clocked(&mut latencies, || client.poll(handle, 256))?;
+            if events.is_empty() {
+                return Err(LinkageError::execution(
+                    "faulty server bench: finished session stopped yielding events",
+                ));
+            }
+            finished = events.iter().any(|e| matches!(e, WireEvent::Finished(_)));
+        }
+        clocked(&mut latencies, || client.close(handle))?;
+    }
+}
+
+/// The faulty-mode point: a fresh server with a 1% per-request
+/// connection drop injected, driven by retry clients.  Returns the p99
+/// of the logical-operation latencies.
+#[cfg(feature = "fault")]
+fn run_faulty_point(
+    config: &ServerBenchConfig,
+    work: &Arc<Vec<(PipelineConfig, Vec<SidedRecord>)>>,
+) -> Result<f64> {
+    use linkage_types::fault::{self, Trigger};
+
+    let mut server_config = ServerConfig::default();
+    server_config.workers = config.clients;
+    server_config.max_sessions = config.clients * 2;
+    let server = LinkageServer::start(server_config)?;
+    let addr = server.addr().to_string();
+    fault::arm(
+        "server.drop.recv",
+        Trigger::Probability {
+            permille: 10,
+            seed: 0xFA01,
+        },
+    );
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::with_capacity(config.clients);
+    for _ in 0..config.clients {
+        let addr = addr.clone();
+        let work = Arc::clone(work);
+        let next = Arc::clone(&next);
+        let batch = config.batch.max(1);
+        handles.push(std::thread::spawn(move || {
+            drive_faulty_sessions(&addr, &work, &next, batch)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut first_err = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(client)) => latencies.extend(client),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| {
+                    Some(LinkageError::execution(
+                        "faulty server bench: a client thread panicked",
+                    ))
+                })
+            }
+        }
+    }
+    // Disarm before the graceful shutdown so the drop cannot eat it.
+    fault::disarm("server.drop.recv");
+    server.shutdown()?;
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(percentile_ms(&latencies, 99))
+}
+
 /// Execute the mixed-traffic model and fold every client's request
 /// latencies into one distribution.
 pub fn run_server_bench(config: &ServerBenchConfig) -> Result<ServerBench> {
@@ -209,6 +328,11 @@ pub fn run_server_bench(config: &ServerBenchConfig) -> Result<ServerBench> {
     let elapsed = start.elapsed();
     server.shutdown()?;
 
+    #[cfg(feature = "fault")]
+    let faulty_request_p99_ms = Some(run_faulty_point(config, &work)?);
+    #[cfg(not(feature = "fault"))]
+    let faulty_request_p99_ms = None;
+
     latencies.sort_by(|a, b| a.total_cmp(b));
     Ok(ServerBench {
         sessions: work.len() as u64,
@@ -216,6 +340,7 @@ pub fn run_server_bench(config: &ServerBenchConfig) -> Result<ServerBench> {
         elapsed,
         request_p50_ms: percentile_ms(&latencies, 50),
         request_p99_ms: percentile_ms(&latencies, 99),
+        faulty_request_p99_ms,
     })
 }
 

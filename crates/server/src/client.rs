@@ -8,6 +8,7 @@
 //! plain `match`.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use linkage::api::PipelineConfig;
 use linkage::types::snapshot::{Decoder, Encoder};
@@ -42,11 +43,37 @@ impl Client {
         Ok(Self { stream })
     }
 
+    /// Bound how long a single request/reply exchange may block on the
+    /// socket.  `None` removes the bound.  An expired deadline surfaces
+    /// as [`LinkageError::ConnectionLost`], like any other transport
+    /// failure.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(deadline)?;
+        self.stream.set_write_timeout(deadline)?;
+        Ok(())
+    }
+
+    /// Fold a transport-layer failure into [`LinkageError::ConnectionLost`].
+    ///
+    /// Everything I/O-shaped — the peer vanishing, a deadline expiring, a
+    /// reply frame cut partway — means the connection is unusable and the
+    /// exchange outcome unknown; `ConnectionLost` is what retry layers key
+    /// on.  The one exception is the outgoing frame-cap check, which fails
+    /// before any byte moves: that stays [`LinkageError::Protocol`],
+    /// because it is a caller bug no reconnect will fix.
+    fn lost(e: LinkageError) -> LinkageError {
+        match e {
+            LinkageError::Protocol(m) if m.starts_with("outgoing") => LinkageError::Protocol(m),
+            LinkageError::Io(m) | LinkageError::Protocol(m) => LinkageError::ConnectionLost(m),
+            other => other,
+        }
+    }
+
     /// One request/reply exchange; `ERR` replies become their typed
     /// error, a reply of the wrong kind is a protocol error.
     fn request(&mut self, kind: u8, payload: &[u8], expect: u8) -> Result<Vec<u8>> {
-        write_frame(&mut self.stream, kind, payload)?;
-        let (reply_kind, reply) = read_frame(&mut self.stream)?;
+        write_frame(&mut self.stream, kind, payload).map_err(Self::lost)?;
+        let (reply_kind, reply) = read_frame(&mut self.stream).map_err(Self::lost)?;
         if reply_kind == msg::ERR {
             return Err(decode_error(&reply));
         }

@@ -23,7 +23,10 @@
 //! * [`proto`] — the wire codec for configs, events and reports, on top
 //!   of the frame layer in `linkage-types::wire`;
 //! * [`client`] — a small blocking [`Client`] used by the tests, the
-//!   example and the bench driver.
+//!   example and the bench driver;
+//! * [`retry`] — [`RetryClient`]: a self-healing wrapper that retries
+//!   with backoff, resumes interrupted `FEED`s idempotently, and
+//!   rebuilds lost or quarantined sessions from a client-side journal.
 //!
 //! The protocol is specified byte-for-byte in `docs/server.md`.
 //!
@@ -47,9 +50,11 @@
 
 pub mod client;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod session;
 
 pub use client::Client;
+pub use retry::{RetryClient, RetryPolicy};
 pub use server::{LinkageServer, ServerConfig};
-pub use session::{ServerStats, Session, SessionManager};
+pub use session::{RecoveryReport, ServerStats, Session, SessionManager};

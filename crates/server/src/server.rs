@@ -19,13 +19,15 @@
 //! session is lost mid-`FEED`.
 
 use std::io::Write as _;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use linkage::types::fault;
 use linkage::types::snapshot::{Decoder, Encoder};
 use linkage::types::{LinkageError, Result};
 
@@ -108,6 +110,11 @@ pub struct ServerConfig {
     /// How long idle loops sleep between checks (accept polling, worker
     /// shutdown checks).
     pub poll_interval: Duration,
+    /// Per-request deadline: once a frame starts arriving, the read of
+    /// that frame — and the write of its reply — must complete within
+    /// this long, or the connection is dropped.  Bounds how long a
+    /// stalled or malicious peer can pin a worker.
+    pub request_deadline: Duration,
     /// Latch SIGTERM into graceful shutdown.  Defaults to off so that
     /// embedding processes (and test binaries, where one test raising
     /// SIGTERM at itself must not drain every other test's server) opt
@@ -126,6 +133,7 @@ impl Default for ServerConfig {
             budget_bytes: 64 * 1024 * 1024,
             evict_dir: None,
             poll_interval: Duration::from_millis(2),
+            request_deadline: Duration::from_secs(10),
             handle_sigterm: false,
         }
     }
@@ -136,6 +144,7 @@ struct Shared {
     manager: Mutex<SessionManager>,
     shutting_down: AtomicBool,
     handle_sigterm: bool,
+    request_deadline: Duration,
 }
 
 impl Shared {
@@ -184,6 +193,7 @@ impl LinkageServer {
             manager: Mutex::new(manager),
             shutting_down: AtomicBool::new(false),
             handle_sigterm: config.handle_sigterm,
+            request_deadline: config.request_deadline.max(Duration::from_millis(1)),
         });
 
         let (tx, rx) = sync_channel::<TcpStream>(config.accept_queue.max(1));
@@ -298,7 +308,20 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>, poll: Dura
             guard.recv()
         };
         match stream {
-            Ok(stream) => serve_connection(shared, &stream, poll),
+            Ok(stream) => {
+                // Request-boundary panics are caught inside
+                // `handle_request` (they quarantine the session); a
+                // panic escaping to here came from outside a request.
+                // Either way the worker must survive: catch it, drop
+                // the connection, and pull the next one — an in-place
+                // respawn.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(shared, &stream, poll);
+                }));
+                if outcome.is_err() {
+                    shared.manager().count_worker_panic();
+                }
+            }
             Err(_) => return, // acceptor gone: shutdown
         }
     }
@@ -321,6 +344,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// completes, which is what makes shutdown lossless.
 fn serve_connection(shared: &Shared, mut stream: &TcpStream, poll: Duration) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.request_deadline));
     loop {
         let _ = stream.set_read_timeout(Some(poll.max(Duration::from_millis(1))));
         let mut probe = [0u8; 1];
@@ -339,15 +363,38 @@ fn serve_connection(shared: &Shared, mut stream: &TcpStream, poll: Duration) {
             }
             Err(_) => return,
         }
-        let _ = stream.set_read_timeout(None);
+        // Per-request deadline: a peer that starts a frame and then
+        // stalls (or never reads its reply) releases the worker after
+        // the deadline instead of pinning it forever.
+        let _ = stream.set_read_timeout(Some(shared.request_deadline));
         let (kind, payload) = match read_frame(&mut stream) {
             Ok(frame) => frame,
-            Err(_) => return, // torn or oversized frame: drop the peer
+            Err(_) => return, // torn, oversized or overdue frame: drop the peer
         };
+        if fault::fires("server.drop.recv").is_some() {
+            // Simulate the connection dying after the request was read
+            // but before it was handled: the client never learns
+            // whether the request applied.  (Here, it did not.)
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         let (reply_kind, reply_payload) = match handle_request(shared, kind, &payload) {
             Ok(reply) => reply,
             Err(e) => (msg::ERR, encode_error(error_code(&e), &e.to_string())),
         };
+        if let Some(cut) = fault::fires("server.drop.reply") {
+            // Simulate the connection dying mid-reply, at the armed
+            // byte offset of the framed reply: the request *was*
+            // applied, but the client sees a torn frame.  This is the
+            // case idempotent FEED resume exists for.
+            let mut framed = Vec::new();
+            let _ = write_frame(&mut framed, reply_kind, &reply_payload);
+            let cut = (cut as usize).min(framed.len());
+            let _ = stream.write_all(&framed[..cut]);
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         if write_frame(&mut stream, reply_kind, &reply_payload).is_err() || stream.flush().is_err()
         {
             return;
@@ -355,6 +402,17 @@ fn serve_connection(shared: &Shared, mut stream: &TcpStream, poll: Duration) {
         if kind == msg::SHUTDOWN {
             return;
         }
+    }
+}
+
+/// Render a caught panic payload for the quarantine reason.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -407,10 +465,18 @@ fn handle_request(shared: &Shared, kind: u8, payload: &[u8]) -> Result<(u8, Vec<
                 }
                 session
             };
-            let outcome = session.feed(records);
+            let prior = session.state_bytes();
+            // The request boundary: a panic inside the engine must not
+            // kill the worker.  The session Box unwinds with the stack,
+            // so on panic the slot (left `Taken` by checkout) becomes a
+            // quarantined tombstone and the client gets a typed error.
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                let result = session.feed(records);
+                (session, result)
+            }));
             let mut manager = shared.manager();
             match outcome {
-                Ok(added) => {
+                Ok((session, Ok(added))) => {
                     let accepted = session.fed();
                     manager.checkin(session, added as i64);
                     let mut e = Encoder::new();
@@ -418,9 +484,21 @@ fn handle_request(shared: &Shared, kind: u8, payload: &[u8]) -> Result<(u8, Vec<
                     e.put_u64(manager.stats().state_bytes);
                     Ok((msg::FED, e.finish()))
                 }
-                Err(e) => {
+                Ok((session, Err(e))) => {
                     manager.discard(session);
                     Err(e)
+                }
+                Err(panic) => {
+                    let reason = panic_message(panic.as_ref());
+                    manager.quarantine_poisoned(
+                        id,
+                        prior,
+                        format!("panicked during FEED: {reason}"),
+                    );
+                    Err(LinkageError::quarantined(format!(
+                        "session {id} was poisoned by a panic during FEED and quarantined: \
+                         {reason}"
+                    )))
                 }
             }
         }
@@ -429,11 +507,16 @@ fn handle_request(shared: &Shared, kind: u8, payload: &[u8]) -> Result<(u8, Vec<
             let id = d.get_u64()?;
             let max = d.get_u32()? as usize;
             d.finish()?;
-            let mut session = shared.manager().checkout(id)?;
-            let outcome = session.poll(max);
+            let session = shared.manager().checkout(id)?;
+            let prior = session.state_bytes();
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                let mut session = session;
+                let result = session.poll(max);
+                (session, result)
+            }));
             let mut manager = shared.manager();
             match outcome {
-                Ok((events, released)) => {
+                Ok((session, Ok((events, released)))) => {
                     manager.checkin(session, -(released as i64));
                     let mut e = Encoder::new();
                     e.put_u32(events.len() as u32);
@@ -442,9 +525,21 @@ fn handle_request(shared: &Shared, kind: u8, payload: &[u8]) -> Result<(u8, Vec<
                     }
                     Ok((msg::EVENTS, e.finish()))
                 }
-                Err(e) => {
+                Ok((session, Err(e))) => {
                     manager.discard(session);
                     Err(e)
+                }
+                Err(panic) => {
+                    let reason = panic_message(panic.as_ref());
+                    manager.quarantine_poisoned(
+                        id,
+                        prior,
+                        format!("panicked during POLL: {reason}"),
+                    );
+                    Err(LinkageError::quarantined(format!(
+                        "session {id} was poisoned by a panic during POLL and quarantined: \
+                         {reason}"
+                    )))
                 }
             }
         }

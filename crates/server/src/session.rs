@@ -23,7 +23,8 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 use linkage::api::{MatchEvent, MatchStream, Pipeline, PipelineConfig, SessionInput};
-use linkage::types::snapshot::{Decoder, Encoder, SnapshotBuilder, SnapshotFile};
+use linkage::types::fault;
+use linkage::types::snapshot::{crc32, Decoder, Encoder, SnapshotBuilder, SnapshotFile};
 use linkage::types::wire::{get_sided_record, put_sided_record};
 use linkage::types::{LinkageError, Result, SidedRecord};
 
@@ -38,6 +39,43 @@ pub const FEED_META_KIND: u32 = 64;
 /// Section kind of the eviction sidecar's feed log (the full sequence
 /// of records ever pushed into the session, in push order).
 pub const FEED_LOG_KIND: u32 = 65;
+
+/// Section kind of the eviction manifest payload: session id, config
+/// fingerprint, then length + CRC-32 of the `.snap` and `.feed` files.
+/// The manifest is the *commit record* of an eviction — a pair without
+/// a matching manifest was never committed and is quarantined, never
+/// adopted.
+pub const MANIFEST_KIND: u32 = 66;
+
+/// Section kind of the binding section embedded in an evicted `.snap`
+/// container: session id + config fingerprint.  Cross-checked against
+/// the sidecar at rehydrate time so a mixed-up pair (files from two
+/// different evictions under one id) is a typed error naming both
+/// files, not a garbled decode.
+pub const EVICT_BIND_KIND: u32 = 67;
+
+/// Write `bytes` to `path` and fsync, honoring two failpoints: `site`
+/// tears the write at the armed byte offset, and `evict.fsync` fails
+/// the durability barrier after a complete write.  An injected tear
+/// leaves the partial file on disk — exactly the state a real crash at
+/// that byte would leave.
+fn write_evict_file(path: &Path, bytes: &[u8], site: &str) -> Result<()> {
+    use std::io::Write as _;
+    if let Some(cut) = fault::fires(site) {
+        let cut = (cut as usize).min(bytes.len());
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&bytes[..cut])?;
+        let _ = file.sync_all();
+        return Err(fault::injected(site));
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(bytes)?;
+    if fault::fires("evict.fsync").is_some() {
+        return Err(fault::injected("evict.fsync"));
+    }
+    file.sync_all()?;
+    Ok(())
+}
 
 /// Estimated resident bytes of one fed record: values plus per-record
 /// bookkeeping.  The currency of the admission budget — deliberately an
@@ -151,7 +189,18 @@ impl Session {
     /// Append a batch of records to the session's input and advance the
     /// engine over the newly available prefix.  Returns the bytes the
     /// batch added to the session's accounting.
+    ///
+    /// An *empty* batch is always legal — even after `FIN` — and changes
+    /// nothing: its `FED` reply carries the accepted total, which is how
+    /// a client that lost a reply resynchronises before resending
+    /// (`docs/server.md`, "Idempotent FEED resume").
     pub fn feed(&mut self, records: Vec<SidedRecord>) -> Result<u64> {
+        if fault::fires("session.panic").is_some() {
+            panic!("injected panic at failpoint `session.panic`");
+        }
+        if records.is_empty() {
+            return Ok(0);
+        }
         if self.fin {
             return Err(LinkageError::protocol(
                 "FEED after FIN: the session input is complete",
@@ -211,16 +260,44 @@ impl Session {
         Ok((events, released))
     }
 
-    /// Persist this session to `snap_path` (engine + stream, via
-    /// [`MatchStream::snapshot`]) and `feed_path` (config + feed log
-    /// sidecar), consuming it.  Only unfinished sessions are evictable.
-    pub fn evict_to(mut self, snap_path: &Path, feed_path: &Path) -> Result<()> {
+    /// Persist this session under the atomic eviction commit protocol.
+    /// Only unfinished sessions are evictable.
+    ///
+    /// The protocol: write the `.snap` (engine + stream state, plus an
+    /// [`EVICT_BIND_KIND`] section naming this session) and `.feed`
+    /// (config + feed log sidecar) files under their final names, fsync
+    /// both, then commit by writing a [`MANIFEST_KIND`] manifest —
+    /// carrying both files' lengths and CRCs — to a temp sibling and
+    /// renaming it into place.  The rename is the single commit point:
+    /// a crash anywhere earlier leaves data files without a manifest,
+    /// which the startup recovery sweep quarantines instead of adopting.
+    ///
+    /// Failpoints (`--features fault`): `evict.snap`, `evict.feed` and
+    /// `evict.manifest` tear the respective write at the armed byte
+    /// offset; `evict.fsync` fails the durability barrier.
+    ///
+    /// On success the session object is unchanged (the caller decides
+    /// whether to drop it); on error the caller keeps a fully usable
+    /// in-memory session.
+    pub fn evict_to(
+        &mut self,
+        snap_path: &Path,
+        feed_path: &Path,
+        manifest_path: &Path,
+    ) -> Result<()> {
         if self.done {
             return Err(LinkageError::snapshot(
                 "a finished session has nothing to evict",
             ));
         }
-        self.stream.snapshot(snap_path)?;
+        let mut snap = self.stream.snapshot_builder()?;
+        let mut bind = Encoder::new();
+        bind.put_u64(self.id);
+        bind.put_u32(self.fingerprint);
+        snap.push_section(EVICT_BIND_KIND, bind.finish());
+        let snap_bytes = snap.to_bytes();
+        write_evict_file(snap_path, &snap_bytes, "evict.snap")?;
+
         let mut builder = SnapshotBuilder::new();
         let mut meta = Encoder::new();
         crate::proto::encode_config(&mut meta, &self.config);
@@ -234,21 +311,40 @@ impl Session {
             put_sided_record(&mut log, record);
         }
         builder.push_section(FEED_LOG_KIND, log.finish());
-        if let Err(e) = builder.write_to(feed_path) {
-            // Never leave a half-pair behind: the snapshot without its
-            // sidecar (or vice versa) is unusable.
-            let _ = std::fs::remove_file(snap_path);
-            return Err(e);
-        }
+        let feed_bytes = builder.to_bytes();
+        write_evict_file(feed_path, &feed_bytes, "evict.feed")?;
+
+        let mut manifest = Encoder::new();
+        manifest.put_u64(self.id);
+        manifest.put_u32(self.fingerprint);
+        manifest.put_u64(snap_bytes.len() as u64);
+        manifest.put_u32(crc32(&snap_bytes));
+        manifest.put_u64(feed_bytes.len() as u64);
+        manifest.put_u32(crc32(&feed_bytes));
+        let mut commit = SnapshotBuilder::new();
+        commit.push_section(MANIFEST_KIND, manifest.finish());
+        let tmp = manifest_path.with_extension("evict.tmp");
+        write_evict_file(&tmp, &commit.to_bytes(), "evict.manifest")?;
+        std::fs::rename(&tmp, manifest_path)?;
         Ok(())
     }
 
     /// Rebuild a session from the files written by [`Self::evict_to`]:
     /// re-declare the pipeline from the sidecar's config, replay the
     /// feed log into a fresh session input, and let [`Pipeline::resume`]
-    /// fast-forward the engine past the consumed prefix.  The files are
-    /// removed on success.
-    pub fn rehydrate(id: u64, snap_path: &Path, feed_path: &Path) -> Result<Self> {
+    /// fast-forward the engine past the consumed prefix.  The manifest
+    /// is deleted first (un-committing the pair), then the data files,
+    /// on success.
+    ///
+    /// The snapshot's [`EVICT_BIND_KIND`] section is cross-checked
+    /// against the sidecar's declared id and fingerprint; a mismatched
+    /// pair is a typed [`LinkageError::Snapshot`] naming both files.
+    pub fn rehydrate(
+        id: u64,
+        snap_path: &Path,
+        feed_path: &Path,
+        manifest_path: &Path,
+    ) -> Result<Self> {
         let sidecar = SnapshotFile::read_from(feed_path)?;
         let mut meta = Decoder::new(sidecar.section(FEED_META_KIND)?, "FEED_META");
         let config = crate::proto::decode_config(&mut meta)?;
@@ -256,6 +352,22 @@ impl Session {
         let fin = meta.get_bool()?;
         let pushed = meta.get_u64()?;
         meta.finish()?;
+
+        let snap_file = SnapshotFile::read_from(snap_path)?;
+        let mut bind = Decoder::new(snap_file.section(EVICT_BIND_KIND)?, "EVICT_BIND");
+        let bind_id = bind.get_u64()?;
+        let bind_fp = bind.get_u32()?;
+        bind.finish()?;
+        if bind_id != id || bind_fp != fingerprint {
+            return Err(LinkageError::snapshot(format!(
+                "eviction pair mismatch for session {id}: snapshot {} is bound to \
+                 session {bind_id} with fingerprint {bind_fp:#010x}, but sidecar {} \
+                 declares fingerprint {fingerprint:#010x} — the files are not from \
+                 the same eviction",
+                snap_path.display(),
+                feed_path.display()
+            )));
+        }
         let mut log_dec = Decoder::new(sidecar.section(FEED_LOG_KIND)?, "FEED_LOG");
         let count = log_dec.get_u32()? as usize;
         let mut log = Vec::with_capacity(count);
@@ -280,6 +392,10 @@ impl Session {
             input.finish();
         }
         let stream = pipeline.resume(snap_path)?;
+        // Un-commit before removing the data: a crash between these
+        // removes leaves an uncommitted remainder the recovery sweep
+        // quarantines, never a committed pair with a file missing.
+        std::fs::remove_file(manifest_path)?;
         std::fs::remove_file(snap_path)?;
         std::fs::remove_file(feed_path)?;
         Ok(Self {
@@ -306,6 +422,28 @@ enum Slot {
     Taken,
     /// On disk under the eviction directory.
     Evicted,
+    /// Poisoned: a worker panicked mid-request, or the on-disk eviction
+    /// files came back torn/corrupt.  Any surviving files are parked
+    /// under `quarantine/`; every request except `CLOSE` gets a typed
+    /// [`LinkageError::Quarantined`], and `CLOSE` discards the remains.
+    Quarantined {
+        /// Why the session was quarantined (for the error message).
+        reason: String,
+    },
+}
+
+/// What the startup recovery sweep found in the eviction directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RecoveryReport {
+    /// Sessions adopted as evicted: a committed manifest whose length
+    /// and CRC claims both data files satisfy.
+    pub adopted: Vec<u64>,
+    /// Sessions quarantined, with the reason: torn or corrupt bytes, a
+    /// missing file, or a pair whose eviction never committed.
+    pub quarantined: Vec<(u64, String)>,
+    /// Orphaned temporary files (`*.tmp`, `*.tmp-snapshot`) deleted.
+    pub removed_tmp_files: u64,
 }
 
 /// Counters the `STATS` request reports (plus the budget configuration,
@@ -337,10 +475,16 @@ pub struct ServerStats {
     pub budget_bytes: u64,
     /// The configured live-session cap.
     pub max_sessions: u64,
+    /// Sessions currently quarantined (poisoned by a panic or by torn
+    /// or corrupt eviction files), awaiting `CLOSE`.
+    pub quarantined_sessions: u64,
+    /// Worker panics caught at the request boundary (lifetime count).
+    /// Each one quarantined a session instead of killing the worker.
+    pub worker_panics: u64,
 }
 
 impl ServerStats {
-    /// Encode as the `STATS` reply payload (twelve `u64`s, field
+    /// Encode as the `STATS` reply payload (fourteen `u64`s, field
     /// order).
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
@@ -357,6 +501,8 @@ impl ServerStats {
             self.state_bytes,
             self.budget_bytes,
             self.max_sessions,
+            self.quarantined_sessions,
+            self.worker_panics,
         ] {
             e.put_u64(v);
         }
@@ -379,6 +525,8 @@ impl ServerStats {
             state_bytes: d.get_u64()?,
             budget_bytes: d.get_u64()?,
             max_sessions: d.get_u64()?,
+            quarantined_sessions: d.get_u64()?,
+            worker_panics: d.get_u64()?,
         };
         d.finish()?;
         Ok(stats)
@@ -400,29 +548,131 @@ pub struct SessionManager {
     budget_bytes: u64,
     evict_dir: PathBuf,
     stats: ServerStats,
+    recovery: RecoveryReport,
+}
+
+/// Check a session's eviction against its manifest: the manifest must
+/// parse, name this id, and both data files must match its declared
+/// length and CRC.  Any shortfall is the quarantine reason.
+fn verify_evicted(dir: &Path, id: u64) -> std::result::Result<(), String> {
+    let manifest_path = dir.join(format!("session-{id}.evict"));
+    if !manifest_path.exists() {
+        return Err("no manifest: the eviction never committed".to_string());
+    }
+    let manifest =
+        SnapshotFile::read_from(&manifest_path).map_err(|e| format!("manifest unreadable: {e}"))?;
+    let section = manifest
+        .section(MANIFEST_KIND)
+        .map_err(|e| format!("manifest: {e}"))?;
+    let mut d = Decoder::new(section, "EVICT_MANIFEST");
+    let decoded = (|| -> Result<(u64, u64, u32, u64, u32)> {
+        let m_id = d.get_u64()?;
+        let _fingerprint = d.get_u32()?;
+        let snap_len = d.get_u64()?;
+        let snap_crc = d.get_u32()?;
+        let feed_len = d.get_u64()?;
+        let feed_crc = d.get_u32()?;
+        Ok((m_id, snap_len, snap_crc, feed_len, feed_crc))
+    })();
+    let (m_id, snap_len, snap_crc, feed_len, feed_crc) =
+        decoded.map_err(|e| format!("manifest undecodable: {e}"))?;
+    if m_id != id {
+        return Err(format!(
+            "manifest names session {m_id} but the files are named session {id}"
+        ));
+    }
+    for (name, want_len, want_crc) in [("snap", snap_len, snap_crc), ("feed", feed_len, feed_crc)] {
+        let path = dir.join(format!("session-{id}.{name}"));
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("{} unreadable: {e}", path.display()))?;
+        if bytes.len() as u64 != want_len {
+            return Err(format!(
+                "{} is {} bytes, manifest committed {want_len}",
+                path.display(),
+                bytes.len()
+            ));
+        }
+        let got_crc = crc32(&bytes);
+        if got_crc != want_crc {
+            return Err(format!(
+                "{} CRC {got_crc:#010x} does not match the committed {want_crc:#010x}",
+                path.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Park whatever remains of a session's eviction files under
+/// `quarantine/` (best-effort: quarantining must never raise on top of
+/// the fault that triggered it).
+fn park_in_quarantine(dir: &Path, id: u64) {
+    let qdir = dir.join("quarantine");
+    let _ = std::fs::create_dir_all(&qdir);
+    for suffix in ["snap", "feed", "evict"] {
+        let name = format!("session-{id}.{suffix}");
+        let path = dir.join(&name);
+        if path.exists() {
+            let _ = std::fs::rename(&path, qdir.join(&name));
+        }
+    }
 }
 
 impl SessionManager {
-    /// An empty table with the given admission envelope.  Scans
-    /// `evict_dir` for sessions a previous process left behind (graceful
-    /// shutdown persists unfinished sessions there) and registers them
-    /// as evicted, so they rehydrate transparently on first touch.
+    /// An empty table with the given admission envelope, after a
+    /// recovery sweep of `evict_dir`.
+    ///
+    /// The sweep deletes orphaned temporaries, then groups the
+    /// remaining `session-<id>.{snap,feed,evict}` files by id: an id
+    /// whose manifest commits both data files (length + CRC) is adopted
+    /// as an evicted session and rehydrates transparently on first
+    /// touch; anything else — torn or corrupt bytes, a missing file, a
+    /// pair whose eviction never committed — is quarantined with a
+    /// typed reason, never adopted, and never a panic.  The findings
+    /// are available via [`Self::recovery`].
     pub fn new(max_sessions: usize, budget_bytes: u64, evict_dir: PathBuf) -> Result<Self> {
         std::fs::create_dir_all(&evict_dir)?;
+        let mut report = RecoveryReport::default();
+        let mut ids = std::collections::BTreeSet::new();
+        for entry in std::fs::read_dir(&evict_dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") || name.ends_with(".tmp-snapshot") {
+                let _ = std::fs::remove_file(entry.path());
+                report.removed_tmp_files += 1;
+                continue;
+            }
+            if let Some(rest) = name.strip_prefix("session-") {
+                for suffix in [".snap", ".feed", ".evict"] {
+                    if let Some(id) = rest
+                        .strip_suffix(suffix)
+                        .and_then(|s| s.parse::<u64>().ok())
+                    {
+                        ids.insert(id);
+                    }
+                }
+            }
+        }
         let mut slots = HashMap::new();
         let mut next_id = 1;
-        let mut evicted = 0;
-        for entry in std::fs::read_dir(&evict_dir)? {
-            let name = entry?.file_name();
-            let name = name.to_string_lossy();
-            if let Some(id) = name
-                .strip_prefix("session-")
-                .and_then(|s| s.strip_suffix(".snap"))
-                .and_then(|s| s.parse::<u64>().ok())
-            {
-                slots.insert(id, Slot::Evicted);
-                next_id = next_id.max(id + 1);
-                evicted += 1;
+        for id in ids {
+            next_id = next_id.max(id + 1);
+            match verify_evicted(&evict_dir, id) {
+                Ok(()) => {
+                    slots.insert(id, Slot::Evicted);
+                    report.adopted.push(id);
+                }
+                Err(reason) => {
+                    park_in_quarantine(&evict_dir, id);
+                    slots.insert(
+                        id,
+                        Slot::Quarantined {
+                            reason: reason.clone(),
+                        },
+                    );
+                    report.quarantined.push((id, reason));
+                }
             }
         }
         let mut manager = Self {
@@ -434,9 +684,16 @@ impl SessionManager {
             budget_bytes,
             evict_dir,
             stats: ServerStats::default(),
+            recovery: report,
         };
-        manager.stats.evicted_sessions = evicted;
+        manager.stats.evicted_sessions = manager.recovery.adopted.len() as u64;
+        manager.stats.quarantined_sessions = manager.recovery.quarantined.len() as u64;
         Ok(manager)
+    }
+
+    /// What the startup recovery sweep found.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     fn snap_path(&self, id: u64) -> PathBuf {
@@ -445,6 +702,10 @@ impl SessionManager {
 
     fn feed_path(&self, id: u64) -> PathBuf {
         self.evict_dir.join(format!("session-{id}.feed"))
+    }
+
+    fn manifest_path(&self, id: u64) -> PathBuf {
+        self.evict_dir.join(format!("session-{id}.evict"))
     }
 
     fn tick(&mut self) -> u64 {
@@ -473,21 +734,52 @@ impl SessionManager {
 
     /// Evict the LRU idle session to disk.  `Ok(false)` when nothing is
     /// evictable.
+    ///
+    /// On error the session is put back live and fully usable — an
+    /// eviction failure loses nothing.  A *real* error also cleans up
+    /// whatever partial files the attempt left (an uncommitted pair is
+    /// garbage); an injected fault deliberately leaves them, because it
+    /// is simulating a crash and the next startup's recovery sweep is
+    /// what gets tested against that debris.
     fn evict_one(&mut self) -> Result<bool> {
         let Some(id) = self.lru_idle() else {
             return Ok(false);
         };
-        let Some(Slot::Live(session)) = self.slots.remove(&id) else {
-            unreachable!("lru_idle returned a non-live slot");
+        let Some(Slot::Live(mut session)) = self.slots.remove(&id) else {
+            return Err(LinkageError::execution(format!(
+                "session table corrupted: lru candidate {id} is not live"
+            )));
         };
-        let bytes = session.state_bytes();
-        session.evict_to(&self.snap_path(id), &self.feed_path(id))?;
-        self.slots.insert(id, Slot::Evicted);
-        self.state_bytes = self.state_bytes.saturating_sub(bytes);
-        self.stats.evictions += 1;
-        self.stats.evicted_sessions += 1;
-        self.stats.live_sessions = self.stats.live_sessions.saturating_sub(1);
-        Ok(true)
+        let (snap, feed, manifest) = (
+            self.snap_path(id),
+            self.feed_path(id),
+            self.manifest_path(id),
+        );
+        match session.evict_to(&snap, &feed, &manifest) {
+            Ok(()) => {
+                let bytes = session.state_bytes();
+                self.slots.insert(id, Slot::Evicted);
+                self.state_bytes = self.state_bytes.saturating_sub(bytes);
+                self.stats.evictions += 1;
+                self.stats.evicted_sessions += 1;
+                self.stats.live_sessions = self.stats.live_sessions.saturating_sub(1);
+                Ok(true)
+            }
+            Err(e) => {
+                if !fault::is_injected(&e) {
+                    for path in [
+                        &snap,
+                        &feed,
+                        &manifest,
+                        &manifest.with_extension("evict.tmp"),
+                    ] {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+                self.slots.insert(id, Slot::Live(session));
+                Err(e)
+            }
+        }
     }
 
     /// Make room for `incoming` more bytes, evicting idle sessions LRU
@@ -543,7 +835,12 @@ impl SessionManager {
     /// for the same session are rejected `Busy`.
     pub fn checkout(&mut self, id: u64) -> Result<Box<Session>> {
         match self.slots.get(&id) {
-            None => Err(LinkageError::protocol(format!("no such session: {id}"))),
+            None => Err(LinkageError::unknown_session(format!(
+                "session {id} does not exist (never opened, closed, or lost)"
+            ))),
+            Some(Slot::Quarantined { reason }) => Err(LinkageError::quarantined(format!(
+                "session {id} is quarantined: {reason}"
+            ))),
             Some(Slot::Taken) => {
                 self.stats.rejected_busy += 1;
                 Err(LinkageError::busy(format!(
@@ -551,7 +848,34 @@ impl SessionManager {
                 )))
             }
             Some(Slot::Evicted) => {
-                let session = Session::rehydrate(id, &self.snap_path(id), &self.feed_path(id))?;
+                let rehydrated = Session::rehydrate(
+                    id,
+                    &self.snap_path(id),
+                    &self.feed_path(id),
+                    &self.manifest_path(id),
+                );
+                let session = match rehydrated {
+                    Ok(session) => session,
+                    Err(e) => {
+                        // The pair is unusable (it verified at sweep
+                        // time, so this is new damage or an injected
+                        // fault).  Leaving the slot Evicted would retry
+                        // the same broken bytes forever; quarantine it.
+                        let reason = e.to_string();
+                        park_in_quarantine(&self.evict_dir, id);
+                        self.slots.insert(
+                            id,
+                            Slot::Quarantined {
+                                reason: reason.clone(),
+                            },
+                        );
+                        self.stats.evicted_sessions = self.stats.evicted_sessions.saturating_sub(1);
+                        self.stats.quarantined_sessions += 1;
+                        return Err(LinkageError::quarantined(format!(
+                            "session {id} failed rehydration and was quarantined: {reason}"
+                        )));
+                    }
+                };
                 let bytes = session.state_bytes();
                 self.stats.evicted_sessions = self.stats.evicted_sessions.saturating_sub(1);
                 self.stats.rehydrations += 1;
@@ -563,13 +887,15 @@ impl SessionManager {
                 while self.state_bytes > self.budget_bytes && self.evict_one()? {}
                 Ok(Box::new(session))
             }
-            Some(Slot::Live(_)) => {
-                let Some(Slot::Live(mut session)) = self.slots.insert(id, Slot::Taken) else {
-                    unreachable!("slot changed under the lock");
-                };
-                session.last_touch = self.tick();
-                Ok(session)
-            }
+            Some(Slot::Live(_)) => match self.slots.insert(id, Slot::Taken) {
+                Some(Slot::Live(mut session)) => {
+                    session.last_touch = self.tick();
+                    Ok(session)
+                }
+                _ => Err(LinkageError::execution(format!(
+                    "session table corrupted: slot {id} changed under the lock"
+                ))),
+            },
         }
     }
 
@@ -605,15 +931,34 @@ impl SessionManager {
     /// rehydration.
     pub fn close(&mut self, id: u64) -> Result<()> {
         match self.slots.get(&id) {
-            None => Err(LinkageError::protocol(format!("no such session: {id}"))),
+            None => Err(LinkageError::unknown_session(format!(
+                "session {id} does not exist (never opened, closed, or lost)"
+            ))),
             Some(Slot::Taken) => {
                 self.stats.rejected_busy += 1;
                 Err(LinkageError::busy(format!(
                     "session {id} is processing another request"
                 )))
             }
+            Some(Slot::Quarantined { .. }) => {
+                // CLOSE is how a client discards a quarantined session:
+                // delete its parked remains (best-effort — a poisoned
+                // in-memory session has none) and free the slot.
+                self.slots.remove(&id);
+                let qdir = self.evict_dir.join("quarantine");
+                for suffix in ["snap", "feed", "evict"] {
+                    let _ = std::fs::remove_file(qdir.join(format!("session-{id}.{suffix}")));
+                }
+                self.stats.closed += 1;
+                self.stats.quarantined_sessions = self.stats.quarantined_sessions.saturating_sub(1);
+                Ok(())
+            }
             Some(Slot::Evicted) => {
                 self.slots.remove(&id);
+                // Manifest first: a crash mid-close leaves uncommitted
+                // leftovers the next sweep quarantines, not a committed
+                // pair with a file missing.
+                std::fs::remove_file(self.manifest_path(id))?;
                 std::fs::remove_file(self.snap_path(id))?;
                 std::fs::remove_file(self.feed_path(id))?;
                 self.stats.closed += 1;
@@ -622,7 +967,9 @@ impl SessionManager {
             }
             Some(Slot::Live(_)) => {
                 let Some(Slot::Live(session)) = self.slots.remove(&id) else {
-                    unreachable!("slot changed under the lock");
+                    return Err(LinkageError::execution(format!(
+                        "session table corrupted: slot {id} changed under the lock"
+                    )));
                 };
                 self.state_bytes = self.state_bytes.saturating_sub(session.state_bytes());
                 self.stats.closed += 1;
@@ -636,6 +983,35 @@ impl SessionManager {
     /// queue, shutdown gate).
     pub fn count_busy(&mut self) {
         self.stats.rejected_busy += 1;
+    }
+
+    /// Count a worker panic that escaped the request boundary (the
+    /// connection died with it; the worker itself was respawned).
+    pub fn count_worker_panic(&mut self) {
+        self.stats.worker_panics += 1;
+    }
+
+    /// A worker panicked while holding session `id` checked out: the
+    /// `Box<Session>` died with the unwound stack, so the in-memory
+    /// state is gone.  Convert the `Taken` slot into a quarantined one
+    /// (no files — there is nothing durable to park) and release the
+    /// session's bytes, which unwound with it.
+    pub fn quarantine_poisoned(
+        &mut self,
+        id: u64,
+        prior_bytes: u64,
+        reason: impl std::fmt::Display,
+    ) {
+        self.slots.insert(
+            id,
+            Slot::Quarantined {
+                reason: reason.to_string(),
+            },
+        );
+        self.state_bytes = self.state_bytes.saturating_sub(prior_bytes);
+        self.stats.live_sessions = self.stats.live_sessions.saturating_sub(1);
+        self.stats.quarantined_sessions += 1;
+        self.stats.worker_panics += 1;
     }
 
     /// Snapshot every live unfinished session to the eviction directory

@@ -10,7 +10,9 @@ use linkage::types::{LinkageError, PerSide, Side, SidedRecord};
 use linkage_datagen::{generate, DatagenConfig, GeneratedData};
 use linkage_server::proto::wire_event;
 use linkage_server::proto::WireEvent;
-use linkage_server::{Client, LinkageServer, ServerConfig, SessionManager};
+use linkage_server::{
+    Client, LinkageServer, RetryClient, RetryPolicy, ServerConfig, SessionManager,
+};
 
 /// A fresh scratch directory per call (no `Date::now` games — pid plus
 /// a counter is unique enough inside one test process).
@@ -237,10 +239,11 @@ fn open_rejects_bad_configs_and_unknown_sessions_with_typed_errors() {
         other => panic!("expected a protocol error, got {other:?}"),
     }
 
-    // Unknown session ids are protocol errors, not hangs.
+    // Unknown session ids are typed `UnknownSession` errors (carried as
+    // the NO_SUCH_SESSION wire code), not hangs.
     match client.poll(999, 16) {
-        Err(LinkageError::Protocol(m)) => assert!(m.contains("no such session")),
-        other => panic!("expected a protocol error, got {other:?}"),
+        Err(LinkageError::UnknownSession(m)) => assert!(m.contains("does not exist")),
+        other => panic!("expected an unknown-session error, got {other:?}"),
     }
     server.shutdown().unwrap();
 }
@@ -283,6 +286,60 @@ fn manager_rejects_busy_and_over_budget_with_typed_errors() {
     let stats = manager.stats();
     assert!(stats.rejected_busy >= 2);
     assert!(stats.rejected_over_budget >= 1);
+}
+
+#[test]
+fn retry_client_round_trip_is_bit_identical_on_a_healthy_server() {
+    let data = generate(&DatagenConfig::mid_stream_dirty(150, 17)).unwrap();
+    let config = session_config(data.parents.len() as u64);
+    let sequence = feed_sequence(&data);
+    let expected = solo_events(&config, &sequence);
+
+    let server = start_server("retry-happy", |_| {});
+    let mut client = RetryClient::connect(server.addr().to_string(), RetryPolicy::default());
+    let handle = client.open(&config).unwrap();
+    let mut got = Vec::new();
+    for batch in sequence.chunks(64) {
+        client.feed(handle, batch).unwrap();
+        got.extend(client.poll(handle, 32).unwrap());
+    }
+    got.extend(client.drain(handle, 128).unwrap());
+    client.close(handle).unwrap();
+
+    assert_eq!(got, expected);
+    assert_eq!(
+        client.reconnects(),
+        1,
+        "one dial, no faults to recover from"
+    );
+    assert_eq!(client.heals(), 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn a_connection_that_stalls_mid_request_trips_the_server_deadline() {
+    use std::io::{Read, Write};
+    use std::time::Duration;
+
+    let server = start_server("deadline", |c| {
+        c.request_deadline = Duration::from_millis(200);
+    });
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    // Half a frame: a length prefix promising bytes that never arrive.
+    raw.write_all(&8u32.to_le_bytes()).unwrap();
+    raw.write_all(&[1u8]).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 16];
+    // The server must sever the stalled connection instead of pinning a
+    // worker forever: the read observes EOF or a reset, never a reply.
+    match raw.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("expected the connection to be severed, read {n} bytes"),
+    }
+    // And the worker is free again: a fresh connection is served.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.stats().is_ok());
+    server.shutdown().unwrap();
 }
 
 #[cfg(unix)]

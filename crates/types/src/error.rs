@@ -59,6 +59,21 @@ pub enum LinkageError {
     /// A wire-protocol frame or payload was malformed (bad magic, unknown
     /// message kind, oversized frame, truncated or trailing payload).
     Protocol(String),
+    /// The transport connection failed mid-exchange: the dial failed, the
+    /// peer vanished, a deadline expired, or a frame was cut partway
+    /// through.  Raised client-side only (never encoded on the wire) and
+    /// always retryable — but a lost *reply* means the request may have
+    /// been applied, so retries must resynchronise first.
+    ConnectionLost(String),
+    /// The request named a session id the server does not know (never
+    /// opened, already closed, or lost to a restart that could not adopt
+    /// it).  Not retryable against the same id; open a new session.
+    UnknownSession(String),
+    /// The session was quarantined after a fault — a worker panic poisoned
+    /// its in-memory state, or its eviction files came back torn or
+    /// corrupt.  Its durable remains are parked for inspection; `CLOSE`
+    /// discards them.  Not retryable against the same id.
+    Quarantined(String),
 }
 
 impl LinkageError {
@@ -121,6 +136,21 @@ impl LinkageError {
     pub fn protocol(msg: impl fmt::Display) -> Self {
         Self::Protocol(msg.to_string())
     }
+
+    /// Build a [`LinkageError::ConnectionLost`] from anything displayable.
+    pub fn connection_lost(msg: impl fmt::Display) -> Self {
+        Self::ConnectionLost(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::UnknownSession`] from anything displayable.
+    pub fn unknown_session(msg: impl fmt::Display) -> Self {
+        Self::UnknownSession(msg.to_string())
+    }
+
+    /// Build a [`LinkageError::Quarantined`] from anything displayable.
+    pub fn quarantined(msg: impl fmt::Display) -> Self {
+        Self::Quarantined(msg.to_string())
+    }
 }
 
 impl fmt::Display for LinkageError {
@@ -142,6 +172,9 @@ impl fmt::Display for LinkageError {
             Self::Busy(m) => write!(f, "busy: {m}"),
             Self::OverBudget(m) => write!(f, "over budget: {m}"),
             Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::ConnectionLost(m) => write!(f, "connection lost: {m}"),
+            Self::UnknownSession(m) => write!(f, "unknown session: {m}"),
+            Self::Quarantined(m) => write!(f, "quarantined: {m}"),
         }
     }
 }
@@ -225,6 +258,30 @@ mod tests {
         assert_eq!(
             LinkageError::protocol("bad frame").to_string(),
             "protocol error: bad frame"
+        );
+        assert!(matches!(
+            LinkageError::connection_lost("x"),
+            LinkageError::ConnectionLost(_)
+        ));
+        assert!(matches!(
+            LinkageError::unknown_session("x"),
+            LinkageError::UnknownSession(_)
+        ));
+        assert!(matches!(
+            LinkageError::quarantined("x"),
+            LinkageError::Quarantined(_)
+        ));
+        assert_eq!(
+            LinkageError::connection_lost("peer reset").to_string(),
+            "connection lost: peer reset"
+        );
+        assert_eq!(
+            LinkageError::unknown_session("session 9").to_string(),
+            "unknown session: session 9"
+        );
+        assert_eq!(
+            LinkageError::quarantined("torn sidecar").to_string(),
+            "quarantined: torn sidecar"
         );
     }
 

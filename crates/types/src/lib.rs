@@ -30,6 +30,7 @@
 
 pub mod defaults;
 pub mod error;
+pub mod fault;
 pub mod matchpair;
 pub mod partition;
 pub mod record;

@@ -460,10 +460,20 @@ impl SnapshotBuilder {
     /// temporary sibling file is written first, then renamed over the
     /// target, so a crash mid-write never leaves a half snapshot under
     /// the final name).
+    ///
+    /// Failpoints (`--features fault`): `snapshot.write` cuts the
+    /// temporary file at the armed byte offset, simulating a crash
+    /// mid-write before the rename commits.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
         let tmp = path.with_extension("tmp-snapshot");
-        std::fs::write(&tmp, self.to_bytes())?;
+        let bytes = self.to_bytes();
+        if let Some(cut) = crate::fault::fires("snapshot.write") {
+            let cut = (cut as usize).min(bytes.len());
+            std::fs::write(&tmp, &bytes[..cut])?;
+            return Err(crate::fault::injected("snapshot.write"));
+        }
+        std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)?;
         Ok(())
     }

@@ -115,6 +115,9 @@ pub mod code {
     pub const SHUTTING_DOWN: u32 = 5;
     /// An internal pipeline error; the message carries the detail.
     pub const INTERNAL: u32 = 6;
+    /// The session was quarantined after a fault (worker panic, torn or
+    /// corrupt eviction files).  `CLOSE` discards its remains.
+    pub const QUARANTINED: u32 = 7;
 }
 
 /// Write one frame: `u32` body length, kind byte, payload.
@@ -192,6 +195,8 @@ pub fn error_code(err: &LinkageError) -> u32 {
         // A bad configuration is the client's request being wrong, not
         // the server failing — both surface as BAD_REQUEST.
         LinkageError::Protocol(_) | LinkageError::Config(_) => code::BAD_REQUEST,
+        LinkageError::UnknownSession(_) => code::NO_SUCH_SESSION,
+        LinkageError::Quarantined(_) => code::QUARANTINED,
         _ => code::INTERNAL,
     }
 }
@@ -216,8 +221,9 @@ pub fn decode_error(payload: &[u8]) -> LinkageError {
             code::BUSY => LinkageError::busy(message),
             code::OVER_BUDGET => LinkageError::over_budget(message),
             code::BAD_REQUEST => LinkageError::protocol(message),
-            code::NO_SUCH_SESSION => LinkageError::protocol(format!("no such session: {message}")),
+            code::NO_SUCH_SESSION => LinkageError::unknown_session(message),
             code::SHUTTING_DOWN => LinkageError::busy(format!("shutting down: {message}")),
+            code::QUARANTINED => LinkageError::quarantined(message),
             _ => LinkageError::execution(message),
         })
     })();
@@ -296,6 +302,11 @@ mod tests {
             (LinkageError::over_budget("too big"), code::OVER_BUDGET),
             (LinkageError::protocol("bad kind"), code::BAD_REQUEST),
             (LinkageError::execution("worker died"), code::INTERNAL),
+            (
+                LinkageError::unknown_session("session 9"),
+                code::NO_SUCH_SESSION,
+            ),
+            (LinkageError::quarantined("torn pair"), code::QUARANTINED),
         ] {
             assert_eq!(error_code(&err), expected_code);
         }
@@ -303,6 +314,16 @@ mod tests {
         assert_eq!(decode_error(&payload), LinkageError::busy("queue full"));
         let payload = encode_error(code::OVER_BUDGET, "x");
         assert_eq!(decode_error(&payload), LinkageError::over_budget("x"));
+        let payload = encode_error(code::NO_SUCH_SESSION, "session 9");
+        assert_eq!(
+            decode_error(&payload),
+            LinkageError::unknown_session("session 9")
+        );
+        let payload = encode_error(code::QUARANTINED, "torn pair");
+        assert_eq!(
+            decode_error(&payload),
+            LinkageError::quarantined("torn pair")
+        );
         assert!(matches!(decode_error(b"\x01"), LinkageError::Protocol(_)));
     }
 

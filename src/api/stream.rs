@@ -90,6 +90,14 @@ impl MatchStream {
     ///
     /// Fails with [`LinkageError::Snapshot`] on a finished stream.
     pub fn snapshot(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        self.snapshot_builder()?.write_to(path.as_ref())
+    }
+
+    /// Capture the same consistent pipeline state as [`snapshot`](Self::snapshot)
+    /// but hand back the unserialised [`SnapshotBuilder`], so callers that
+    /// need custom durability (extra sections, manifest-committed writes —
+    /// the server's eviction path) can append to and persist it themselves.
+    pub fn snapshot_builder(&mut self) -> Result<SnapshotBuilder> {
         if self.done {
             return Err(LinkageError::snapshot("cannot snapshot a finished stream"));
         }
@@ -102,7 +110,7 @@ impl MatchStream {
             e.put_pair(pair);
         }
         builder.push_section(kind::STREAM as u32, e.finish());
-        builder.write_to(path.as_ref())
+        Ok(builder)
     }
 
     /// Drain the stream into a materialised [`RunOutcome`], failing on

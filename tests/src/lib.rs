@@ -1597,6 +1597,16 @@ mod server_service {
             "docs/server.md is out of date"
         );
         assert_eq!(constant("MAX_FRAME_BYTES"), MAX_FRAME_BYTES);
+        assert_eq!(
+            constant("MANIFEST_KIND"),
+            linkage_server::session::MANIFEST_KIND,
+            "the eviction manifest section kind drifted from the spec"
+        );
+        assert_eq!(
+            constant("EVICT_BIND_KIND"),
+            linkage_server::session::EVICT_BIND_KIND,
+            "the snapshot binding section kind drifted from the spec"
+        );
 
         // Table rows look like "| `OPEN`    | 1    | ..." — the second
         // cell is the byte/code value.
@@ -1638,6 +1648,7 @@ mod server_service {
             ("NO_SUCH_SESSION", code::NO_SUCH_SESSION),
             ("SHUTTING_DOWN", code::SHUTTING_DOWN),
             ("INTERNAL", code::INTERNAL),
+            ("QUARANTINED", code::QUARANTINED),
         ] {
             assert_eq!(tabulated(name), value, "error code `{name}`");
         }
